@@ -1,0 +1,97 @@
+"""Experiment E6 — ablations over the sketch parameters r, s, and the
+sample-target factor.
+
+The paper varies r between 3-4 and s between 64-256 (Section 6.1) but
+reports only the defaults; this ablation fills in the grid and also
+documents the reproduction finding described in DESIGN.md section 5:
+the pseudocode's sample target of (1+eps)s/16 is far too small to
+reproduce the reported Figure 8 accuracy, while a target of ~(1+eps)s
+(the library default) does.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import average_relative_error, top_k_recall
+from repro.sketch import SketchParams, TrackingDistinctCountSketch
+
+from conftest import make_workload, print_table, scaled_pairs
+
+K = 10
+SKEW = 1.5
+
+
+@pytest.fixture(scope="module")
+def workload(ipv4_domain):
+    return make_workload(ipv4_domain, skew=SKEW, seed=31,
+                         pairs=max(20_000, scaled_pairs() // 2))
+
+
+def measure(domain, updates, truth, r=3, s=128, factor=1.0):
+    params = SketchParams(domain, r=r, s=s, sample_target_factor=factor)
+    sketch = TrackingDistinctCountSketch(params, seed=13)
+    sketch.process_stream(updates)
+    result = sketch.track_topk(K)
+    return (
+        top_k_recall(truth, result.destinations, K),
+        average_relative_error(truth, result.as_dict(), K),
+    )
+
+
+def test_ablation_r(benchmark, ipv4_domain, workload):
+    """More inner tables -> better singleton recovery -> better recall."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    updates, truth = workload
+    rows = []
+    recalls = {}
+    for r in (1, 2, 3, 4):
+        recall, error = measure(ipv4_domain, updates, truth, r=r)
+        recalls[r] = recall
+        rows.append([r, f"{recall:.2f}", f"{error:.3f}"])
+    print_table(f"Ablation: r sweep (s=128, k={K}, z={SKEW})",
+                ["r", "recall", "avg_rel_error"], rows)
+    # r >= 3 (the paper's default) should not trail r = 1.
+    assert recalls[3] >= recalls[1] - 0.10
+
+
+def test_ablation_s(benchmark, ipv4_domain, workload):
+    """Larger inner tables -> larger distinct sample -> better accuracy."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    updates, truth = workload
+    rows = []
+    stats = {}
+    for s in (32, 64, 128, 256):
+        recall, error = measure(ipv4_domain, updates, truth, s=s)
+        stats[s] = (recall, error)
+        rows.append([s, f"{recall:.2f}", f"{error:.3f}"])
+    print_table(f"Ablation: s sweep (r=3, k={K}, z={SKEW})",
+                ["s", "recall", "avg_rel_error"], rows)
+    assert stats[256][0] >= stats[32][0] - 0.05
+    assert stats[256][1] <= stats[32][1] + 0.10
+
+
+def test_ablation_sample_target_factor(benchmark, ipv4_domain, workload):
+    """The DESIGN.md calibration finding, as a regenerable table.
+
+    factor = 1/16 is the Figure 3 pseudocode; factor ~ 1 reproduces the
+    paper's reported accuracy; growing far beyond ~2 degrades again as
+    collision-biased deep levels enter the sample.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    updates, truth = workload
+    rows = []
+    stats = {}
+    for factor in (1 / 16, 1 / 4, 1 / 2, 1.0, 2.0, 4.0):
+        recall, error = measure(ipv4_domain, updates, truth,
+                                factor=factor)
+        stats[factor] = (recall, error)
+        rows.append([f"{factor:.4f}", f"{recall:.2f}", f"{error:.3f}"])
+    print_table(
+        f"Ablation: sample-target factor (r=3, s=128, k={K}, z={SKEW})",
+        ["factor", "recall", "avg_rel_error"],
+        rows,
+    )
+    # The calibrated default must beat the literal pseudocode target.
+    assert stats[1.0][0] >= stats[1 / 16][0]
+    assert stats[1.0][1] <= stats[1 / 16][1]

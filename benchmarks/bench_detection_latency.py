@@ -1,0 +1,89 @@
+"""Experiment E12 — detection latency (quantifying "real-time").
+
+Not a paper figure: the paper claims real-time detection but reports
+no time-to-detect numbers.  This harness measures, for a SYN flood
+mixed into equal background traffic, how much of the attack the
+monitor consumes before the first victim alarm — as a function of the
+monitor's check interval.  Smaller intervals detect earlier; the
+Tracking-DCS's cheap queries are what make small intervals affordable
+(Figure 9's lesson, applied).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_detection_latency
+
+from conftest import print_table, scale_factor
+
+CHECK_INTERVALS = [100, 250, 500, 1000, 2000]
+
+
+@pytest.fixture(scope="module")
+def flood_size():
+    return max(2_000, int(4_000 * scale_factor()))
+
+
+def test_latency_vs_check_interval(benchmark, ipv4_domain, flood_size):
+    """Attack fraction consumed before detection, per check interval."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    fractions = {}
+    for interval in CHECK_INTERVALS:
+        result = run_detection_latency(
+            ipv4_domain,
+            flood_size=flood_size,
+            background_sessions=flood_size,
+            check_interval=interval,
+            seed=71,
+        )
+        assert result.detected, f"undetected at interval {interval}"
+        fractions[interval] = result.attack_fraction_seen
+        rows.append([
+            interval,
+            result.updates_until_alarm,
+            result.attack_updates_until_alarm,
+            f"{result.attack_fraction_seen:.3f}",
+        ])
+    print_table(
+        "E12: detection latency vs monitor check interval",
+        ["check_interval", "updates to alarm", "attack updates seen",
+         "attack fraction"],
+        rows,
+    )
+    # Detection always happens within the first half of the attack.
+    assert all(fraction < 0.5 for fraction in fractions.values())
+    # Tighter polling detects no later than the loosest polling.
+    assert fractions[100] <= fractions[2000] + 1e-9
+
+
+def test_latency_vs_flood_intensity(benchmark, ipv4_domain, flood_size):
+    """Bigger floods cross the alarm floor sooner (absolute updates)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    alarms_at = {}
+    for size in (flood_size // 2, flood_size, flood_size * 2):
+        result = run_detection_latency(
+            ipv4_domain,
+            flood_size=size,
+            background_sessions=flood_size,
+            check_interval=250,
+            seed=72,
+        )
+        assert result.detected
+        alarms_at[size] = result.attack_updates_until_alarm
+        rows.append([
+            size,
+            result.attack_updates_until_alarm,
+            f"{result.attack_fraction_seen:.3f}",
+        ])
+    print_table(
+        "E12b: detection latency vs flood size (interval=250)",
+        ["flood size", "attack updates at alarm", "attack fraction"],
+        rows,
+    )
+    # The alarm floor is absolute, so the number of attack updates
+    # needed is roughly constant -> the FRACTION falls as floods grow.
+    small, large = flood_size // 2, flood_size * 2
+    assert alarms_at[large] / large < alarms_at[small] / small

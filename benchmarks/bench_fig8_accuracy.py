@@ -1,0 +1,134 @@
+"""Experiments E1/E2 — Figure 8(a,b): top-k recall and relative error.
+
+Paper setup (Section 6.2): distinct-count sketch with r = 3, s = 128
+over a Zipf stream with U = 8e6 distinct pairs and d = 5e4 destinations,
+skew z in {1.0, 1.5, 2.0, 2.5}; recall and average relative error
+reported as a function of k, averaged over 5 seeded runs.
+
+This harness regenerates both curves at REPRO_SCALE-scaled size
+(identical U/d ratio and sketch shape).  Expected shape, per the paper:
+
+* recall ~100% for k <= 5 at every skew, declining as k grows;
+* the decline is much steeper at z = 2.5 (>95% of the mass sits in the
+  top-5, so lower ranks have tiny, unsamplable frequencies);
+* relative error grows with k and with extreme skew.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import average_relative_error, top_k_recall
+from repro.sketch import TrackingDistinctCountSketch
+
+from conftest import make_workload, print_table
+
+SKEWS = [1.0, 1.5, 2.0, 2.5]
+K_VALUES = [1, 2, 5, 10, 15, 20, 25]
+RUNS = 3  # the paper averages over 5; 3 keeps the harness quick
+
+
+def run_accuracy_experiment(domain):
+    """Returns {skew: {k: (recall, error)}} averaged over RUNS seeds."""
+    results = {}
+    for skew in SKEWS:
+        per_k = {k: [0.0, 0.0] for k in K_VALUES}
+        for run in range(RUNS):
+            updates, truth = make_workload(domain, skew,
+                                           seed=1000 * run + int(10 * skew))
+            sketch = TrackingDistinctCountSketch(domain, r=3, s=128,
+                                                 seed=run + 7)
+            sketch.process_stream(updates)
+            for k in K_VALUES:
+                result = sketch.track_topk(k)
+                per_k[k][0] += top_k_recall(truth, result.destinations, k)
+                per_k[k][1] += average_relative_error(
+                    truth, result.as_dict(), k
+                )
+        results[skew] = {
+            k: (recall / RUNS, error / RUNS)
+            for k, (recall, error) in per_k.items()
+        }
+    return results
+
+
+@pytest.fixture(scope="module")
+def accuracy_results(ipv4_domain):
+    return run_accuracy_experiment(ipv4_domain)
+
+
+def test_fig8a_recall(benchmark, ipv4_domain, accuracy_results):
+    """Figure 8(a): top-k recall vs k, one series per skew."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [k] + [f"{accuracy_results[z][k][0]:.2f}" for z in SKEWS]
+        for k in K_VALUES
+    ]
+    print_table(
+        "Figure 8(a): top-k recall (r=3, s=128)",
+        ["k"] + [f"z={z}" for z in SKEWS],
+        rows,
+    )
+    # Paper shape assertions.
+    for skew in SKEWS:
+        # "recall for the top-k destinations with k <= 5 is almost
+        # always 100%"
+        assert accuracy_results[skew][5][0] >= 0.7, skew
+        assert accuracy_results[skew][1][0] == 1.0, skew
+    # Moderate skews stay usable out to k = 15 ("more than 73%").
+    for skew in (1.0, 1.5, 2.0):
+        assert accuracy_results[skew][15][0] >= 0.5, skew
+    # Extreme skew collapses at large k much harder than moderate skew.
+    assert (accuracy_results[2.5][25][0]
+            <= accuracy_results[1.0][25][0] + 0.05)
+
+
+def test_fig8a_prediction_overlay(benchmark, ipv4_domain,
+                                  accuracy_results):
+    """Measured recall vs the closed-form upper bound (analysis)."""
+    from repro.analysis import predicted_recall_upper_bound
+
+    from conftest import PAPER_U_OVER_D, scaled_pairs
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    pairs = scaled_pairs()
+    dests = max(10, pairs // PAPER_U_OVER_D)
+    # The effective sample size: approximately the walk target ~ s.
+    sample_size = 160.0
+    rows = []
+    for skew in SKEWS:
+        for k in (5, 15, 25):
+            measured = accuracy_results[skew][k][0]
+            predicted = predicted_recall_upper_bound(
+                pairs, dests, skew, sample_size, k
+            )
+            rows.append([skew, k, f"{measured:.2f}", f"{predicted:.2f}"])
+            # The bound holds (with sampling-noise slack).
+            assert measured <= predicted + 0.15, (skew, k)
+    print_table(
+        "Figure 8(a) overlay: measured recall vs analytic upper bound",
+        ["z", "k", "measured", "predicted bound"],
+        rows,
+    )
+
+
+def test_fig8b_relative_error(benchmark, ipv4_domain, accuracy_results):
+    """Figure 8(b): average relative error vs k, one series per skew."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [k] + [f"{accuracy_results[z][k][1]:.3f}" for z in SKEWS]
+        for k in K_VALUES
+    ]
+    print_table(
+        "Figure 8(b): average relative error (r=3, s=128)",
+        ["k"] + [f"z={z}" for z in SKEWS],
+        rows,
+    )
+    # Paper shape: error below ~17% for top-5 and growing with k.
+    for skew in SKEWS:
+        assert accuracy_results[skew][5][1] <= 0.40, skew
+    for skew in (1.0, 1.5, 2.0):
+        assert accuracy_results[skew][15][1] <= 0.60, skew
+        # Error grows (weakly) with k.
+        assert (accuracy_results[skew][15][1]
+                >= accuracy_results[skew][2][1] - 0.10), skew

@@ -1,0 +1,112 @@
+"""Experiment E5 — Section 6.1 space accounting.
+
+The paper's arithmetic, regenerated:
+
+* U = 8e6 -> ~23 non-empty first-level buckets; Basic DCS =
+  23 x 3 x 128 x 65 x 4 bytes ~ 2.3 MB; Tracking ~ 2x that (~4.6 MB);
+  brute force = 12 bytes x 8e6 = 96 MB -> "well over an order of
+  magnitude" gain.
+* U = 2^30 -> ~30 buckets; Tracking ~ 6 MB; brute force > 12 GB ->
+  "over three orders of magnitude" gain.
+
+The harness also measures the *observed* active-level count of a real
+sketch against the log2(U) model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import BruteForceTracker
+from repro.sketch import DistinctCountSketch, SketchParams
+from repro.streams import ZipfWorkload
+from repro.types import AddressDomain
+
+from conftest import print_table, scaled_pairs
+
+
+def analytic_row(domain, distinct_pairs):
+    params = SketchParams(domain, r=3, s=128)
+    levels = max(1, round(math.log2(distinct_pairs)))
+    basic = params.allocated_bytes(active_levels=levels)
+    tracking = 2 * basic
+    brute = BruteForceTracker.projected_space_bytes(distinct_pairs)
+    return levels, basic, tracking, brute
+
+
+def test_space_accounting_table(benchmark, ipv4_domain):
+    """Regenerate the Section 6.1 space comparison."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    checks = {}
+    for distinct_pairs in (8_000_000, 2 ** 30):
+        levels, basic, tracking, brute = analytic_row(
+            ipv4_domain, distinct_pairs
+        )
+        checks[distinct_pairs] = (levels, basic, tracking, brute)
+        rows.append([
+            f"{distinct_pairs:,}",
+            levels,
+            f"{basic / 1e6:.2f} MB",
+            f"{tracking / 1e6:.2f} MB",
+            f"{brute / 1e9:.2f} GB" if brute >= 1e9
+            else f"{brute / 1e6:.0f} MB",
+            f"{brute / basic:.0f}x",
+        ])
+    print_table(
+        "Section 6.1 space accounting (r=3, s=128)",
+        ["U", "levels", "Basic DCS", "Tracking DCS", "brute force",
+         "gain"],
+        rows,
+    )
+    levels_8m, basic_8m, tracking_8m, brute_8m = checks[8_000_000]
+    # The paper's numbers: ~23 levels, ~2.3 MB, ~4.6 MB, 96 MB.
+    assert levels_8m == 23
+    assert 2.0e6 < basic_8m < 2.6e6
+    assert 4.0e6 < tracking_8m < 5.2e6
+    assert brute_8m == 96_000_000
+    assert brute_8m / basic_8m > 10  # "well over an order of magnitude"
+    levels_1g, basic_1g, tracking_1g, brute_1g = checks[2 ** 30]
+    # The paper: ~30 levels, ~6 MB tracking, >12 GB brute, >1000x gain.
+    assert levels_1g == 30
+    assert 5.0e6 < tracking_1g < 7.0e6
+    assert brute_1g > 12e9
+    assert brute_1g / basic_1g > 1000
+
+
+def test_observed_active_levels_match_model(benchmark, ipv4_domain):
+    """A real sketch's non-empty level count ~ log2(U)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    u = max(10_000, scaled_pairs() // 6)
+    workload = ZipfWorkload(ipv4_domain, distinct_pairs=u,
+                            destinations=max(10, u // 160),
+                            skew=1.5, seed=23)
+    sketch = DistinctCountSketch(ipv4_domain, seed=3)
+    sketch.process_stream(workload)
+    observed = sketch.active_levels()
+    model = math.log2(u)
+    print_table(
+        "Observed vs modelled active levels",
+        ["U", "observed", "log2(U)"],
+        [[u, observed, f"{model:.1f}"]],
+    )
+    # Occupancy decays geometrically: within a few levels of log2(U).
+    assert model - 3 <= observed <= model + 6
+
+
+def test_sketch_space_constant_in_stream_size(benchmark, ipv4_domain):
+    """Doubling U adds at most one level's worth of space (~log growth)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    sizes = {}
+    base_u = max(5_000, scaled_pairs() // 12)
+    for u in (base_u, 2 * base_u):
+        workload = ZipfWorkload(ipv4_domain, distinct_pairs=u,
+                                destinations=max(10, u // 160),
+                                skew=1.5, seed=29)
+        sketch = DistinctCountSketch(ipv4_domain, seed=4)
+        sketch.process_stream(workload)
+        sizes[u] = sketch.space_bytes()
+    per_level = SketchParams(ipv4_domain).level_bytes()
+    assert sizes[2 * base_u] - sizes[base_u] <= 2 * per_level

@@ -1,0 +1,78 @@
+"""Experiment E8 — threshold (tau) tracking, the footnote-3 extension.
+
+Measures (a) that the threshold watch reports exactly the destinations
+an exact tracker puts above tau (up to estimation error near the
+boundary), and (b) the latency of continuous track_threshold polling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactDistinctTracker
+from repro.monitor import ThresholdWatch
+from repro.sketch import TrackingDistinctCountSketch
+
+from conftest import make_workload, print_table, scaled_pairs
+
+
+@pytest.fixture(scope="module")
+def workload(ipv4_domain):
+    return make_workload(ipv4_domain, skew=2.0, seed=41,
+                         pairs=max(20_000, scaled_pairs() // 3))
+
+
+def test_threshold_report_quality(benchmark, ipv4_domain, workload):
+    """Destinations far above/below tau are classified correctly."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    updates, truth = workload
+    exact = ExactDistinctTracker()
+    exact.process_stream(updates)
+    total = exact.total_distinct_pairs
+    tau = max(10, total // 50)
+    sketch = TrackingDistinctCountSketch(ipv4_domain, seed=6)
+    sketch.process_stream(updates)
+    reported = set(sketch.track_threshold(tau).destinations)
+    clearly_above = {d for d, f in truth.items() if f >= 2 * tau}
+    clearly_below = {d for d, f in truth.items() if f <= tau // 4}
+    missed = clearly_above - reported
+    phantom = reported & clearly_below
+    rows = [[tau, len(clearly_above), len(reported), len(missed),
+             len(phantom)]]
+    print_table(
+        "E8: threshold report vs exact (tau classification)",
+        ["tau", "clearly_above", "reported", "missed", "phantoms"],
+        rows,
+    )
+    assert not missed, f"missed heavy destinations: {missed}"
+    # Allow a tiny number of phantom near-threshold reports.
+    assert len(phantom) <= max(1, len(reported) // 5)
+
+
+def test_threshold_watch_event_lifecycle(benchmark, ipv4_domain,
+                                         workload):
+    """Upward crossings fire during the ramp; teardown fires downward."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    updates, truth = workload
+    top_dest = max(truth.items(), key=lambda kv: kv[1])[0]
+    tau = truth[top_dest] // 2
+    watch = ThresholdWatch(ipv4_domain, tau=tau, check_interval=1000,
+                           seed=7)
+    events = watch.observe_stream(updates)
+    ups = [e for e in events if e.above]
+    assert any(e.dest == top_dest for e in ups)
+    # Tear down every flow of the top destination.
+    teardown = [u.inverted() for u in updates if u.dest == top_dest]
+    events = watch.observe_stream(teardown)
+    events.extend(watch.poll())
+    downs = [e for e in events if not e.above and e.dest == top_dest]
+    assert downs, "teardown should produce a downward crossing"
+
+
+def test_track_threshold_latency(benchmark, ipv4_domain, workload):
+    """Continuous threshold polling is cheap (O(answers * log m))."""
+    updates, truth = workload
+    sketch = TrackingDistinctCountSketch(ipv4_domain, seed=8)
+    sketch.process_stream(updates)
+    tau = max(10, sum(truth.values()) // 50)
+    benchmark(lambda: sketch.track_threshold(tau))

@@ -1,0 +1,72 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md section 4 for the experiment index).  Experiments run at a
+scaled-down size by default — the paper's testbed used U up to 16e6
+pairs, which pure Python processes at ~30 us/update — and honour the
+``REPRO_SCALE`` environment variable (e.g. ``REPRO_SCALE=10`` runs 10x
+larger workloads; ``REPRO_SCALE=50`` approaches paper scale).
+
+The paper's workload kept U/d = 8e6 / 5e4 = 160 distinct sources per
+destination on average; the scaled workloads preserve that ratio.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.streams import ZipfWorkload
+from repro.types import AddressDomain, FlowUpdate
+
+#: The paper's default ratio of distinct pairs to destinations.
+PAPER_U_OVER_D = 160
+
+#: Baseline scaled-down U (the paper used 8e6).
+BASE_DISTINCT_PAIRS = 120_000
+
+
+def scale_factor() -> float:
+    """Workload scale multiplier from the REPRO_SCALE env var."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled_pairs(base: int = BASE_DISTINCT_PAIRS) -> int:
+    """The U to use for the current run."""
+    return max(1000, int(base * scale_factor()))
+
+
+@pytest.fixture(scope="session")
+def ipv4_domain() -> AddressDomain:
+    return AddressDomain(2 ** 32)
+
+
+def make_workload(
+    domain: AddressDomain,
+    skew: float,
+    seed: int,
+    pairs: int = 0,
+) -> Tuple[List[FlowUpdate], Dict[int, int]]:
+    """Build a paper-style Zipf workload; returns (updates, truth)."""
+    u = pairs or scaled_pairs()
+    d = max(10, u // PAPER_U_OVER_D)
+    workload = ZipfWorkload(
+        domain, distinct_pairs=u, destinations=d, skew=skew, seed=seed
+    )
+    return workload.updates(), workload.frequencies()
+
+
+def print_table(title: str, header: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> None:
+    """Print one paper-style result table to the bench output."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])),
+            max((len(str(row[i])) for row in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""SYN-flood detection: the paper's motivating scenario, end to end.
+
+Simulates an ISP edge carrying normal traffic, trains a baseline
+profile, then launches a distributed SYN flood with spoofed sources
+against one server and shows the DDoS monitor raising alarms on the
+victim — in real time, from a synopsis a fraction of the size of the
+flow table.
+
+Run:  python examples/syn_flood_detection.py
+"""
+
+from repro import AddressDomain
+from repro.monitor import DDoSMonitor, MonitorConfig
+from repro.netsim import (
+    BackgroundTraffic,
+    FlowExporter,
+    Scenario,
+    SynFloodAttack,
+    format_ip,
+    parse_ip,
+)
+
+
+def main() -> None:
+    domain = AddressDomain(2 ** 32)
+    victim = parse_ip("198.51.100.10")
+    servers = [parse_ip(f"198.51.100.{i}") for i in range(10, 60)]
+
+    monitor = DDoSMonitor(
+        domain,
+        MonitorConfig(k=10, check_interval=500,
+                      warning_ratio=10, critical_ratio=50,
+                      absolute_floor=100),
+        seed=7,
+    )
+
+    # ---- phase 1: a clean hour of traffic; learn the baseline --------
+    clean = Scenario(
+        BackgroundTraffic(servers, sessions=5000, duration=3600,
+                          abandon_fraction=0.02, seed=1),
+    )
+    exporter = FlowExporter()
+    clean_updates = exporter.export_all(clean.packets())
+    alarms = monitor.observe_stream(clean_updates)
+    monitor.learn_baseline()
+    print(f"clean period: {len(clean_updates)} updates, "
+          f"{len(alarms)} alarms (expected 0)")
+
+    # ---- phase 2: the attack ------------------------------------------
+    # 8000 spoofed SYNs over 60 seconds; sources are random addresses
+    # from the whole IPv4 space, so no ACK ever arrives and every flow
+    # stays half-open.
+    attack = Scenario(
+        SynFloodAttack(victim, flood_size=8000, start=3600,
+                       duration=60, seed=2),
+        BackgroundTraffic(servers, sessions=2000, start=3600,
+                          duration=60, seed=3),
+    )
+    attack_updates = FlowExporter().export_all(attack.packets())
+    alarms = monitor.observe_stream(attack_updates)
+
+    print(f"attack period: {len(attack_updates)} updates, "
+          f"{len(alarms)} alarms")
+    for alarm in alarms:
+        print(f"  ALARM [{alarm.severity.value}] "
+              f"dest={format_ip(alarm.dest)} "
+              f"~{alarm.estimated_frequency} half-open distinct sources "
+              f"({alarm.excess_ratio:.0f}x baseline)")
+
+    assert any(alarm.dest == victim for alarm in alarms), \
+        "the victim should have been detected"
+    print(f"\nvictim {format_ip(victim)} detected.")
+    # The sketch's footprint is (poly)logarithmic in the network size:
+    # it stays ~1-5 MB whether the stream has 10^4 or 10^9 distinct
+    # pairs, while per-pair state grows linearly (96 MB at the paper's
+    # U = 8e6, >12 GB at U = 2^30 — see `repro-ddos space`).
+    print(f"sketch space: {monitor.sketch.space_bytes() / 1024:.0f} KiB, "
+          f"independent of how large the attack grows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Threshold tracking: alert when any destination crosses f_v >= tau.
+
+The Section 2 footnote-3 variant of the tracking problem: instead of a
+top-k query, watch for *any* destination whose distinct-source frequency
+clears a fixed threshold.  This example shows the full lifecycle: an
+attack pushes the victim over the threshold (upward crossing event), the
+attack ends and the operator's mitigation resets the half-open flows
+(deletions), and the victim drops back below (downward crossing event).
+
+Run:  python examples/threshold_tracking.py
+"""
+
+from repro import AddressDomain, FlowUpdate
+from repro.monitor import ThresholdWatch
+from repro.netsim import format_ip, parse_ip
+
+
+def main() -> None:
+    domain = AddressDomain(2 ** 32)
+    victim = parse_ip("192.0.2.50")
+    watch = ThresholdWatch(domain, tau=500, check_interval=250, seed=3)
+
+    # ---- attack ramps up ------------------------------------------------
+    attack_sources = [0x30000000 + i for i in range(3000)]
+    events = []
+    for source in attack_sources:
+        events.extend(watch.observe(FlowUpdate(source, victim, +1)))
+    for event in events:
+        direction = "ABOVE" if event.above else "below"
+        print(f"update {event.updates_seen}: {format_ip(event.dest)} "
+              f"crossed {direction} tau (estimate ~{event.estimate})")
+    assert any(e.above and e.dest == victim for e in events), \
+        "the ramp-up must raise an upward crossing"
+
+    # ---- mitigation: the half-open flows are torn down ------------------
+    # (e.g. a SYN-proxy validates or expires them -> deletions)
+    events = []
+    for source in attack_sources:
+        events.extend(watch.observe(FlowUpdate(source, victim, -1)))
+    for event in events:
+        direction = "ABOVE" if event.above else "below"
+        print(f"update {event.updates_seen}: {format_ip(event.dest)} "
+              f"crossed {direction} tau")
+    assert any((not e.above) and e.dest == victim for e in events), \
+        "teardown must raise a downward crossing"
+
+    print(f"\ncurrently above tau: {watch.above_threshold()} (expected [])")
+    assert watch.above_threshold() == []
+    print("threshold watch tracked the full attack lifecycle.")
+
+
+if __name__ == "__main__":
+    main()

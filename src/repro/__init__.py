@@ -1,0 +1,73 @@
+"""repro: Distinct-Count Sketches for robust, real-time DDoS detection.
+
+A faithful, production-quality reproduction of
+
+    S. Ganguly, M. Garofalakis, R. Rastogi, K. Sabnani.
+    "Streaming Algorithms for Robust, Real-Time Detection of DDoS
+    Attacks."  ICDCS 2007.
+
+The library tracks, over a stream of flow updates ``(source, dest, +/-1)``,
+the top-k destination addresses by *distinct-source frequency* — the
+number of distinct sources with a net-positive (e.g. half-open TCP)
+connection count — in guaranteed small space and per-update time, with
+full support for deletions.
+
+Quickstart::
+
+    from repro import AddressDomain, TrackingDistinctCountSketch
+
+    sketch = TrackingDistinctCountSketch(AddressDomain(2 ** 32), seed=1)
+    sketch.insert(source=0x0A000001, dest=0xC0A80001)   # SYN seen
+    sketch.delete(source=0x0A000001, dest=0xC0A80001)   # ACK seen: legit
+    top = sketch.track_topk(k=10)
+
+Package layout:
+
+* :mod:`repro.hashing` — hash-function substrate.
+* :mod:`repro.sketch` — the Distinct-Count Sketch and its tracking
+  variant (the paper's contribution).
+* :mod:`repro.baselines` — exact tracker, brute-force scheme,
+  Flajolet-Martin, HyperLogLog, distinct sampling, superspreaders.
+* :mod:`repro.streams` — flow-update streams and Zipf workloads.
+* :mod:`repro.netsim` — TCP/SYN-flood/flash-crowd network simulation.
+* :mod:`repro.monitor` — the DDoS MONITOR application layer.
+* :mod:`repro.metrics` — recall/error/timing metrics for experiments.
+"""
+
+from .exceptions import (
+    DomainError,
+    EstimationError,
+    MergeError,
+    ParameterError,
+    ReproError,
+    StreamError,
+)
+from .sketch import (
+    DistinctCountSketch,
+    SketchParams,
+    TopKEntry,
+    TopKResult,
+    TrackingDistinctCountSketch,
+)
+from .types import DELETE, INSERT, AddressDomain, FlowUpdate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressDomain",
+    "DELETE",
+    "DistinctCountSketch",
+    "DomainError",
+    "EstimationError",
+    "FlowUpdate",
+    "INSERT",
+    "MergeError",
+    "ParameterError",
+    "ReproError",
+    "SketchParams",
+    "StreamError",
+    "TopKEntry",
+    "TopKResult",
+    "TrackingDistinctCountSketch",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Executable versions of the paper's analysis (Sections 4-5).
+
+The paper's guarantees rest on a handful of probabilistic facts; this
+package turns them into checkable, plannable code:
+
+* :mod:`repro.analysis.bounds` — Chernoff-bound helpers and the
+  level-occupancy / singleton-recovery probabilities behind
+  Lemmas 4.1-4.3.
+* :mod:`repro.analysis.planner` — capacity planning: given a target
+  workload (U, f_vk) and accuracy (epsilon, delta), derive sketch
+  shapes and predicted space/time, both theory-faithful (Theorem 4.4)
+  and empirically calibrated.
+* :mod:`repro.analysis.validate` — empirical validators that measure a
+  live sketch against the lemmas' predictions (used by tests and the
+  ablation benchmarks).
+"""
+
+from .bounds import (
+    chernoff_bound,
+    expected_level_population,
+    recovery_probability,
+    singleton_probability,
+)
+from .planner import CapacityPlan, plan_capacity
+from .prediction import (
+    appearance_probability,
+    predicted_recall_curve,
+    predicted_recall_upper_bound,
+    zipf_frequencies,
+)
+from .validate import (
+    measure_level_populations,
+    measure_recovery_rate,
+    validate_stopping_level,
+)
+
+__all__ = [
+    "CapacityPlan",
+    "appearance_probability",
+    "chernoff_bound",
+    "predicted_recall_curve",
+    "predicted_recall_upper_bound",
+    "zipf_frequencies",
+    "expected_level_population",
+    "measure_level_populations",
+    "measure_recovery_rate",
+    "plan_capacity",
+    "recovery_probability",
+    "singleton_probability",
+    "validate_stopping_level",
+]

@@ -1,0 +1,120 @@
+"""Probabilistic bounds underlying the paper's Lemmas 4.1-4.3.
+
+These are small, exact formulas — no simulation — used by the planner
+and by empirical validators:
+
+* a pair lands at first-level bucket ``l`` with probability
+  ``2^-(l+1)``, so the population of levels ``>= b`` has expectation
+  ``U / 2^b`` (the quantity ``u_b`` of the analysis);
+* within one second-level table of ``s`` buckets holding ``n`` distinct
+  pairs, a given pair is a singleton with probability
+  ``(1 - 1/s)^(n-1)``;
+* with ``r`` independent tables, the pair is recovered unless it
+  collides in all of them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ParameterError
+
+
+def chernoff_bound(expectation: float, epsilon: float) -> float:
+    """Two-sided Chernoff bound ``Pr[|X - mu| > eps*mu]`` (Section 4).
+
+    Uses the paper's form ``2 exp(-eps^2 mu / 2)`` — the bound applied
+    in the derivation of equation (1).
+    """
+    if expectation < 0:
+        raise ParameterError("expectation must be >= 0")
+    if epsilon <= 0:
+        raise ParameterError("epsilon must be > 0")
+    return min(1.0, 2.0 * math.exp(-(epsilon ** 2) * expectation / 2.0))
+
+
+def expected_level_population(distinct_pairs: int, level: int) -> float:
+    """``E[u_level]``: expected pairs at first-level buckets >= level."""
+    if distinct_pairs < 0:
+        raise ParameterError("distinct_pairs must be >= 0")
+    if level < 0:
+        raise ParameterError("level must be >= 0")
+    return distinct_pairs / (2.0 ** level)
+
+
+def singleton_probability(population: int, buckets: int) -> float:
+    """Probability a given pair is alone in its bucket of one table.
+
+    With ``population`` distinct pairs thrown uniformly into
+    ``buckets`` buckets, a fixed pair shares its bucket with nobody
+    with probability ``(1 - 1/s)^(population-1)``.
+    """
+    if buckets < 1:
+        raise ParameterError("buckets must be >= 1")
+    if population < 1:
+        raise ParameterError("population must be >= 1")
+    return (1.0 - 1.0 / buckets) ** (population - 1)
+
+
+def recovery_probability(
+    population: int, buckets: int, tables: int
+) -> float:
+    """Probability a pair is recovered from at least one of r tables.
+
+    This is the engine of Lemma 4.1: at ``population <= s/2`` the
+    per-table singleton probability exceeds ~0.6, so over
+    ``r = Theta(log(n/delta))`` tables recovery fails with probability
+    at most ``delta/n``.
+    """
+    if tables < 1:
+        raise ParameterError("tables must be >= 1")
+    miss = 1.0 - singleton_probability(population, buckets)
+    return 1.0 - miss ** tables
+
+
+def expected_recovered(
+    population: int, buckets: int, tables: int
+) -> float:
+    """Expected number of pairs recovered at one level."""
+    if population == 0:
+        return 0.0
+    return population * recovery_probability(population, buckets, tables)
+
+
+def stopping_level(distinct_pairs: int, target: float) -> int:
+    """The level ``b`` where the cumulative sample ~reaches the target.
+
+    Solves ``U / 2^b >= target`` for the largest such ``b`` — the
+    idealized (collision-free) stopping level of the Figure 3 walk.
+    """
+    if distinct_pairs < 1:
+        raise ParameterError("distinct_pairs must be >= 1")
+    if target <= 0:
+        raise ParameterError("target must be > 0")
+    if distinct_pairs < target:
+        return 0
+    return int(math.floor(math.log2(distinct_pairs / target)))
+
+
+def estimate_standard_error(
+    frequency: int, distinct_pairs: int, sample_target: float
+) -> float:
+    """Predicted relative standard error of one frequency estimate.
+
+    At the stopping level the sampling probability is
+    ``p ~ sample_target / U``, so ``f^s ~ Binomial(f, p)`` and the
+    relative standard error of ``f_hat = f^s / p`` is
+    ``sqrt((1-p) / (f p))``.
+    """
+    if frequency < 1:
+        raise ParameterError("frequency must be >= 1")
+    if distinct_pairs < 1:
+        raise ParameterError("distinct_pairs must be >= 1")
+    if sample_target <= 0:
+        raise ParameterError("sample_target must be > 0")
+    probability = min(1.0, sample_target / distinct_pairs)
+    if probability >= 1.0:
+        return 0.0
+    return math.sqrt(
+        (1.0 - probability) / (frequency * probability)
+    )

@@ -1,0 +1,123 @@
+"""Capacity planning: from workload targets to sketch shapes.
+
+Given what an operator knows — the expected number of distinct active
+pairs ``U``, the smallest frequency they care about ``f_vk``, the
+stream-length bound ``n``, and the accuracy targets ``(epsilon,
+delta)`` — produce:
+
+* the **theory-faithful** shape from Theorem 4.4 (huge but guaranteed);
+* the **calibrated** shape: the smallest ``s`` whose predicted relative
+  standard error (from :func:`~repro.analysis.bounds.
+  estimate_standard_error`) meets ``epsilon``, with the paper's
+  practical ``r``;
+
+plus predicted space and per-update cost for each, so the trade-off is
+explicit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import ParameterError
+from ..sketch.params import SketchParams
+from ..types import AddressDomain
+from .bounds import estimate_standard_error
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """One recommended sketch configuration with predictions.
+
+    Attributes:
+        params: the recommended sketch shape.
+        predicted_space_bytes: model space at the expected workload.
+        predicted_relative_error: predicted standard error for a
+            frequency of ``f_vk`` at the expected sample size.
+        flavor: "theorem-4.4" or "calibrated".
+    """
+
+    params: SketchParams
+    predicted_space_bytes: int
+    predicted_relative_error: float
+    flavor: str
+
+
+def _active_levels(distinct_pairs: int) -> int:
+    return max(1, round(math.log2(max(distinct_pairs, 2))))
+
+
+def plan_capacity(
+    domain: AddressDomain,
+    distinct_pairs: int,
+    kth_frequency: int,
+    epsilon: float = 0.25,
+    delta: float = 0.05,
+    stream_length: int = 0,
+    flavor: str = "calibrated",
+) -> CapacityPlan:
+    """Recommend a sketch shape for a target workload and accuracy.
+
+    Args:
+        domain: address domain.
+        distinct_pairs: expected ``U``.
+        kth_frequency: smallest distinct-source frequency that must be
+            estimated within ``epsilon`` (the paper's ``f_vk``).
+        epsilon: target relative error (< 1/3).
+        delta: failure probability (theorem flavor only).
+        stream_length: bound on updates ``n`` (defaults to
+            ``10 * distinct_pairs``).
+        flavor: ``"calibrated"`` (default) or ``"theorem-4.4"``.
+    """
+    if distinct_pairs < 1:
+        raise ParameterError("distinct_pairs must be >= 1")
+    if kth_frequency < 1:
+        raise ParameterError("kth_frequency must be >= 1")
+    if kth_frequency > distinct_pairs:
+        raise ParameterError(
+            "kth_frequency cannot exceed distinct_pairs"
+        )
+    n = stream_length or 10 * distinct_pairs
+
+    if flavor == "theorem-4.4":
+        params = SketchParams.from_guarantees(
+            domain,
+            epsilon=epsilon,
+            delta=delta,
+            stream_length=n,
+            distinct_pairs=distinct_pairs,
+            kth_frequency=kth_frequency,
+        )
+    elif flavor == "calibrated":
+        # Smallest power-of-two s whose predicted standard error for a
+        # frequency of f_vk meets epsilon, given the walk targets ~s
+        # sample pairs (the library's calibrated default).
+        s = 32
+        while s < 2 ** 22:
+            error = estimate_standard_error(
+                kth_frequency, distinct_pairs, sample_target=float(s)
+            )
+            if error <= epsilon:
+                break
+            s *= 2
+        params = SketchParams(domain, r=3, s=s)
+    else:
+        raise ParameterError(
+            f"flavor must be 'calibrated' or 'theorem-4.4', got {flavor!r}"
+        )
+
+    space = params.allocated_bytes(
+        active_levels=_active_levels(distinct_pairs)
+    )
+    predicted_error = estimate_standard_error(
+        kth_frequency,
+        distinct_pairs,
+        sample_target=params.sample_target(min(epsilon, 0.33)),
+    )
+    return CapacityPlan(
+        params=params,
+        predicted_space_bytes=space,
+        predicted_relative_error=predicted_error,
+        flavor=flavor,
+    )

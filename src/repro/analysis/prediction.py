@@ -1,0 +1,101 @@
+"""Predicting the Figure 8 curves from first principles.
+
+The recall the sketch achieves is not magic: a destination with true
+frequency ``f`` appears in a distinct sample of (expected) size ``S``
+drawn from ``U`` pairs with probability ``1 - (1 - S/U)^f``.  Summing
+that over the true top-k destinations of a Zipf(z) workload yields a
+closed-form *upper bound* on expected recall@k — upper bound because
+appearing in the sample is necessary but not sufficient (the
+destination must also out-rank the noise).
+
+These predictions let the test suite check the measured Figure 8 curves
+against theory and let operators anticipate accuracy without running a
+workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..exceptions import ParameterError
+
+
+def zipf_frequencies(
+    distinct_pairs: int, destinations: int, skew: float
+) -> List[int]:
+    """The per-rank distinct-source counts of the Section 6.1 workload.
+
+    Mirrors :class:`~repro.streams.zipf.ZipfWorkload`'s allocation
+    (share proportional to ``rank^-z``, floored at one source), without
+    materializing any addresses.
+    """
+    if distinct_pairs < 1 or destinations < 1:
+        raise ParameterError("pairs and destinations must be >= 1")
+    if destinations > distinct_pairs:
+        raise ParameterError("destinations cannot exceed pairs")
+    weights = [
+        (rank + 1) ** -skew for rank in range(destinations)
+    ]
+    total_weight = sum(weights)
+    counts = [
+        max(1, int(weight / total_weight * distinct_pairs))
+        for weight in weights
+    ]
+    return counts
+
+
+def appearance_probability(
+    frequency: int, distinct_pairs: int, sample_size: float
+) -> float:
+    """Probability a frequency-``f`` destination enters the sample.
+
+    Each of the destination's ``f`` distinct pairs independently lands
+    in the sample with probability ``~ S/U``.
+    """
+    if frequency < 0 or distinct_pairs < 1:
+        raise ParameterError("invalid frequency or pair count")
+    if sample_size <= 0:
+        return 0.0
+    probability = min(1.0, sample_size / distinct_pairs)
+    return 1.0 - (1.0 - probability) ** frequency
+
+
+def predicted_recall_upper_bound(
+    distinct_pairs: int,
+    destinations: int,
+    skew: float,
+    sample_size: float,
+    k: int,
+) -> float:
+    """Expected recall@k upper bound for a Zipf workload.
+
+    The mean, over the true top-k ranks, of each rank's probability of
+    appearing in the distinct sample at all.  Measured recall can only
+    be lower (the destination must also win the within-sample ranking).
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    counts = zipf_frequencies(distinct_pairs, destinations, skew)
+    top = sorted(counts, reverse=True)[:k]
+    if not top:
+        return 1.0
+    return sum(
+        appearance_probability(frequency, distinct_pairs, sample_size)
+        for frequency in top
+    ) / len(top)
+
+
+def predicted_recall_curve(
+    distinct_pairs: int,
+    destinations: int,
+    skew: float,
+    sample_size: float,
+    k_values: List[int],
+) -> Dict[int, float]:
+    """The full Figure 8(a) upper-bound curve for one skew."""
+    return {
+        k: predicted_recall_upper_bound(
+            distinct_pairs, destinations, skew, sample_size, k
+        )
+        for k in k_values
+    }

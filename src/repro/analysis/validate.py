@@ -1,0 +1,79 @@
+"""Empirical validators: measure a live sketch against the lemmas.
+
+Used by tests and the ablation benchmarks to confirm that the
+implementation's randomness behaves as the analysis assumes:
+
+* :func:`measure_level_populations` — per-level distinct-pair counts of
+  a sketch vs the geometric expectation ``U / 2^(l+1)``;
+* :func:`measure_recovery_rate` — the fraction of a level's pairs that
+  ``GetdSample`` actually recovers vs the analytic
+  :func:`~repro.analysis.bounds.recovery_probability`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..sketch.dcs import DistinctCountSketch
+from .bounds import recovery_probability
+
+
+def measure_level_populations(
+    sketch: DistinctCountSketch, pairs: List[int]
+) -> Dict[int, int]:
+    """Count how many of ``pairs`` (encoded) map to each first level.
+
+    Uses the sketch's own level hash, so the measurement reflects the
+    exact randomness the estimator sees.
+    """
+    populations: Dict[int, int] = {}
+    level_hash = sketch._level_hash
+    for pair in pairs:
+        level = level_hash(pair)
+        populations[level] = populations.get(level, 0) + 1
+    return populations
+
+
+def validate_stopping_level(
+    sketch: DistinctCountSketch,
+    distinct_pairs: int,
+    epsilon: float = 0.25,
+) -> Tuple[int, int, int]:
+    """Compare the observed Figure 3 stopping level with the ideal one.
+
+    Returns ``(observed, ideal, sample_size)`` where ``observed`` is
+    the level at which the sketch's walk actually stopped, ``ideal``
+    the collision-free prediction from
+    :func:`~repro.analysis.bounds.stopping_level`, and ``sample_size``
+    the recovered distinct-sample size.  Lemma 4.2 says the two levels
+    agree to within a couple of positions whenever recovery is healthy.
+    """
+    from .bounds import stopping_level
+
+    sample, observed, _ = sketch.collect_distinct_sample(epsilon)
+    ideal = stopping_level(
+        distinct_pairs, sketch.params.sample_target(epsilon)
+    )
+    return observed, ideal, len(sample)
+
+
+def measure_recovery_rate(
+    sketch: DistinctCountSketch, pairs: List[int]
+) -> List[Tuple[int, int, int, float]]:
+    """Per-level (population, recovered, predicted) recovery report.
+
+    Returns a list of ``(level, population, recovered,
+    predicted_recovery_probability)`` rows for every populated level,
+    comparing what ``GetdSample`` recovers against the analytic
+    prediction for that level's population.
+    """
+    populations = measure_level_populations(sketch, pairs)
+    report: List[Tuple[int, int, int, float]] = []
+    for level in sorted(populations):
+        population = populations[level]
+        recovered = len(sketch.get_dsample(level))
+        predicted = recovery_probability(
+            population, sketch.params.s, sketch.params.r
+        )
+        report.append((level, population, recovered, predicted))
+    return report

@@ -1,0 +1,59 @@
+"""Baseline and comparison algorithms.
+
+Everything the paper measures against or builds upon, implemented from
+scratch:
+
+* :class:`ExactDistinctTracker` — exact per-pair state; the ground
+  truth and the upper bound on space (Section 2's "potential 2^64
+  counters" strawman, restricted to observed pairs).
+* :class:`BruteForceTracker` — the Section 6.1 accounting strawman: 12
+  bytes per observed distinct pair (two 4-byte addresses + a 4-byte
+  count).
+* :class:`FlajoletMartin` — the [12] bit-vector distinct counter the
+  DCS generalizes (insert-only).
+* :class:`HyperLogLog` — a modern distinct counter (insert-only),
+  demonstrating what breaks without deletion support.
+* :class:`DistinctSampler` — Gibbons-style distinct sampling [18, 19]
+  (insert-only), the closest prior sampling technique.
+* :class:`SuperspreaderDetector` — Venkataraman et al. [32] sampled
+  detection of sources contacting more than k destinations; included
+  for the Section 1 comparison (threshold semantics vs our top-k).
+* :class:`SampleAndHold` / :class:`MultistageFilter` — Estan-Varghese
+  [10] large-flow (volume) detection; demonstrably blind to spoofed
+  SYN floods whose flows are all one packet.
+* :class:`SynFinDetector` — Wang et al. [36] SYN-FIN(RST) CUSUM change
+  detection; raises aggregate alarms but cannot attribute victims.
+* :class:`CountMinSketch` / :class:`VolumeChangeDetector` — sketch-based
+  volume change detection in the spirit of Krishnamurthy et al. [23].
+"""
+
+from .bloom import BloomFilter, DedupFront
+from .brute_force import BruteForceTracker
+from .countmin import CountMinSketch, VolumeChangeDetector
+from .distinct_sampler import DistinctSampler
+from .exact import ExactDistinctTracker
+from .fm import FlajoletMartin, FMDestinationTracker
+from .hll import HyperLogLog, HLLDestinationTracker
+from .lossy_counting import LossyCounter
+from .sample_and_hold import MultistageFilter, SampleAndHold
+from .superspreader import SuperspreaderDetector
+from .synfin import SynFinDetector
+
+__all__ = [
+    "BloomFilter",
+    "BruteForceTracker",
+    "CountMinSketch",
+    "DedupFront",
+    "DistinctSampler",
+    "ExactDistinctTracker",
+    "FMDestinationTracker",
+    "FlajoletMartin",
+    "HLLDestinationTracker",
+    "HyperLogLog",
+    "LossyCounter",
+    "MultistageFilter",
+    "SampleAndHold",
+    "SuperspreaderDetector",
+    "SynFinDetector",
+    "VolumeChangeDetector",
+]

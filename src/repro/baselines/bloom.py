@@ -1,0 +1,140 @@
+"""Bloom filters [6] — the paper's reference for hash-based filtering.
+
+Estan-Varghese's DoS-detection line (which the paper's introduction
+responds to) "employ[s] ideas based on sampling and hash-based
+filtering [6] to identify large flows".  The canonical use in that
+pipeline is *flow deduplication*: test whether a (source, dest) pair
+was seen before, so a volume counter counts each flow once.
+
+We implement the standard k-hash Bloom filter with the textbook false-
+positive analysis, plus the :class:`DedupFront` wrapper that shows both
+its value (duplicate suppression at tiny memory) and its limitation
+(false positives silently *drop* distinct flows — and nothing can ever
+be deleted), in contrast with the DCS's exact-over-distinct semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from ..exceptions import ParameterError
+from ..hashing import TabulationHash, derive_seed
+from ..types import FlowUpdate
+
+
+class BloomFilter:
+    """A fixed-size k-hash Bloom filter over integer keys.
+
+    Args:
+        bits: filter size in bits.
+        hashes: number of hash functions k.
+        seed: hash seed.
+    """
+
+    def __init__(self, bits: int = 1 << 16, hashes: int = 4,
+                 seed: int = 0) -> None:
+        if bits < 8:
+            raise ParameterError(f"bits must be >= 8, got {bits}")
+        if hashes < 1:
+            raise ParameterError(f"hashes must be >= 1, got {hashes}")
+        self.bits = bits
+        self.hashes = hashes
+        self._bitmap = 0
+        self._functions: List[TabulationHash] = [
+            TabulationHash(range_size=bits,
+                           seed=derive_seed(seed, "bloom", index))
+            for index in range(hashes)
+        ]
+        self.items_added = 0
+
+    def add(self, key: int) -> None:
+        """Insert ``key`` into the filter."""
+        for function in self._functions:
+            self._bitmap |= 1 << function(key)
+        self.items_added += 1
+
+    def __contains__(self, key: int) -> bool:
+        return all(
+            self._bitmap >> function(key) & 1
+            for function in self._functions
+        )
+
+    def add_if_new(self, key: int) -> bool:
+        """Insert ``key`` unless already present; True when it was new.
+
+        The primitive used for flow deduplication; false positives make
+        it report "seen" for some genuinely new keys.
+        """
+        if key in self:
+            return False
+        self.add(key)
+        return True
+
+    def expected_false_positive_rate(self) -> float:
+        """The textbook estimate ``(1 - e^{-kn/m})^k``."""
+        if self.items_added == 0:
+            return 0.0
+        exponent = -self.hashes * self.items_added / self.bits
+        return (1.0 - math.exp(exponent)) ** self.hashes
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits currently set."""
+        return bin(self._bitmap).count("1") / self.bits
+
+    def space_bytes(self) -> int:
+        """Filter size in bytes."""
+        return self.bits // 8
+
+    def __repr__(self) -> str:
+        return (
+            f"BloomFilter(bits={self.bits}, hashes={self.hashes}, "
+            f"added={self.items_added})"
+        )
+
+
+class DedupFront:
+    """A Bloom-filter front-end that forwards each distinct pair once.
+
+    The Estan-Varghese-style pre-filter: duplicate SYNs of the same
+    flow are suppressed so downstream volume counters count flows, not
+    packets.  Its two structural gaps versus the DCS:
+
+    * false positives silently drop distinct flows (undercount);
+    * nothing can be removed — a completed (legitimised) flow stays
+      "seen" forever, so half-open semantics are unobtainable.
+    """
+
+    def __init__(self, bits: int = 1 << 18, hashes: int = 4,
+                 seed: int = 0) -> None:
+        self.filter = BloomFilter(bits=bits, hashes=hashes, seed=seed)
+        self.forwarded = 0
+        self.suppressed = 0
+
+    def forward(self, updates: Iterable[FlowUpdate]):
+        """Yield the first occurrence of each distinct pair's insert.
+
+        Deletions are dropped (the filter cannot honour them) — which
+        is precisely the limitation under test.
+        """
+        for update in updates:
+            if update.is_delete:
+                self.suppressed += 1
+                continue
+            key = (update.source << 32) | (update.dest & 0xFFFFFFFF)
+            if self.filter.add_if_new(key):
+                self.forwarded += 1
+                yield update
+            else:
+                self.suppressed += 1
+
+    def space_bytes(self) -> int:
+        """Front-end memory: the filter."""
+        return self.filter.space_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"DedupFront(forwarded={self.forwarded}, "
+            f"suppressed={self.suppressed})"
+        )

@@ -1,0 +1,45 @@
+"""The Section 6.1 "brute-force" space strawman.
+
+The paper compares its sketch against "a naive, 'brute-force' scheme for
+maintaining distinct-source frequencies over a stream of flow updates
+[which] would require approximately 96 MB of space [at U = 8e6] — the
+space needed to store the source and destination IP addresses (4 bytes
+per address) as well as frequency counts (4 bytes per count) for the
+observed 8 million source-destination pairs".
+
+:class:`BruteForceTracker` realises that scheme with byte-accurate
+accounting, so the space-comparison experiment (bench E5) can regenerate
+the paper's 2.3 MB-vs-96 MB table.  Functionally it answers exactly like
+:class:`~repro.baselines.exact.ExactDistinctTracker`; it differs only in
+its explicit space model and in exposing the projected space for a
+hypothetical pair count (the paper's U = 10^9 extrapolation).
+"""
+
+from __future__ import annotations
+
+from .exact import ExactDistinctTracker
+
+#: Bytes per stored pair: source (4) + destination (4) + count (4).
+BYTES_PER_PAIR = 12
+
+
+class BruteForceTracker(ExactDistinctTracker):
+    """Per-pair tracker with the paper's explicit 12-byte space model."""
+
+    def space_bytes(self) -> int:
+        """Current space: 12 bytes per observed distinct pair."""
+        return BYTES_PER_PAIR * len(self._pair_counts)
+
+    @staticmethod
+    def projected_space_bytes(distinct_pairs: int) -> int:
+        """Space this scheme would need for ``distinct_pairs`` pairs.
+
+        The paper's examples: 8e6 pairs -> ~96 MB; 2^30 pairs -> >12 GB.
+        """
+        return BYTES_PER_PAIR * distinct_pairs
+
+    def __repr__(self) -> str:
+        return (
+            f"BruteForceTracker(pairs={len(self._pair_counts)}, "
+            f"bytes={self.space_bytes()})"
+        )

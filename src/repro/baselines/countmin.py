@@ -1,0 +1,186 @@
+"""Count-Min sketching of per-destination volume [23]-style.
+
+Krishnamurthy et al. use sketches to detect significant *volume*
+changes across massive flow streams.  We implement the canonical
+Count-Min sketch over destination addresses (deltas allowed, so it is
+turnstile-capable like the DCS) plus a simple two-window change
+detector.  The structural contrast with the DCS: Count-Min tracks
+*how many packets* a destination received; the DCS tracks *how many
+distinct sources hold open state* — and only the latter separates a
+spoofed flood from a busy server (experiment E10).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from ..exceptions import ParameterError
+from ..hashing import CarterWegmanHash, derive_seed
+from ..types import FlowUpdate
+
+
+class CountMinSketch:
+    """Count-Min sketch over destination addresses (volume counting).
+
+    Args:
+        width: counters per row (error ~ stream mass / width).
+        depth: independent rows (failure probability ~ 2^-depth).
+        seed: hash seed.
+    """
+
+    def __init__(self, width: int = 2048, depth: int = 4,
+                 seed: int = 0) -> None:
+        if width < 2:
+            raise ParameterError(f"width must be >= 2, got {width}")
+        if depth < 1:
+            raise ParameterError(f"depth must be >= 1, got {depth}")
+        self.width = width
+        self.depth = depth
+        self._hashes = [
+            CarterWegmanHash(range_size=width,
+                             seed=derive_seed(seed, "cm-row", row))
+            for row in range(depth)
+        ]
+        self._counters = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    def add(self, dest: int, delta: int = 1) -> None:
+        """Add ``delta`` to the destination's volume."""
+        for row, hash_function in enumerate(self._hashes):
+            self._counters[row][hash_function(dest)] += delta
+        self.total += delta
+
+    def process(self, update: FlowUpdate) -> None:
+        """Count one update's delta toward its destination."""
+        self.add(update.dest, update.delta)
+
+    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
+        """Consume a stream; returns entries observed."""
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count
+
+    def estimate(self, dest: int) -> int:
+        """Point estimate of the destination's net volume (min rule)."""
+        return min(
+            self._counters[row][hash_function(dest)]
+            for row, hash_function in enumerate(self._hashes)
+        )
+
+    def heavy_hitters(
+        self, candidates: Iterable[int], threshold: int
+    ) -> List[Tuple[int, int]]:
+        """Candidates whose estimated volume reaches the threshold.
+
+        Count-Min cannot enumerate keys by itself; callers supply the
+        candidate set (e.g. recently seen destinations) — another
+        operational gap the DCS's self-decoding buckets close.
+        """
+        if threshold < 1:
+            raise ParameterError(
+                f"threshold must be >= 1, got {threshold}"
+            )
+        results = [
+            (dest, self.estimate(dest))
+            for dest in candidates
+            if self.estimate(dest) >= threshold
+        ]
+        results.sort(key=lambda item: (-item[1], item[0]))
+        return results
+
+    def space_bytes(self) -> int:
+        """Space model: 4 bytes per counter."""
+        return 4 * self.width * self.depth
+
+    def __repr__(self) -> str:
+        return (
+            f"CountMinSketch(width={self.width}, depth={self.depth}, "
+            f"total={self.total})"
+        )
+
+
+class VolumeChangeDetector:
+    """Two-window Count-Min change detection over destination volume.
+
+    Maintains a *previous* and a *current* Count-Min sketch; rotating
+    windows every ``window_size`` updates.  A destination whose current
+    volume exceeds ``change_factor`` times its previous volume (plus a
+    floor) is flagged — the sketch-based change detection of [23] in
+    its simplest form.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 10_000,
+        change_factor: float = 4.0,
+        floor: int = 50,
+        width: int = 2048,
+        depth: int = 4,
+        seed: int = 0,
+    ) -> None:
+        if window_size < 1:
+            raise ParameterError(
+                f"window_size must be >= 1, got {window_size}"
+            )
+        if change_factor <= 1.0:
+            raise ParameterError(
+                f"change_factor must exceed 1, got {change_factor}"
+            )
+        self.window_size = window_size
+        self.change_factor = change_factor
+        self.floor = floor
+        self._make = lambda index: CountMinSketch(
+            width=width, depth=depth, seed=derive_seed(seed, "win", index)
+        )
+        self._window_index = 0
+        self.previous = self._make(0)
+        self.current = self._make(0)
+        self._in_window = 0
+
+    def process(self, update: FlowUpdate) -> None:
+        """Feed one update; rotates windows on schedule."""
+        self.current.process(update)
+        self._in_window += 1
+        if self._in_window >= self.window_size:
+            self.rotate()
+
+    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
+        """Consume a stream; returns entries observed."""
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count
+
+    def rotate(self) -> None:
+        """Close the current window and open a fresh one."""
+        self.previous = self.current
+        self._window_index += 1
+        # Same seed for every window so estimates are comparable
+        # bucket-for-bucket.
+        self.current = self._make(0)
+        self._in_window = 0
+
+    def changed(self, dest: int) -> bool:
+        """True when the destination's volume jumped this window."""
+        now = self.current.estimate(dest)
+        before = self.previous.estimate(dest)
+        return now >= max(self.floor, self.change_factor * before)
+
+    def changed_among(self, candidates: Iterable[int]) -> List[int]:
+        """Candidates flagged as changed, sorted by current volume."""
+        flagged = [dest for dest in candidates if self.changed(dest)]
+        flagged.sort(key=lambda dest: -self.current.estimate(dest))
+        return flagged
+
+    def space_bytes(self) -> int:
+        """Space of both windows."""
+        return self.previous.space_bytes() + self.current.space_bytes()
+
+    def __repr__(self) -> str:
+        return (
+            f"VolumeChangeDetector(window={self._window_index}, "
+            f"in_window={self._in_window})"
+        )

@@ -1,0 +1,149 @@
+"""Gibbons-style distinct sampling [18, 19] (insert-only).
+
+The paper positions its sketch as "a distinct-sampling technique that,
+unlike the earlier methods of Gibbons et al., is completely
+delete-resistant" (Section 4, footnote 6).  This module implements the
+earlier method: a uniform sample over the *distinct values* of the
+stream, maintained by level-based subsampling.
+
+The structure keeps every value whose hash level is at least the current
+threshold; when the sample overflows its budget, the threshold rises and
+values below it are evicted.  Each surviving value represents ``2^level``
+distinct values, so distinct-count aggregates scale by the sampling
+rate.  Deletions are *not* supported — evicted values cannot be
+recalled, which is precisely the limitation motivating the
+Distinct-Count Sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..exceptions import ParameterError, StreamError
+from ..hashing import GeometricLevelHash, derive_seed
+from ..types import AddressDomain, FlowUpdate
+
+
+class DistinctSampler:
+    """Distinct sample over (source, dest) pairs, insert-only.
+
+    Args:
+        domain: the address domain.
+        capacity: maximum pairs retained in the sample.
+        seed: hash seed.
+
+    The level hash is the same geometric construction the DCS uses, so
+    comparisons between the two isolate the data-structure difference
+    rather than the hashing.
+    """
+
+    def __init__(
+        self, domain: AddressDomain, capacity: int = 512, seed: int = 0
+    ) -> None:
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.domain = domain
+        self.capacity = capacity
+        self._level_hash = GeometricLevelHash(
+            max_level=domain.pair_bits + 1,
+            seed=derive_seed(seed, "distinct-sampler"),
+        )
+        self._threshold = 0
+        # Pairs currently sampled, grouped by level for cheap eviction.
+        self._by_level: Dict[int, Set[int]] = {}
+        self._size = 0
+
+    @property
+    def threshold(self) -> int:
+        """Current sampling level: pairs below it have been evicted."""
+        return self._threshold
+
+    @property
+    def size(self) -> int:
+        """Number of pairs currently in the sample."""
+        return self._size
+
+    def insert(self, source: int, dest: int) -> None:
+        """Record a (source, dest) pair."""
+        pair = self.domain.encode_pair(source, dest)
+        level = self._level_hash(pair)
+        if level < self._threshold:
+            return
+        bucket = self._by_level.setdefault(level, set())
+        if pair in bucket:
+            return
+        bucket.add(pair)
+        self._size += 1
+        while self._size > self.capacity:
+            self._evict_lowest_level()
+
+    def _evict_lowest_level(self) -> None:
+        """Raise the threshold, dropping the lowest populated level."""
+        evicted = self._by_level.pop(self._threshold, set())
+        self._size -= len(evicted)
+        self._threshold += 1
+
+    def process(self, update: FlowUpdate) -> None:
+        """Process an update; deletions are unsupported by design."""
+        if update.is_delete:
+            raise StreamError(
+                "DistinctSampler cannot process deletions (evicted "
+                "values cannot be recalled); this is the limitation the "
+                "Distinct-Count Sketch removes"
+            )
+        self.insert(update.source, update.dest)
+
+    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
+        """Process a stream of insertions; raises on any deletion."""
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def scale(self) -> int:
+        """Each sampled pair represents ``2^threshold`` distinct pairs."""
+        return 1 << self._threshold
+
+    def sampled_pairs(self) -> Set[int]:
+        """The current distinct sample (encoded pairs)."""
+        result: Set[int] = set()
+        for bucket in self._by_level.values():
+            result |= bucket
+        return result
+
+    def estimate_distinct_pairs(self) -> int:
+        """Estimate of ``U``: sample size times the sampling scale."""
+        return self._size * self.scale
+
+    def destination_frequencies(self) -> Dict[int, int]:
+        """Scaled distinct-source frequency estimates per destination."""
+        counts: Dict[int, int] = {}
+        for pair in self.sampled_pairs():
+            dest = self.domain.decode_pair(pair)[1]
+            counts[dest] = counts.get(dest, 0) + 1
+        scale = self.scale
+        return {dest: count * scale for dest, count in counts.items()}
+
+    def top_k(self, k: int) -> List[Tuple[int, int]]:
+        """Top-k destinations by estimated distinct-source frequency."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        ranked = sorted(
+            self.destination_frequencies().items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:k]
+
+    def space_bytes(self) -> int:
+        """Space model: 8 bytes per sampled pair."""
+        return 8 * self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"DistinctSampler(size={self._size}, "
+            f"threshold={self._threshold}, capacity={self.capacity})"
+        )

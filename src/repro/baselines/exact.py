@@ -1,0 +1,149 @@
+"""Exact distinct-source frequency tracking (the ground truth).
+
+Implements the Section 2 semantics with per-pair state: a destination's
+frequency is the number of sources whose net update count is positive.
+Space is O(distinct pairs) — the cost the sketch exists to avoid — but
+answers are exact, making this the reference for every accuracy
+experiment and property test.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from ..exceptions import ParameterError, StreamError
+from ..types import FlowUpdate
+
+
+class ExactDistinctTracker:
+    """Exact tracker of distinct-source frequencies over an update stream.
+
+    Args:
+        strict: when True (default), a deletion that would drive a
+            pair's net count negative raises :class:`StreamError` —
+            enforcing the strict-turnstile model the sketch analysis
+            assumes.  When False, negative net counts are tolerated and
+            simply do not contribute to frequencies.
+
+    Example:
+        >>> tracker = ExactDistinctTracker()
+        >>> tracker.insert(1, 9)
+        >>> tracker.insert(2, 9)
+        >>> tracker.delete(1, 9)
+        >>> tracker.frequency(9)
+        1
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        # Net count per (source, dest) pair.
+        self._pair_counts: Dict[Tuple[int, int], int] = {}
+        # Distinct-source frequency per destination (pairs with count > 0).
+        self._frequencies: Dict[int, int] = defaultdict(int)
+        self.updates_processed = 0
+
+    # -- maintenance ------------------------------------------------------------
+
+    def update(self, source: int, dest: int, delta: int) -> None:
+        """Process one flow update."""
+        if delta not in (1, -1):
+            raise ParameterError(f"delta must be +1 or -1, got {delta}")
+        key = (source, dest)
+        old = self._pair_counts.get(key, 0)
+        new = old + delta
+        if new < 0 and self.strict:
+            raise StreamError(
+                f"deletion would drive pair {key} net count below zero"
+            )
+        if new == 0:
+            self._pair_counts.pop(key, None)
+        else:
+            self._pair_counts[key] = new
+        # Frequency counts pairs whose net count crosses zero.
+        if old <= 0 < new:
+            self._frequencies[dest] += 1
+        elif new <= 0 < old:
+            self._frequencies[dest] -= 1
+            if self._frequencies[dest] == 0:
+                del self._frequencies[dest]
+        self.updates_processed += 1
+
+    def insert(self, source: int, dest: int) -> None:
+        """Process an insertion."""
+        self.update(source, dest, 1)
+
+    def delete(self, source: int, dest: int) -> None:
+        """Process a deletion."""
+        self.update(source, dest, -1)
+
+    def process(self, update: FlowUpdate) -> None:
+        """Process a :class:`FlowUpdate`."""
+        self.update(update.source, update.dest, update.delta)
+
+    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
+        """Process every update from an iterable; returns the count."""
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count
+
+    # -- queries ------------------------------------------------------------------
+
+    def frequency(self, dest: int) -> int:
+        """Exact distinct-source frequency ``f_v`` of ``dest``."""
+        return self._frequencies.get(dest, 0)
+
+    def frequencies(self) -> Dict[int, int]:
+        """All nonzero frequencies as ``{dest: f_v}``."""
+        return dict(self._frequencies)
+
+    def top_k(self, k: int) -> List[Tuple[int, int]]:
+        """The exact top-k ``(dest, f_v)`` pairs, ties broken by address."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        ranked = sorted(
+            self._frequencies.items(), key=lambda item: (-item[1], item[0])
+        )
+        return ranked[:k]
+
+    def kth_frequency(self, k: int) -> int:
+        """The k-th largest frequency ``f_vk`` (0 if fewer destinations)."""
+        top = self.top_k(k)
+        if len(top) < k:
+            return 0
+        return top[-1][1]
+
+    def threshold(self, tau: int) -> List[Tuple[int, int]]:
+        """All ``(dest, f_v)`` with ``f_v >= tau``."""
+        if tau < 1:
+            raise ParameterError(f"tau must be >= 1, got {tau}")
+        return sorted(
+            (
+                (dest, freq)
+                for dest, freq in self._frequencies.items()
+                if freq >= tau
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+
+    @property
+    def total_distinct_pairs(self) -> int:
+        """The paper's ``U``: distinct pairs with positive net count."""
+        return sum(1 for count in self._pair_counts.values() if count > 0)
+
+    @property
+    def num_destinations(self) -> int:
+        """Number of destinations with nonzero frequency."""
+        return len(self._frequencies)
+
+    def space_bytes(self) -> int:
+        """Memory model: 12 bytes per tracked pair (Section 6.1)."""
+        return 12 * len(self._pair_counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"ExactDistinctTracker(pairs={len(self._pair_counts)}, "
+            f"destinations={self.num_destinations})"
+        )

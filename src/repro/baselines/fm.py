@@ -1,0 +1,149 @@
+"""Flajolet-Martin probabilistic distinct counting [12].
+
+The Distinct-Count Sketch is "a non-trivial generalization of the basic
+bit-vector hash structure proposed by Flajolet and Martin for the simple
+problem of distinct-value estimation" (Section 3).  We implement the
+original structure both as a substrate reference and as an insert-only
+baseline: :class:`FMDestinationTracker` keeps one FM estimator per
+destination, which (a) cannot handle deletions and (b) needs per-
+destination state — the two limitations the paper's sketch removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from ..exceptions import ParameterError, StreamError
+from ..hashing import TabulationHash, derive_seed, lsb_index
+from ..types import FlowUpdate
+
+#: Flajolet-Martin bias correction constant (phi in [12]).
+FM_PHI = 0.77351
+
+
+class FlajoletMartin:
+    """One Flajolet-Martin distinct-count estimator.
+
+    Maintains ``num_vectors`` bit vectors; each inserted value sets, in
+    each vector, the bit at the LSB index of an independent uniform hash.
+    The estimate is ``2^R / phi`` for ``R`` the mean lowest-unset-bit
+    index across vectors.
+
+    Args:
+        seed: root seed for the hash functions.
+        num_vectors: independent bit vectors to average over (accuracy
+            improves as ``1 / sqrt(num_vectors)``).
+    """
+
+    def __init__(self, seed: int = 0, num_vectors: int = 16) -> None:
+        if num_vectors < 1:
+            raise ParameterError(
+                f"num_vectors must be >= 1, got {num_vectors}"
+            )
+        self.num_vectors = num_vectors
+        self._hashes = [
+            TabulationHash(range_size=1, seed=derive_seed(seed, "fm", i))
+            for i in range(num_vectors)
+        ]
+        self._bitmaps: List[int] = [0] * num_vectors
+
+    def add(self, value: int) -> None:
+        """Record one occurrence of ``value`` (idempotent per value)."""
+        for index, hash_function in enumerate(self._hashes):
+            bit = lsb_index(hash_function.word(value))
+            self._bitmaps[index] |= 1 << bit
+
+    def estimate(self) -> float:
+        """Estimate the number of distinct values added so far."""
+        total_r = 0
+        for bitmap in self._bitmaps:
+            r = 0
+            while bitmap & (1 << r):
+                r += 1
+            total_r += r
+        mean_r = total_r / self.num_vectors
+        return (2.0 ** mean_r) / FM_PHI
+
+    def merge(self, other: "FlajoletMartin") -> None:
+        """OR-merge another estimator built with the same seed layout."""
+        if other.num_vectors != self.num_vectors:
+            raise ParameterError("cannot merge FM sketches of unequal width")
+        for index in range(self.num_vectors):
+            self._bitmaps[index] |= other._bitmaps[index]
+
+    def space_bytes(self) -> int:
+        """Bitmap space: 8 bytes per vector (64-bit bitmaps)."""
+        return 8 * self.num_vectors
+
+
+class FMDestinationTracker:
+    """Per-destination FM counting: the no-deletions strawman baseline.
+
+    Keeps one :class:`FlajoletMartin` estimator per destination seen.
+    Demonstrates the two scalability problems the DCS removes: state
+    linear in the number of destinations, and *no deletion support* —
+    calling :meth:`process` with a deletion raises.
+    """
+
+    def __init__(self, seed: int = 0, num_vectors: int = 16) -> None:
+        self.seed = seed
+        self.num_vectors = num_vectors
+        self._estimators: Dict[int, FlajoletMartin] = {}
+
+    def insert(self, source: int, dest: int) -> None:
+        """Record a flow from ``source`` to ``dest``."""
+        estimator = self._estimators.get(dest)
+        if estimator is None:
+            estimator = FlajoletMartin(
+                seed=derive_seed(self.seed, "dest", dest),
+                num_vectors=self.num_vectors,
+            )
+            self._estimators[dest] = estimator
+        estimator.add(source)
+
+    def process(self, update: FlowUpdate) -> None:
+        """Process an update; deletions are unsupported by design."""
+        if update.is_delete:
+            raise StreamError(
+                "FlajoletMartin cannot process deletions; this is the "
+                "limitation the Distinct-Count Sketch removes"
+            )
+        self.insert(update.source, update.dest)
+
+    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
+        """Process a stream of insertions; raises on any deletion."""
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count
+
+    def estimate(self, dest: int) -> float:
+        """Estimated distinct-source count of ``dest`` (0.0 if unseen)."""
+        estimator = self._estimators.get(dest)
+        if estimator is None:
+            return 0.0
+        return estimator.estimate()
+
+    def top_k(self, k: int) -> List[Tuple[int, float]]:
+        """Top-k destinations by estimated distinct-source count."""
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        ranked = sorted(
+            (
+                (dest, estimator.estimate())
+                for dest, estimator in self._estimators.items()
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return ranked[:k]
+
+    def space_bytes(self) -> int:
+        """Total space: per-destination bitmaps plus 4-byte keys."""
+        return sum(
+            4 + estimator.space_bytes()
+            for estimator in self._estimators.values()
+        )
+
+    def __repr__(self) -> str:
+        return f"FMDestinationTracker(destinations={len(self._estimators)})"

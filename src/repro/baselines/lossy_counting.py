@@ -1,0 +1,133 @@
+"""Manku-Motwani lossy counting [25] (cited in Section 1).
+
+The paper cites lossy counting among the sampling techniques behind
+Estan-Varghese-style traffic accounting.  It approximates *occurrence*
+frequencies over an insert-only stream within ``epsilon * N`` using
+``O(1/epsilon * log(epsilon * N))`` entries:
+
+* the stream is processed in buckets of width ``ceil(1/epsilon)``;
+* each tracked item keeps a count and the bucket it entered at
+  (``delta``); at every bucket boundary, items whose
+  ``count + delta <= current_bucket`` are evicted;
+* a query reports items whose count clears ``(support - epsilon) * N``.
+
+Like every volume counter in this repository's comparison, it measures
+*how often* a destination appears — not how many distinct sources it
+has — so duplicated SYNs inflate it and deletions are meaningless to
+it.  It completes the baseline suite for experiment E9/E10 readers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Tuple
+
+from ..exceptions import ParameterError, StreamError
+from ..types import FlowUpdate
+
+
+class LossyCounter:
+    """Approximate occurrence counting with guaranteed error bounds.
+
+    Args:
+        epsilon: maximum relative undercount (fraction of the stream
+            length N); smaller epsilon -> more tracked entries.
+
+    Guarantees (Manku-Motwani): reported counts undercount true counts
+    by at most ``epsilon * N``, and every item with true count
+    ``>= epsilon * N`` is present in the structure.
+    """
+
+    def __init__(self, epsilon: float = 0.001) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ParameterError(
+                f"epsilon must be in (0, 1), got {epsilon}"
+            )
+        self.epsilon = epsilon
+        self.bucket_width = int(math.ceil(1.0 / epsilon))
+        self._entries: Dict[int, Tuple[int, int]] = {}  # item -> (count, delta)
+        self.items_seen = 0
+
+    @property
+    def current_bucket(self) -> int:
+        """The bucket id of the item about to arrive (1-based)."""
+        return self.items_seen // self.bucket_width + 1
+
+    def add(self, item: int) -> None:
+        """Record one occurrence of ``item``."""
+        bucket = self.current_bucket
+        entry = self._entries.get(item)
+        if entry is not None:
+            self._entries[item] = (entry[0] + 1, entry[1])
+        else:
+            self._entries[item] = (1, bucket - 1)
+        self.items_seen += 1
+        if self.items_seen % self.bucket_width == 0:
+            self._prune(bucket)
+
+    def _prune(self, bucket: int) -> None:
+        """Evict entries whose count + delta <= the closing bucket."""
+        for item, (count, delta) in list(self._entries.items()):
+            if count + delta <= bucket:
+                del self._entries[item]
+
+    def process(self, update: FlowUpdate) -> None:
+        """Count the destination of an insertion; deletions rejected."""
+        if update.is_delete:
+            raise StreamError(
+                "lossy counting is insert-only; deletions are outside "
+                "the [25] model"
+            )
+        self.add(update.dest)
+
+    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
+        """Process a stream of insertions; raises on any deletion."""
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count
+
+    def estimate(self, item: int) -> int:
+        """Lower-bound estimate of the item's occurrence count."""
+        entry = self._entries.get(item)
+        return entry[0] if entry is not None else 0
+
+    def frequent_items(self, support: float) -> List[Tuple[int, int]]:
+        """Items with (approximate) frequency >= support * N.
+
+        Per the paper's guarantee, every item whose *true* count is at
+        least ``support * N`` appears; items below
+        ``(support - epsilon) * N`` never do.
+        """
+        if not 0.0 < support < 1.0:
+            raise ParameterError(
+                f"support must be in (0, 1), got {support}"
+            )
+        if support <= self.epsilon:
+            raise ParameterError(
+                "support must exceed epsilon for meaningful output"
+            )
+        threshold = (support - self.epsilon) * self.items_seen
+        results = [
+            (item, count)
+            for item, (count, _) in self._entries.items()
+            if count >= threshold
+        ]
+        results.sort(key=lambda pair: (-pair[1], pair[0]))
+        return results
+
+    @property
+    def tracked_entries(self) -> int:
+        """Entries currently held (the space bound in action)."""
+        return len(self._entries)
+
+    def space_bytes(self) -> int:
+        """Space model: 12 bytes per entry (item, count, delta)."""
+        return 12 * len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"LossyCounter(epsilon={self.epsilon}, "
+            f"entries={len(self._entries)}, seen={self.items_seen})"
+        )

@@ -1,0 +1,386 @@
+"""Command-line interface: run scenarios and quick experiments.
+
+Subcommands:
+
+* ``repro-ddos synflood`` — simulate a SYN flood plus flash crowd,
+  run the monitor, and print the alarms it raises.
+* ``repro-ddos topk`` — generate a Zipf workload (the paper's
+  Section 6.1 setup), track top-k, and print recall/error against the
+  exact answer.
+* ``repro-ddos space`` — print the Section 6.1 space-accounting table
+  for a given number of distinct pairs.
+* ``repro-ddos trace`` — generate a synthetic flow trace, or replay an
+  existing one through the monitor.
+* ``repro-ddos plan`` — capacity planning: recommend sketch shapes for
+  a target workload and accuracy (Theorem 4.4 vs calibrated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baselines import BruteForceTracker
+from .metrics import average_relative_error, top_k_recall
+from .monitor import DDoSMonitor, MonitorConfig
+from .netsim import (
+    BackgroundTraffic,
+    FlashCrowd,
+    FlowExporter,
+    Scenario,
+    SynFloodAttack,
+    format_ip,
+    parse_ip,
+)
+from .sketch import SketchParams, TrackingDistinctCountSketch
+from .streams import ZipfWorkload
+from .types import AddressDomain
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ddos",
+        description=(
+            "Distinct-Count Sketch DDoS detection "
+            "(reproduction of Ganguly et al., ICDCS 2007)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    flood = sub.add_parser(
+        "synflood", help="simulate a SYN flood and run the monitor"
+    )
+    flood.add_argument("--victim", default="198.51.100.10")
+    flood.add_argument("--flood-size", type=int, default=5000)
+    flood.add_argument("--crowd-size", type=int, default=5000)
+    flood.add_argument("--background-sessions", type=int, default=2000)
+    flood.add_argument("--seed", type=int, default=0)
+
+    topk = sub.add_parser(
+        "topk", help="track top-k over a Zipf workload and score accuracy"
+    )
+    topk.add_argument("--pairs", type=int, default=100_000,
+                      help="distinct source-destination pairs (paper's U)")
+    topk.add_argument("--destinations", type=int, default=2000,
+                      help="distinct destinations (paper's d)")
+    topk.add_argument("--skew", type=float, default=1.5,
+                      help="Zipf skew (paper's z)")
+    topk.add_argument("--k", type=int, default=10)
+    topk.add_argument("--r", type=int, default=3)
+    topk.add_argument("--s", type=int, default=128)
+    topk.add_argument("--seed", type=int, default=0)
+
+    space = sub.add_parser(
+        "space", help="print the Section 6.1 space-accounting comparison"
+    )
+    space.add_argument("--pairs", type=int, default=8_000_000)
+    space.add_argument("--r", type=int, default=3)
+    space.add_argument("--s", type=int, default=128)
+
+    trace = sub.add_parser(
+        "trace", help="generate or replay a flow-trace file"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    generate = trace_sub.add_parser(
+        "generate", help="write a synthetic Zipf trace file"
+    )
+    generate.add_argument("path")
+    generate.add_argument("--pairs", type=int, default=10_000)
+    generate.add_argument("--destinations", type=int, default=200)
+    generate.add_argument("--skew", type=float, default=1.5)
+    generate.add_argument("--deletion-rate", type=float, default=0.0)
+    generate.add_argument("--seed", type=int, default=0)
+    replay = trace_sub.add_parser(
+        "replay", help="replay a trace file through the monitor"
+    )
+    replay.add_argument("path")
+    replay.add_argument("--k", type=int, default=10)
+    replay.add_argument("--seed", type=int, default=0)
+
+    plan = sub.add_parser(
+        "plan", help="recommend sketch shapes for a target workload"
+    )
+    plan.add_argument("--pairs", type=int, required=True,
+                      help="expected distinct pairs (U)")
+    plan.add_argument("--kth-frequency", type=int, required=True,
+                      help="smallest frequency to estimate well (f_vk)")
+    plan.add_argument("--epsilon", type=float, default=0.25)
+    plan.add_argument("--delta", type=float, default=0.05)
+
+    describe = sub.add_parser(
+        "describe", help="build a sketch from a trace and inspect it"
+    )
+    describe.add_argument("path", help="flow-trace file to load")
+    describe.add_argument("--seed", type=int, default=0)
+    describe.add_argument("--r", type=int, default=3)
+    describe.add_argument("--s", type=int, default=128)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one of the paper's experiments"
+    )
+    experiment.add_argument(
+        "name", choices=["fig8", "fig9", "latency"],
+        help="fig8 = accuracy grid; fig9 = timing sweep; "
+             "latency = detection latency",
+    )
+    experiment.add_argument("--pairs", type=int, default=50_000)
+    experiment.add_argument("--runs", type=int, default=2)
+    experiment.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_synflood(args: argparse.Namespace) -> int:
+    domain = AddressDomain(2 ** 32)
+    victim = parse_ip(args.victim)
+    crowd_dest = parse_ip("198.51.100.20")
+    background = [parse_ip(f"198.51.100.{i}") for i in range(30, 60)]
+    scenario = Scenario(
+        SynFloodAttack(victim, flood_size=args.flood_size,
+                       seed=args.seed + 1),
+        FlashCrowd(crowd_dest, crowd_size=args.crowd_size,
+                   seed=args.seed + 2),
+        BackgroundTraffic(background, sessions=args.background_sessions,
+                          seed=args.seed + 3),
+    )
+    updates = FlowExporter().export_all(scenario.packets())
+    monitor = DDoSMonitor(
+        domain, MonitorConfig(check_interval=500), seed=args.seed
+    )
+    alarms = monitor.observe_stream(updates)
+    print(f"processed {len(updates)} flow updates")
+    if not alarms:
+        print("no alarms raised")
+    for alarm in alarms:
+        print(
+            f"ALARM [{alarm.severity.value:8s}] dest={format_ip(alarm.dest)} "
+            f"est_half_open_sources={alarm.estimated_frequency} "
+            f"baseline={alarm.baseline_frequency:.0f}"
+        )
+    flash_hit = any(alarm.dest == crowd_dest for alarm in alarms)
+    print(
+        "flash crowd at "
+        f"{format_ip(crowd_dest)} correctly NOT alarmed"
+        if not flash_hit
+        else "WARNING: flash crowd raised a false alarm"
+    )
+    return 0
+
+
+def _run_topk(args: argparse.Namespace) -> int:
+    domain = AddressDomain(2 ** 32)
+    workload = ZipfWorkload(
+        domain,
+        distinct_pairs=args.pairs,
+        destinations=args.destinations,
+        skew=args.skew,
+        seed=args.seed,
+    )
+    sketch = TrackingDistinctCountSketch(
+        SketchParams(domain, r=args.r, s=args.s), seed=args.seed
+    )
+    print(f"processing {args.pairs} updates ...")
+    sketch.process_stream(workload)
+    result = sketch.track_topk(args.k)
+    truth = workload.frequencies()
+    recall = top_k_recall(truth, result.destinations, args.k)
+    error = average_relative_error(truth, result.as_dict(), args.k)
+    print(f"top-{args.k} recall: {recall:.2f}")
+    print(f"avg relative error: {error:.3f}")
+    print(f"sketch space: {sketch.space_bytes() / 1e6:.2f} MB "
+          f"(brute force: "
+          f"{BruteForceTracker.projected_space_bytes(args.pairs) / 1e6:.1f} "
+          f"MB)")
+    print("rank  destination        estimate")
+    for index, entry in enumerate(result, start=1):
+        print(
+            f"{index:4d}  {format_ip(entry.dest):15s}  {entry.estimate:8d}"
+        )
+    return 0
+
+
+def _run_space(args: argparse.Namespace) -> int:
+    import math
+
+    domain = AddressDomain(2 ** 32)
+    params = SketchParams(domain, r=args.r, s=args.s)
+    active_levels = max(1, int(math.log2(max(args.pairs, 2))))
+    basic = params.allocated_bytes(active_levels=active_levels)
+    tracking = 2 * basic  # the paper's "factor of about two"
+    brute = BruteForceTracker.projected_space_bytes(args.pairs)
+    print(f"distinct pairs (U):        {args.pairs:,}")
+    print(f"non-empty levels:          {active_levels}")
+    print(f"basic DCS space:           {basic / 1e6:10.2f} MB")
+    print(f"tracking DCS space:        {tracking / 1e6:10.2f} MB")
+    print(f"brute-force space:         {brute / 1e6:10.2f} MB")
+    print(f"gain (basic vs brute):     {brute / basic:10.1f} x")
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from .streams import read_trace, with_matched_deletions, write_trace
+
+    domain = AddressDomain(2 ** 32)
+    if args.trace_command == "generate":
+        workload = ZipfWorkload(
+            domain,
+            distinct_pairs=args.pairs,
+            destinations=args.destinations,
+            skew=args.skew,
+            seed=args.seed,
+        )
+        updates = workload.updates()
+        if args.deletion_rate > 0:
+            updates = with_matched_deletions(
+                updates, rate=args.deletion_rate, seed=args.seed + 1
+            )
+        count = write_trace(
+            args.path,
+            updates,
+            header=(
+                f"synthetic Zipf trace: U={args.pairs} "
+                f"d={args.destinations} z={args.skew} "
+                f"deletion_rate={args.deletion_rate} seed={args.seed}"
+            ),
+        )
+        print(f"wrote {count} updates to {args.path}")
+        return 0
+    # replay
+    updates = read_trace(args.path)
+    sketch = TrackingDistinctCountSketch(domain, seed=args.seed)
+    sketch.process_stream(updates)
+    result = sketch.track_topk(args.k)
+    print(f"replayed {len(updates)} updates from {args.path}")
+    print(f"estimated distinct active pairs: "
+          f"{sketch.estimate_distinct_pairs()}")
+    print("rank  destination        estimate")
+    for index, entry in enumerate(result, start=1):
+        print(f"{index:4d}  {format_ip(entry.dest):15s}  "
+              f"{entry.estimate:8d}")
+    return 0
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    from .analysis import plan_capacity
+
+    domain = AddressDomain(2 ** 32)
+    print(f"workload: U={args.pairs:,}, f_vk={args.kth_frequency:,}, "
+          f"epsilon={args.epsilon}, delta={args.delta}")
+    for flavor in ("calibrated", "theorem-4.4"):
+        plan = plan_capacity(
+            domain,
+            distinct_pairs=args.pairs,
+            kth_frequency=args.kth_frequency,
+            epsilon=args.epsilon,
+            delta=args.delta,
+            flavor=flavor,
+        )
+        print(f"\n[{flavor}]")
+        print(f"  r = {plan.params.r}, s = {plan.params.s}")
+        print(f"  predicted space: "
+              f"{plan.predicted_space_bytes / 1e6:.2f} MB")
+        print(f"  predicted relative std-error at f_vk: "
+              f"{plan.predicted_relative_error:.3f}")
+    return 0
+
+
+def _run_describe(args: argparse.Namespace) -> int:
+    from .metrics import deep_size_bytes
+    from .sketch.debug import describe
+    from .streams import read_trace
+
+    domain = AddressDomain(2 ** 32)
+    updates = read_trace(args.path)
+    sketch = TrackingDistinctCountSketch(domain, r=args.r, s=args.s,
+                                         seed=args.seed)
+    sketch.process_stream(updates)
+    print(describe(sketch))
+    print(f"estimated distinct active pairs: "
+          f"{sketch.estimate_distinct_pairs()}")
+    print(f"actual Python memory: "
+          f"{deep_size_bytes(sketch) / 1e6:.1f} MB "
+          f"(model: {sketch.space_bytes() / 1e6:.2f} MB)")
+    return 0
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (
+        run_accuracy_grid,
+        run_detection_latency,
+        run_timing_sweep,
+    )
+
+    domain = AddressDomain(2 ** 32)
+    if args.name == "fig8":
+        grid = run_accuracy_grid(
+            domain, distinct_pairs=args.pairs, runs=args.runs,
+            seed=args.seed,
+        )
+        skews = sorted({cell.skew for cell in grid.cells})
+        k_values = sorted({cell.k for cell in grid.cells})
+        print(f"Figure 8 grid: U={grid.distinct_pairs}, "
+              f"d={grid.destinations}, runs={args.runs}")
+        header = "k    " + "  ".join(
+            f"z={skew} (recall/err)" for skew in skews
+        )
+        print(header)
+        for k in k_values:
+            cells = [grid.cell(skew, k) for skew in skews]
+            row = "  ".join(
+                f"{cell.recall:.2f}/{cell.relative_error:.3f}"
+                + " " * 8
+                for cell in cells
+            )
+            print(f"{k:<4d} {row}")
+        return 0
+    if args.name == "fig9":
+        points = run_timing_sweep(
+            domain, distinct_pairs=args.pairs, seed=args.seed,
+        )
+        print("Figure 9 sweep (us/update):")
+        print("query_freq   basic    tracking")
+        frequencies = sorted({p.query_frequency for p in points})
+        by_key = {(p.variant, p.query_frequency): p for p in points}
+        for frequency in frequencies:
+            basic = by_key[("basic", frequency)]
+            tracking = by_key[("tracking", frequency)]
+            print(f"{frequency:<12.5f} "
+                  f"{basic.microseconds_per_update:<8.1f} "
+                  f"{tracking.microseconds_per_update:<8.1f}")
+        return 0
+    # latency
+    result = run_detection_latency(
+        domain, flood_size=args.pairs // 10 or 1000, seed=args.seed,
+    )
+    if result.detected:
+        print(f"victim detected after {result.updates_until_alarm} "
+              f"updates ({result.attack_fraction_seen:.1%} of the "
+              f"attack consumed)")
+    else:
+        print("victim not detected")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "synflood":
+        return _run_synflood(args)
+    if args.command == "topk":
+        return _run_topk(args)
+    if args.command == "space":
+        return _run_space(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    if args.command == "plan":
+        return _run_plan(args)
+    if args.command == "describe":
+        return _run_describe(args)
+    if args.command == "experiment":
+        return _run_experiment(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A structure was configured with invalid or inconsistent parameters.
+
+    Raised, for example, when a sketch is asked for a domain size that is
+    not a power of two, or when ``epsilon``/``delta`` fall outside the
+    ranges required by the paper's analysis (Theorem 4.4 requires
+    ``epsilon < 1/3``).
+    """
+
+
+class DomainError(ReproError, ValueError):
+    """An address or address pair falls outside the configured domain."""
+
+
+class StreamError(ReproError):
+    """A flow-update stream violated the protocol.
+
+    Examples: an update with a delta other than +1/-1, or a deletion of a
+    pair whose net count would go negative in a structure that forbids it.
+    """
+
+
+class EstimationError(ReproError):
+    """An estimator could not produce an answer.
+
+    Raised by ``BaseTopk``/``TrackTopk`` when the distinct sample cannot
+    reach its target size (for instance, on an empty sketch with strict
+    mode enabled).
+    """
+
+
+class MergeError(ReproError):
+    """Two sketches could not be merged.
+
+    Sketches are only mergeable when they share identical parameters and
+    hash seeds; anything else raises this error rather than silently
+    producing garbage.
+    """

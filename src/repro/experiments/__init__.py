@@ -1,0 +1,35 @@
+"""Programmatic experiment runners.
+
+The pytest benchmarks under ``benchmarks/`` are the reproducible
+harness for the paper's tables and figures; this package exposes the
+same experiments as a library API — for notebooks, the CLI, and
+parameter studies that do not fit the pytest mould:
+
+* :mod:`repro.experiments.accuracy` — the Figure 8 recall/error grid.
+* :mod:`repro.experiments.timing` — the Figure 9 per-update-time sweep.
+* :mod:`repro.experiments.latency` — detection latency: how much of an
+  attack the monitor sees before it raises the alarm (the "real-time"
+  claim, quantified).
+"""
+
+from .accuracy import AccuracyCell, AccuracyGrid, run_accuracy_grid
+from .latency import DetectionLatencyResult, run_detection_latency
+from .report import (
+    accuracy_grid_markdown,
+    latency_markdown,
+    timing_sweep_markdown,
+)
+from .timing import TimingSweepPoint, run_timing_sweep
+
+__all__ = [
+    "AccuracyCell",
+    "AccuracyGrid",
+    "DetectionLatencyResult",
+    "TimingSweepPoint",
+    "accuracy_grid_markdown",
+    "latency_markdown",
+    "run_accuracy_grid",
+    "run_detection_latency",
+    "run_timing_sweep",
+    "timing_sweep_markdown",
+]

@@ -1,0 +1,135 @@
+"""The Figure 8 experiment as a library function.
+
+Runs the paper's accuracy grid — top-k recall and average relative
+error as functions of k and the Zipf skew z — over seeded repetitions,
+returning structured results suitable for tables or plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..exceptions import ParameterError
+from ..metrics import average_relative_error, top_k_recall
+from ..sketch import SketchParams, TrackingDistinctCountSketch
+from ..streams import ZipfWorkload
+from ..types import AddressDomain
+
+
+@dataclass(frozen=True)
+class AccuracyCell:
+    """One (skew, k) cell of the Figure 8 grid, averaged over runs."""
+
+    skew: float
+    k: int
+    recall: float
+    relative_error: float
+    runs: int
+
+
+@dataclass(frozen=True)
+class AccuracyGrid:
+    """The full Figure 8 result grid.
+
+    Attributes:
+        cells: one entry per (skew, k) combination.
+        distinct_pairs: the workload's U.
+        destinations: the workload's d.
+        params: sketch shape used.
+    """
+
+    cells: Tuple[AccuracyCell, ...]
+    distinct_pairs: int
+    destinations: int
+    params: SketchParams
+
+    def cell(self, skew: float, k: int) -> AccuracyCell:
+        """Look up one grid cell."""
+        for candidate in self.cells:
+            if candidate.skew == skew and candidate.k == k:
+                return candidate
+        raise ParameterError(f"no cell for skew={skew}, k={k}")
+
+    def recall_series(self, skew: float) -> List[Tuple[int, float]]:
+        """The Figure 8(a) curve for one skew: [(k, recall), ...]."""
+        return sorted(
+            (cell.k, cell.recall)
+            for cell in self.cells
+            if cell.skew == skew
+        )
+
+    def error_series(self, skew: float) -> List[Tuple[int, float]]:
+        """The Figure 8(b) curve for one skew: [(k, error), ...]."""
+        return sorted(
+            (cell.k, cell.relative_error)
+            for cell in self.cells
+            if cell.skew == skew
+        )
+
+
+def run_accuracy_grid(
+    domain: AddressDomain,
+    distinct_pairs: int = 100_000,
+    destinations: int = 0,
+    skews: Sequence[float] = (1.0, 1.5, 2.0, 2.5),
+    k_values: Sequence[int] = (1, 2, 5, 10, 15, 20, 25),
+    runs: int = 3,
+    params: SketchParams = None,
+    seed: int = 0,
+) -> AccuracyGrid:
+    """Run the Figure 8 grid and return structured results.
+
+    Args:
+        domain: address domain.
+        distinct_pairs: workload U (paper: 8e6).
+        destinations: workload d (default U/160, the paper's ratio).
+        skews: Zipf skews z (paper: 1.0-2.5).
+        k_values: k sweep for the curves.
+        runs: seeded repetitions to average (paper: 5).
+        params: sketch shape (default r=3, s=128).
+        seed: base seed.
+    """
+    if runs < 1:
+        raise ParameterError(f"runs must be >= 1, got {runs}")
+    if params is None:
+        params = SketchParams(domain, r=3, s=128)
+    destinations = destinations or max(10, distinct_pairs // 160)
+    accumulator: Dict[Tuple[float, int], List[float]] = {}
+    for skew in skews:
+        for run in range(runs):
+            workload = ZipfWorkload(
+                domain,
+                distinct_pairs=distinct_pairs,
+                destinations=destinations,
+                skew=skew,
+                seed=seed + 1000 * run + int(100 * skew),
+            )
+            sketch = TrackingDistinctCountSketch(params, seed=seed + run)
+            sketch.process_stream(workload)
+            truth = workload.frequencies()
+            for k in k_values:
+                result = sketch.track_topk(k)
+                recall = top_k_recall(truth, result.destinations, k)
+                error = average_relative_error(
+                    truth, result.as_dict(), k
+                )
+                bucket = accumulator.setdefault((skew, k), [0.0, 0.0])
+                bucket[0] += recall
+                bucket[1] += error
+    cells = tuple(
+        AccuracyCell(
+            skew=skew,
+            k=k,
+            recall=totals[0] / runs,
+            relative_error=totals[1] / runs,
+            runs=runs,
+        )
+        for (skew, k), totals in sorted(accumulator.items())
+    )
+    return AccuracyGrid(
+        cells=cells,
+        distinct_pairs=distinct_pairs,
+        destinations=destinations,
+        params=params,
+    )

@@ -1,0 +1,103 @@
+"""Rendering experiment results as markdown.
+
+Turns the structured results of :mod:`repro.experiments` into the
+markdown tables EXPERIMENTS.md carries, so a re-run can regenerate the
+document's data sections mechanically::
+
+    grid = run_accuracy_grid(domain, ...)
+    print(accuracy_grid_markdown(grid))
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .accuracy import AccuracyGrid
+from .latency import DetectionLatencyResult
+from .timing import TimingSweepPoint
+
+
+def _markdown_table(header: Sequence[str],
+                    rows: Sequence[Sequence[object]]) -> str:
+    lines = ["| " + " | ".join(str(h) for h in header) + " |"]
+    lines.append("|" + "|".join("---" for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def accuracy_grid_markdown(grid: AccuracyGrid,
+                           metric: str = "recall") -> str:
+    """One Figure 8 panel as a markdown table.
+
+    Args:
+        grid: the result grid.
+        metric: ``"recall"`` (Fig 8a) or ``"error"`` (Fig 8b).
+    """
+    skews = sorted({cell.skew for cell in grid.cells})
+    k_values = sorted({cell.k for cell in grid.cells})
+    rows: List[List[object]] = []
+    for k in k_values:
+        row: List[object] = [k]
+        for skew in skews:
+            cell = grid.cell(skew, k)
+            value = (cell.recall if metric == "recall"
+                     else cell.relative_error)
+            row.append(f"{value:.2f}" if metric == "recall"
+                       else f"{value:.3f}")
+        rows.append(row)
+    title = ("top-k recall" if metric == "recall"
+             else "average relative error")
+    header = ["k"] + [f"z={skew}" for skew in skews]
+    return (
+        f"**{title}** (U={grid.distinct_pairs:,}, "
+        f"d={grid.destinations:,}, r={grid.params.r}, "
+        f"s={grid.params.s})\n\n" + _markdown_table(header, rows)
+    )
+
+
+def timing_sweep_markdown(points: Sequence[TimingSweepPoint]) -> str:
+    """The Figure 9 sweep as a markdown table."""
+    frequencies = sorted({p.query_frequency for p in points})
+    by_key = {(p.variant, p.query_frequency): p for p in points}
+    rows = []
+    for frequency in frequencies:
+        basic = by_key.get(("basic", frequency))
+        tracking = by_key.get(("tracking", frequency))
+        rows.append([
+            f"{frequency:.5f}",
+            f"{basic.microseconds_per_update:.1f}"
+            if basic else "-",
+            f"{tracking.microseconds_per_update:.1f}"
+            if tracking else "-",
+        ])
+    return (
+        "**per-update processing time (µs)**\n\n"
+        + _markdown_table(
+            ["query freq", "Basic DCS", "Tracking DCS"], rows
+        )
+    )
+
+
+def latency_markdown(
+    results: Sequence[DetectionLatencyResult],
+) -> str:
+    """Detection-latency results as a markdown table."""
+    rows = []
+    for result in results:
+        rows.append([
+            result.check_interval,
+            result.flood_size,
+            result.updates_until_alarm
+            if result.detected else "not detected",
+            f"{result.attack_fraction_seen:.3f}"
+            if result.detected else "-",
+        ])
+    return (
+        "**detection latency**\n\n"
+        + _markdown_table(
+            ["check interval", "flood size", "updates to alarm",
+             "attack fraction"],
+            rows,
+        )
+    )

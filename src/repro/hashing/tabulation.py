@@ -1,0 +1,75 @@
+"""Tabulation hashing: an alternative uniform hash for wide domains.
+
+Simple tabulation hashing splits the key into bytes and XORs together
+per-byte lookup tables of random words.  It is 3-wise independent and
+behaves like a fully random function for many hashing applications
+(Patrascu & Thorup), making it a good drop-in alternative to the
+polynomial hashes where the ``2^61 - 1`` field would be too narrow.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..exceptions import ParameterError
+from .seeds import derive_seed
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+class TabulationHash:
+    """Simple tabulation hash ``[2^(8*key_bytes)] -> [range_size]``.
+
+    Args:
+        range_size: number of output buckets.
+        seed: integer seed for the lookup tables.
+        key_bytes: how many bytes of the key to tabulate (keys larger
+            than ``2^(8*key_bytes)`` are folded down by XOR first).
+    """
+
+    __slots__ = ("range_size", "seed", "key_bytes", "_tables")
+
+    def __init__(self, range_size: int, seed: int, key_bytes: int = 8) -> None:
+        if range_size < 1:
+            raise ParameterError(
+                f"hash range must be >= 1, got {range_size}"
+            )
+        if key_bytes < 1:
+            raise ParameterError(
+                f"key_bytes must be >= 1, got {key_bytes}"
+            )
+        self.range_size = range_size
+        self.seed = seed
+        self.key_bytes = key_bytes
+        rng = random.Random(derive_seed(seed, "tabulation", key_bytes))
+        self._tables: List[List[int]] = [
+            [rng.getrandbits(_WORD_BITS) for _ in range(256)]
+            for _ in range(key_bytes)
+        ]
+
+    def word(self, value: int) -> int:
+        """Return the full 64-bit tabulated word for ``value``."""
+        if value < 0:
+            raise ParameterError("tabulation keys must be non-negative")
+        # Fold oversized keys into the tabulated width.
+        width = 8 * self.key_bytes
+        folded = value
+        while folded >> width:
+            folded = (folded & ((1 << width) - 1)) ^ (folded >> width)
+        acc = 0
+        for table in self._tables:
+            acc ^= table[folded & 0xFF]
+            folded >>= 8
+        return acc & _WORD_MASK
+
+    def __call__(self, value: int) -> int:
+        """Hash ``value`` into ``[0, range_size)``."""
+        return self.word(value) % self.range_size
+
+    def __repr__(self) -> str:
+        return (
+            f"TabulationHash(range_size={self.range_size}, "
+            f"seed={self.seed}, key_bytes={self.key_bytes})"
+        )

@@ -1,0 +1,128 @@
+"""Carter-Wegman universal hashing over a Mersenne-prime field.
+
+The second-level hash tables of a Distinct-Count Sketch need mutually
+independent hashes ``g_i : [m^2] -> [s]`` that map the pair domain
+uniformly onto ``s`` buckets (Section 3).  We implement the classic
+polynomial construction ``h(x) = ((a * x + b) mod p) mod s`` with
+``p = 2^61 - 1``, which is pairwise independent and extremely fast to
+evaluate because reduction modulo a Mersenne prime needs only shifts and
+adds.
+
+Higher-degree polynomials (k-wise independence) are available through
+:class:`PairwiseHashFamily` with ``degree > 2``; the sketch analysis
+only needs pairwise independence, but property tests use higher degrees
+to confirm the implementation generalizes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..exceptions import ParameterError
+from .seeds import derive_seed
+
+#: The Mersenne prime 2^61 - 1 used as the hash field modulus.
+MERSENNE_61 = (1 << 61) - 1
+
+
+def _mod_mersenne_61(value: int) -> int:
+    """Reduce ``value`` modulo ``2^61 - 1`` without division.
+
+    Works for any non-negative ``value`` below ``2^122``, which covers
+    the products formed during polynomial evaluation.
+    """
+    value = (value & MERSENNE_61) + (value >> 61)
+    if value >= MERSENNE_61:
+        value -= MERSENNE_61
+    return value
+
+
+class CarterWegmanHash:
+    """A pairwise-independent hash ``[universe] -> [range_size]``.
+
+    Args:
+        range_size: number of output buckets ``s``; must be positive.
+        seed: integer seed determining the random coefficients.
+        universe: (optional) size of the input domain, used only for
+            sanity checks; inputs are reduced mod the field regardless.
+    """
+
+    __slots__ = ("range_size", "seed", "_a", "_b")
+
+    def __init__(self, range_size: int, seed: int, universe: int = 0) -> None:
+        if range_size < 1:
+            raise ParameterError(
+                f"hash range must be >= 1, got {range_size}"
+            )
+        if universe and universe > MERSENNE_61:
+            raise ParameterError(
+                "universe exceeds the 2^61 - 1 hash field; "
+                "use TabulationHash for wider domains"
+            )
+        self.range_size = range_size
+        self.seed = seed
+        rng = random.Random(derive_seed(seed, "carter-wegman"))
+        # a must be nonzero for the map to be pairwise independent.
+        self._a = rng.randrange(1, MERSENNE_61)
+        self._b = rng.randrange(0, MERSENNE_61)
+
+    def __call__(self, value: int) -> int:
+        """Hash ``value`` into ``[0, range_size)``."""
+        return _mod_mersenne_61(self._a * (value % MERSENNE_61) + self._b) % self.range_size
+
+    def field_value(self, value: int) -> int:
+        """Return the full field element before the final mod-range step.
+
+        Exposed for the geometric hash, which needs the raw randomized
+        value rather than a bucket index.
+        """
+        return _mod_mersenne_61(self._a * (value % MERSENNE_61) + self._b)
+
+    def __repr__(self) -> str:
+        return (
+            f"CarterWegmanHash(range_size={self.range_size}, seed={self.seed})"
+        )
+
+
+class PairwiseHashFamily:
+    """A degree-``d`` polynomial hash family over the Mersenne field.
+
+    Degree 2 gives pairwise independence (what the sketch needs);
+    higher degrees give k-wise independence for k = degree.
+    """
+
+    __slots__ = ("range_size", "seed", "degree", "_coefficients")
+
+    def __init__(self, range_size: int, seed: int, degree: int = 2) -> None:
+        if range_size < 1:
+            raise ParameterError(
+                f"hash range must be >= 1, got {range_size}"
+            )
+        if degree < 1:
+            raise ParameterError(f"degree must be >= 1, got {degree}")
+        self.range_size = range_size
+        self.seed = seed
+        self.degree = degree
+        rng = random.Random(derive_seed(seed, "poly-family", degree))
+        coefficients: List[int] = [
+            rng.randrange(0, MERSENNE_61) for _ in range(degree)
+        ]
+        # Leading coefficient nonzero keeps the polynomial degree exact.
+        if coefficients[0] == 0:
+            coefficients[0] = 1
+        self._coefficients = coefficients
+
+    def __call__(self, value: int) -> int:
+        """Evaluate the polynomial at ``value`` and reduce to the range."""
+        acc = 0
+        x = value % MERSENNE_61
+        for coefficient in self._coefficients:
+            acc = _mod_mersenne_61(acc * x + coefficient)
+        return acc % self.range_size
+
+    def __repr__(self) -> str:
+        return (
+            f"PairwiseHashFamily(range_size={self.range_size}, "
+            f"seed={self.seed}, degree={self.degree})"
+        )

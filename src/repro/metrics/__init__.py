@@ -1,0 +1,37 @@
+"""Evaluation metrics used by the paper's experimental study (Section 6.1).
+
+* :func:`top_k_recall` — fraction of the true top-k destinations present
+  in the approximate answer.
+* :func:`average_relative_error` — mean relative error of the frequency
+  estimates over the recall set.
+* :func:`precision_at_k` — complementary precision metric.
+* :class:`UpdateTimer` — per-update processing-time measurement harness
+  for the Figure 9 experiment.
+"""
+
+from .accuracy import (
+    average_relative_error,
+    precision_at_k,
+    rank_destinations,
+    relative_errors_by_destination,
+    top_k_recall,
+)
+from .memory import deep_size_bytes, overhead_ratio
+from .summary import RunSummary, percentile, summarize, summarize_many
+from .timing import TimingReport, UpdateTimer
+
+__all__ = [
+    "RunSummary",
+    "deep_size_bytes",
+    "overhead_ratio",
+    "TimingReport",
+    "UpdateTimer",
+    "percentile",
+    "summarize",
+    "summarize_many",
+    "average_relative_error",
+    "precision_at_k",
+    "rank_destinations",
+    "relative_errors_by_destination",
+    "top_k_recall",
+]

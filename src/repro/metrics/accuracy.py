@@ -1,0 +1,114 @@
+"""Accuracy metrics for approximate top-k answers (Section 6.1).
+
+The paper evaluates with two metrics:
+
+* **top-k recall** — "the fraction of the true top-k destinations in the
+  approximate top-k result";
+* **average relative error** — "the average relative error in the
+  distinct-source frequency estimates returned for the true top-k
+  destinations found in the approximate answer", i.e. the error is
+  averaged over the *recall set* R.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..exceptions import ParameterError
+
+
+def rank_destinations(true_frequencies: Mapping[int, int]) -> List[int]:
+    """Destinations sorted by true frequency, ties broken by address.
+
+    The deterministic tie-break makes experiment results reproducible;
+    the paper's metric is insensitive to the order within ties.
+    """
+    return [
+        dest
+        for dest, _ in sorted(
+            true_frequencies.items(), key=lambda item: (-item[1], item[0])
+        )
+    ]
+
+
+def top_k_recall(
+    true_frequencies: Mapping[int, int],
+    reported: Sequence[int],
+    k: int,
+) -> float:
+    """Fraction of the true top-k destinations present in ``reported``.
+
+    Args:
+        true_frequencies: exact distinct-source frequency of every
+            destination (from the exact tracker / stream stats).
+        reported: destination addresses in the approximate answer.
+        k: the k of the top-k query.
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    true_top = set(rank_destinations(true_frequencies)[:k])
+    if not true_top:
+        return 1.0
+    return len(true_top & set(reported)) / len(true_top)
+
+
+def precision_at_k(
+    true_frequencies: Mapping[int, int],
+    reported: Sequence[int],
+    k: int,
+) -> float:
+    """Fraction of reported destinations that belong to the true top-k."""
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if not reported:
+        return 1.0
+    true_top = set(rank_destinations(true_frequencies)[:k])
+    hits = sum(1 for dest in reported if dest in true_top)
+    return hits / len(reported)
+
+
+def average_relative_error(
+    true_frequencies: Mapping[int, int],
+    estimates: Mapping[int, int],
+    k: int,
+) -> float:
+    """Mean relative error over the recall set R (Section 6.1).
+
+    R is the set of *true* top-k destinations that appear in the
+    approximate answer; for each, the error is ``|f_hat - f| / f``.
+    Returns 0.0 when the recall set is empty (no common destinations).
+    """
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    true_top = rank_destinations(true_frequencies)[:k]
+    errors: List[float] = []
+    for dest in true_top:
+        if dest not in estimates:
+            continue
+        truth = true_frequencies[dest]
+        if truth <= 0:
+            continue
+        errors.append(abs(estimates[dest] - truth) / truth)
+    if not errors:
+        return 0.0
+    return sum(errors) / len(errors)
+
+
+def relative_errors_by_destination(
+    true_frequencies: Mapping[int, int],
+    estimates: Mapping[int, int],
+) -> Dict[int, float]:
+    """Per-destination relative errors for every estimated destination.
+
+    Destinations with zero or missing true frequency are assigned an
+    error of ``float('inf')`` — reporting a destination that has no
+    active sources is the worst possible mistake for a DDoS monitor.
+    """
+    errors: Dict[int, float] = {}
+    for dest, estimate in estimates.items():
+        truth = true_frequencies.get(dest, 0)
+        if truth <= 0:
+            errors[dest] = float("inf")
+        else:
+            errors[dest] = abs(estimate - truth) / truth
+    return errors

@@ -1,0 +1,93 @@
+"""Statistical summaries for multi-run experiment results.
+
+The paper averages over 5 seeded runs; honest reproduction also wants
+the spread.  :class:`RunSummary` aggregates a sample of per-run values
+into mean / standard deviation / percentiles without any dependency
+beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import ParameterError
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """Summary statistics of one metric over repeated runs.
+
+    Attributes:
+        count: number of runs.
+        mean: arithmetic mean.
+        std: sample standard deviation (0.0 for a single run).
+        minimum / maximum: range.
+        median: 50th percentile.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def format(self, digits: int = 3) -> str:
+        """Render as ``mean +/- std [min, max]``."""
+        return (
+            f"{self.mean:.{digits}f} +/- {self.std:.{digits}f} "
+            f"[{self.minimum:.{digits}f}, {self.maximum:.{digits}f}]"
+        )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile of a sample.
+
+    Args:
+        values: the sample (need not be sorted).
+        fraction: percentile in [0, 1], e.g. 0.5 for the median.
+    """
+    if not values:
+        raise ParameterError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ParameterError(
+            f"fraction must be in [0, 1], got {fraction}"
+        )
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(ordered[low])
+    weight = position - low
+    return float(ordered[low] * (1.0 - weight) + ordered[high] * weight)
+
+
+def summarize(values: Sequence[float]) -> RunSummary:
+    """Build a :class:`RunSummary` from per-run values."""
+    if not values:
+        raise ParameterError("cannot summarize an empty sample")
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (count - 1)
+        std = math.sqrt(variance)
+    else:
+        std = 0.0
+    return RunSummary(
+        count=count,
+        mean=mean,
+        std=std,
+        minimum=float(min(values)),
+        maximum=float(max(values)),
+        median=percentile(values, 0.5),
+    )
+
+
+def summarize_many(samples: dict) -> dict:
+    """Summarize a dict of name -> per-run values."""
+    return {name: summarize(values) for name, values in samples.items()}

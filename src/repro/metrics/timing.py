@@ -1,0 +1,94 @@
+"""Per-update processing-time measurement (the Figure 9 harness).
+
+The paper's Figure 9 measures "the observed average processing time per
+update for a stream of flow updates as the max-query frequency is
+varied": every update is fed to the synopsis and, once every
+``1 / query_frequency`` updates, a top-1 query is issued; the *total*
+time (updates + queries) divided by the number of updates is the
+reported per-update cost.  :class:`UpdateTimer` reproduces that loop for
+any synopsis exposing the update/query callables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..exceptions import ParameterError
+from ..types import FlowUpdate
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of one timed run.
+
+    Attributes:
+        updates: number of stream updates processed.
+        queries: number of interleaved queries issued.
+        total_seconds: wall time of the whole loop.
+        microseconds_per_update: the Figure 9 metric — total time over
+            the number of updates, in microseconds.
+    """
+
+    updates: int
+    queries: int
+    total_seconds: float
+
+    @property
+    def microseconds_per_update(self) -> float:
+        """Average cost charged to each stream update, in microseconds."""
+        if self.updates == 0:
+            return 0.0
+        return 1e6 * self.total_seconds / self.updates
+
+
+class UpdateTimer:
+    """Times a stream of updates with interleaved tracking queries.
+
+    Args:
+        update: callable invoked with each :class:`FlowUpdate`.
+        query: zero-argument callable issuing one tracking query
+            (e.g. ``lambda: sketch.track_topk(1)``); optional.
+        query_frequency: queries per update, e.g. ``0.0025`` issues one
+            query every 400 updates; 0 disables queries.
+    """
+
+    def __init__(
+        self,
+        update: Callable[[FlowUpdate], None],
+        query: Optional[Callable[[], object]] = None,
+        query_frequency: float = 0.0,
+    ) -> None:
+        if query_frequency < 0:
+            raise ParameterError(
+                f"query_frequency must be >= 0, got {query_frequency}"
+            )
+        if query_frequency > 0 and query is None:
+            raise ParameterError(
+                "query callable required when query_frequency > 0"
+            )
+        self._update = update
+        self._query = query
+        self._interval = (
+            int(round(1.0 / query_frequency)) if query_frequency > 0 else 0
+        )
+
+    def run(self, updates: Iterable[FlowUpdate]) -> TimingReport:
+        """Feed ``updates`` through the synopsis, timing the whole loop."""
+        update = self._update
+        query = self._query
+        interval = self._interval
+        processed = 0
+        queries = 0
+        started = time.perf_counter()
+        for flow_update in updates:
+            update(flow_update)
+            processed += 1
+            if interval and processed % interval == 0:
+                query()  # type: ignore[misc]
+                queries += 1
+        elapsed = time.perf_counter() - started
+        return TimingReport(
+            updates=processed, queries=queries, total_seconds=elapsed
+        )

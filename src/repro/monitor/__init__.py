@@ -1,0 +1,41 @@
+"""The DDoS MONITOR application layer (Figure 1).
+
+Wraps the tracking sketch into the operational tool the paper
+describes: continuous top-k tracking over one or more flow-update
+streams, comparison "against 'baseline' profiles of network activity
+created over longer periods of time" (Section 2), and alarm generation
+for destinations whose half-open distinct-source frequency is anomalous.
+
+* :class:`DDoSMonitor` — the facade: feed updates, poll for alarms.
+* :class:`ActivityProfile` — per-destination baseline frequencies with
+  an anomaly test.
+* :class:`Alarm` / :class:`AlarmSink` — alarm records and collection.
+* :class:`ThresholdWatch` — the footnote-3 variant: watch for any
+  destination crossing a fixed frequency threshold tau.
+"""
+
+from .alarms import Alarm, AlarmSeverity, AlarmSink
+from .epochs import EpochRotator
+from .monitor import DDoSMonitor, MonitorConfig
+from .portscan import PortScanDetector
+from .profile import ActivityProfile
+from .report import Incident, IncidentReporter
+from .threshold import CrossingEvent, ThresholdWatch
+from .timeline import MonitorTimeline, Snapshot
+
+__all__ = [
+    "ActivityProfile",
+    "Alarm",
+    "AlarmSeverity",
+    "AlarmSink",
+    "CrossingEvent",
+    "DDoSMonitor",
+    "EpochRotator",
+    "Incident",
+    "IncidentReporter",
+    "MonitorConfig",
+    "MonitorTimeline",
+    "PortScanDetector",
+    "Snapshot",
+    "ThresholdWatch",
+]

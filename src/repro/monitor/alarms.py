@@ -1,0 +1,96 @@
+"""Alarm records emitted by the DDoS monitor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+class AlarmSeverity(enum.Enum):
+    """How far above its baseline a destination's frequency is."""
+
+    WARNING = "warning"
+    CRITICAL = "critical"
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One potential-DDoS alarm.
+
+    Attributes:
+        dest: the destination suspected to be under attack.
+        estimated_frequency: the sketch's distinct-source frequency
+            estimate at alarm time.
+        baseline_frequency: the profile's expected frequency for this
+            destination (0 for previously unseen destinations).
+        severity: warning or critical, per the monitor's thresholds.
+        updates_seen: stream position (number of updates processed)
+            when the alarm fired.
+    """
+
+    dest: int
+    estimated_frequency: int
+    baseline_frequency: float
+    severity: AlarmSeverity
+    updates_seen: int
+
+    @property
+    def excess_ratio(self) -> float:
+        """Estimate over baseline (baseline floored at 1)."""
+        return self.estimated_frequency / max(self.baseline_frequency, 1.0)
+
+
+class AlarmSink:
+    """Collects alarms, de-duplicating repeats for the same destination.
+
+    A destination alarms again only if its severity escalates or after
+    :attr:`renotify_after` further stream updates — a monitor that
+    re-fires on every poll would be operationally useless.
+    """
+
+    def __init__(self, renotify_after: int = 100_000) -> None:
+        self.renotify_after = renotify_after
+        self._alarms: List[Alarm] = []
+        self._last_fired: dict = {}
+        self._listeners: List[Callable[[Alarm], None]] = []
+
+    def subscribe(self, listener: Callable[[Alarm], None]) -> None:
+        """Register a callback invoked for every accepted alarm."""
+        self._listeners.append(listener)
+
+    def offer(self, alarm: Alarm) -> bool:
+        """Submit an alarm; returns True if it was accepted (not a dup)."""
+        previous = self._last_fired.get(alarm.dest)
+        if previous is not None:
+            escalated = (
+                previous.severity is AlarmSeverity.WARNING
+                and alarm.severity is AlarmSeverity.CRITICAL
+            )
+            stale = (
+                alarm.updates_seen - previous.updates_seen
+                >= self.renotify_after
+            )
+            if not escalated and not stale:
+                return False
+        self._last_fired[alarm.dest] = alarm
+        self._alarms.append(alarm)
+        for listener in self._listeners:
+            listener(alarm)
+        return True
+
+    @property
+    def alarms(self) -> List[Alarm]:
+        """All accepted alarms, in firing order."""
+        return list(self._alarms)
+
+    def alarms_for(self, dest: int) -> List[Alarm]:
+        """Accepted alarms for one destination."""
+        return [alarm for alarm in self._alarms if alarm.dest == dest]
+
+    def latest(self) -> Optional[Alarm]:
+        """The most recent accepted alarm, if any."""
+        return self._alarms[-1] if self._alarms else None
+
+    def __len__(self) -> int:
+        return len(self._alarms)

@@ -1,0 +1,179 @@
+"""The DDoS MONITOR facade (Figure 1).
+
+Ties together the tracking sketch, the baseline profile, and alarm
+generation.  Operationally:
+
+1. every incoming flow update is fed to the Tracking-DCS (O(r log^2 m));
+2. every ``check_interval`` updates, the monitor runs ``TrackTopk``
+   (O(k log m)) and scores each reported destination against its
+   baseline profile;
+3. destinations whose estimated half-open distinct-source frequency is
+   ``warning_ratio`` (resp. ``critical_ratio``) times their baseline —
+   and above an absolute floor — raise alarms.
+
+Because the sketch *deletes* legitimised flows, a flash crowd of
+handshake-completing clients never accumulates frequency and never
+alarms; a spoofed SYN flood does.  That discrimination is the paper's
+robustness claim and is covered by integration tests and bench E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..exceptions import ParameterError
+from ..sketch import TrackingDistinctCountSketch
+from ..sketch.estimate import TopKResult
+from ..types import AddressDomain, FlowUpdate
+from .alarms import Alarm, AlarmSeverity, AlarmSink
+from .profile import ActivityProfile
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tunables of the monitor.
+
+    Attributes:
+        k: how many top destinations each poll inspects.
+        check_interval: run a tracking query every this many updates.
+        warning_ratio: estimate/baseline ratio raising a WARNING.
+        critical_ratio: estimate/baseline ratio raising a CRITICAL.
+        absolute_floor: ignore destinations whose estimate is below
+            this, however anomalous relative to baseline (tiny servers
+            crossing a tiny baseline are not DDoS victims).
+    """
+
+    k: int = 10
+    check_interval: int = 1000
+    warning_ratio: float = 10.0
+    critical_ratio: float = 50.0
+    absolute_floor: int = 100
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ParameterError(f"k must be >= 1, got {self.k}")
+        if self.check_interval < 1:
+            raise ParameterError(
+                f"check_interval must be >= 1, got {self.check_interval}"
+            )
+        if self.warning_ratio <= 1.0:
+            raise ParameterError(
+                f"warning_ratio must exceed 1, got {self.warning_ratio}"
+            )
+        if self.critical_ratio < self.warning_ratio:
+            raise ParameterError(
+                "critical_ratio must be >= warning_ratio"
+            )
+        if self.absolute_floor < 0:
+            raise ParameterError("absolute_floor must be >= 0")
+
+
+class DDoSMonitor:
+    """Real-time detector of top distinct-source frequency destinations.
+
+    Args:
+        domain: address domain of the monitored network.
+        config: monitor tunables (defaults are sensible for tests).
+        profile: baseline activity profile; a fresh all-default profile
+            is used if omitted.
+        seed: sketch seed.
+        r, s: sketch shape (Section 6.1 defaults).
+
+    Example:
+        >>> from repro.types import AddressDomain
+        >>> monitor = DDoSMonitor(AddressDomain(2 ** 32), seed=3)
+        >>> alarms = monitor.observe_stream(
+        ...     FlowUpdate(source, 42, 1) for source in range(500))
+        >>> monitor.current_top()[0].dest
+        42
+    """
+
+    def __init__(
+        self,
+        domain: AddressDomain,
+        config: Optional[MonitorConfig] = None,
+        profile: Optional[ActivityProfile] = None,
+        seed: int = 0,
+        r: int = 3,
+        s: int = 128,
+    ) -> None:
+        self.config = config or MonitorConfig()
+        self.profile = profile or ActivityProfile()
+        self.sketch = TrackingDistinctCountSketch(domain, r=r, s=s, seed=seed)
+        self.alarms = AlarmSink()
+        self._updates_seen = 0
+
+    # -- stream ingestion -------------------------------------------------------
+
+    def observe(self, update: FlowUpdate) -> List[Alarm]:
+        """Feed one flow update; returns any alarms this update triggered."""
+        self.sketch.process(update)
+        self._updates_seen += 1
+        if self._updates_seen % self.config.check_interval == 0:
+            return self.check_now()
+        return []
+
+    def observe_stream(self, updates: Iterable[FlowUpdate]) -> List[Alarm]:
+        """Feed a whole stream; returns all alarms raised along the way."""
+        raised: List[Alarm] = []
+        for update in updates:
+            raised.extend(self.observe(update))
+        return raised
+
+    # -- detection ---------------------------------------------------------------
+
+    def current_top(self) -> TopKResult:
+        """The current approximate top-k (does not run alarm checks)."""
+        return self.sketch.track_topk(self.config.k)
+
+    def check_now(self) -> List[Alarm]:
+        """Run one detection pass immediately; returns accepted alarms."""
+        result = self.current_top()
+        accepted: List[Alarm] = []
+        for entry in result:
+            if entry.estimate < self.config.absolute_floor:
+                continue
+            baseline = self.profile.baseline(entry.dest)
+            ratio = self.profile.anomaly_score(entry.dest, entry.estimate)
+            if ratio >= self.config.critical_ratio:
+                severity = AlarmSeverity.CRITICAL
+            elif ratio >= self.config.warning_ratio:
+                severity = AlarmSeverity.WARNING
+            else:
+                continue
+            alarm = Alarm(
+                dest=entry.dest,
+                estimated_frequency=entry.estimate,
+                baseline_frequency=baseline,
+                severity=severity,
+                updates_seen=self._updates_seen,
+            )
+            if self.alarms.offer(alarm):
+                accepted.append(alarm)
+        return accepted
+
+    # -- profiling ---------------------------------------------------------------
+
+    def learn_baseline(self) -> None:
+        """Fold the sketch's current top-k view into the baseline profile.
+
+        Call this during known-clean periods ("longer periods of time",
+        Section 2) so that habitual heavy hitters — busy mail servers,
+        popular sites — stop looking anomalous.
+        """
+        snapshot = {
+            entry.dest: entry.estimate for entry in self.current_top()
+        }
+        self.profile.learn(snapshot)
+
+    @property
+    def updates_seen(self) -> int:
+        """Number of flow updates processed so far."""
+        return self._updates_seen
+
+    def __repr__(self) -> str:
+        return (
+            f"DDoSMonitor(updates={self._updates_seen}, "
+            f"alarms={len(self.alarms)})"
+        )

@@ -1,0 +1,71 @@
+"""Baseline activity profiles.
+
+Section 2: the monitor identifies DDoS activity "by comparing against
+'baseline' profiles of network activity created over longer periods of
+time".  :class:`ActivityProfile` is that baseline: per-destination
+expected distinct-source frequencies learned from clean traffic (via an
+exponentially-weighted mean), plus a default for never-seen
+destinations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..exceptions import ParameterError
+
+
+class ActivityProfile:
+    """Per-destination baseline distinct-source frequencies.
+
+    Args:
+        default_frequency: baseline assumed for destinations never seen
+            during profiling (new servers appear all the time; a small
+            non-zero default avoids divide-by-zero anomaly scores).
+        smoothing: EWMA weight of the newest observation when learning.
+    """
+
+    def __init__(
+        self, default_frequency: float = 1.0, smoothing: float = 0.3
+    ) -> None:
+        if default_frequency <= 0:
+            raise ParameterError(
+                f"default_frequency must be > 0, got {default_frequency}"
+            )
+        if not 0.0 < smoothing <= 1.0:
+            raise ParameterError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self.default_frequency = default_frequency
+        self.smoothing = smoothing
+        self._baselines: Dict[int, float] = {}
+
+    def learn(self, frequencies: Mapping[int, int]) -> None:
+        """Fold one profiling snapshot into the baseline (EWMA)."""
+        for dest, frequency in frequencies.items():
+            old = self._baselines.get(dest)
+            if old is None:
+                self._baselines[dest] = float(frequency)
+            else:
+                self._baselines[dest] = (
+                    (1.0 - self.smoothing) * old
+                    + self.smoothing * frequency
+                )
+
+    def baseline(self, dest: int) -> float:
+        """Expected frequency for ``dest`` (the default if unseen)."""
+        return self._baselines.get(dest, self.default_frequency)
+
+    def anomaly_score(self, dest: int, observed: float) -> float:
+        """How many times above baseline the observation is (>= 0)."""
+        return observed / max(self.baseline(dest), 1e-9)
+
+    def known_destinations(self) -> Dict[int, float]:
+        """A copy of the learned baselines."""
+        return dict(self._baselines)
+
+    def __len__(self) -> int:
+        return len(self._baselines)
+
+    def __repr__(self) -> str:
+        return f"ActivityProfile(destinations={len(self._baselines)})"

@@ -1,0 +1,140 @@
+"""Incident reports: turning alarms into operator-facing summaries.
+
+A monitor that only yields `Alarm` objects leaves the last mile to the
+operator.  :class:`IncidentReporter` groups alarms into *incidents*
+(one per destination, merging alarms closer than a gap threshold),
+tracks their lifecycle, and renders plain-text summaries suitable for a
+ticket or a pager message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..exceptions import ParameterError
+from ..netsim.addresses import format_ip
+from .alarms import Alarm, AlarmSeverity
+
+
+@dataclass
+class Incident:
+    """One suspected-attack incident against a destination.
+
+    Attributes:
+        dest: the destination under suspicion.
+        first_alarm: the alarm that opened the incident.
+        last_alarm: the most recent alarm folded in.
+        alarm_count: alarms folded into this incident.
+        peak_frequency: largest estimated frequency observed.
+        peak_severity: worst severity observed.
+        closed_at: stream position at which the incident was closed
+            (None while open).
+    """
+
+    dest: int
+    first_alarm: Alarm
+    last_alarm: Alarm
+    alarm_count: int = 1
+    peak_frequency: int = 0
+    peak_severity: AlarmSeverity = AlarmSeverity.WARNING
+    closed_at: Optional[int] = None
+
+    @property
+    def is_open(self) -> bool:
+        """True while the incident has not been closed."""
+        return self.closed_at is None
+
+    def absorb(self, alarm: Alarm) -> None:
+        """Fold a further alarm for the same destination in."""
+        self.last_alarm = alarm
+        self.alarm_count += 1
+        self.peak_frequency = max(self.peak_frequency,
+                                  alarm.estimated_frequency)
+        if (self.peak_severity is AlarmSeverity.WARNING
+                and alarm.severity is AlarmSeverity.CRITICAL):
+            self.peak_severity = AlarmSeverity.CRITICAL
+
+    def summary(self) -> str:
+        """One-line operator summary."""
+        state = "OPEN" if self.is_open else "closed"
+        return (
+            f"[{self.peak_severity.value.upper():8s}] {state:6s} "
+            f"dest={format_ip(self.dest)} "
+            f"peak~{self.peak_frequency} half-open sources "
+            f"({self.alarm_count} alarms, first at update "
+            f"{self.first_alarm.updates_seen})"
+        )
+
+
+class IncidentReporter:
+    """Groups alarms into incidents and renders reports.
+
+    Args:
+        merge_gap: alarms for the same destination within this many
+            stream updates of the incident's last alarm join it; a
+            larger gap opens a fresh incident.
+    """
+
+    def __init__(self, merge_gap: int = 500_000) -> None:
+        if merge_gap < 1:
+            raise ParameterError(f"merge_gap must be >= 1, got {merge_gap}")
+        self.merge_gap = merge_gap
+        self._incidents: List[Incident] = []
+        self._open_by_dest: Dict[int, Incident] = {}
+
+    def ingest(self, alarm: Alarm) -> Incident:
+        """Fold one alarm in; returns the (possibly new) incident."""
+        incident = self._open_by_dest.get(alarm.dest)
+        if incident is not None:
+            gap = alarm.updates_seen - incident.last_alarm.updates_seen
+            if gap <= self.merge_gap:
+                incident.absorb(alarm)
+                return incident
+            incident.closed_at = alarm.updates_seen
+            del self._open_by_dest[alarm.dest]
+        incident = Incident(
+            dest=alarm.dest,
+            first_alarm=alarm,
+            last_alarm=alarm,
+            peak_frequency=alarm.estimated_frequency,
+            peak_severity=alarm.severity,
+        )
+        self._incidents.append(incident)
+        self._open_by_dest[alarm.dest] = incident
+        return incident
+
+    def ingest_all(self, alarms: List[Alarm]) -> None:
+        """Fold a batch of alarms in, in order."""
+        for alarm in alarms:
+            self.ingest(alarm)
+
+    def close(self, dest: int, at_update: int) -> Optional[Incident]:
+        """Close the open incident for ``dest`` (attack mitigated)."""
+        incident = self._open_by_dest.pop(dest, None)
+        if incident is not None:
+            incident.closed_at = at_update
+        return incident
+
+    @property
+    def incidents(self) -> List[Incident]:
+        """All incidents, oldest first."""
+        return list(self._incidents)
+
+    def open_incidents(self) -> List[Incident]:
+        """Currently open incidents."""
+        return [i for i in self._incidents if i.is_open]
+
+    def render(self) -> str:
+        """The full plain-text report."""
+        if not self._incidents:
+            return "no incidents"
+        lines = [
+            f"{len(self._incidents)} incident(s), "
+            f"{len(self.open_incidents())} open"
+        ]
+        lines += [incident.summary() for incident in self._incidents]
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._incidents)

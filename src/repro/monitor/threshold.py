@@ -1,0 +1,140 @@
+"""Threshold tracking: the Section 2 footnote-3 variant.
+
+"Our techniques and results also easily extend to the problem of
+tracking all destinations v with f_v >= tau, for some fixed threshold
+tau."  :class:`ThresholdWatch` packages that: it maintains a tracking
+sketch and reports, on demand or continuously, every destination whose
+estimated distinct-source frequency clears ``tau`` — together with
+crossing events (a destination newly clearing or dropping below the
+threshold), which is the natural alerting interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set, Tuple
+
+from ..exceptions import ParameterError
+from ..sketch import TrackingDistinctCountSketch
+from ..types import AddressDomain, FlowUpdate
+
+
+@dataclass(frozen=True)
+class CrossingEvent:
+    """A destination crossing the threshold, in either direction.
+
+    Attributes:
+        dest: the destination address.
+        estimate: its frequency estimate at the poll that saw the cross.
+        above: True for an upward cross (newly over tau), False for a
+            downward cross (dropped below tau — e.g. the flows were
+            legitimised by deletions).
+        updates_seen: stream position of the poll.
+    """
+
+    dest: int
+    estimate: int
+    above: bool
+    updates_seen: int
+
+
+class ThresholdWatch:
+    """Continuously track all destinations with ``f_v >= tau``.
+
+    Args:
+        domain: address domain.
+        tau: the frequency threshold.
+        check_interval: poll the sketch every this many updates.
+        seed, r, s: sketch configuration.
+    """
+
+    def __init__(
+        self,
+        domain: AddressDomain,
+        tau: int,
+        check_interval: int = 1000,
+        seed: int = 0,
+        r: int = 3,
+        s: int = 128,
+    ) -> None:
+        if tau < 1:
+            raise ParameterError(f"tau must be >= 1, got {tau}")
+        if check_interval < 1:
+            raise ParameterError(
+                f"check_interval must be >= 1, got {check_interval}"
+            )
+        self.tau = tau
+        self.check_interval = check_interval
+        self.sketch = TrackingDistinctCountSketch(domain, r=r, s=s, seed=seed)
+        self._updates_seen = 0
+        self._currently_above: Set[int] = set()
+        self._events: List[CrossingEvent] = []
+
+    def observe(self, update: FlowUpdate) -> List[CrossingEvent]:
+        """Feed one update; returns crossing events from a due poll."""
+        self.sketch.process(update)
+        self._updates_seen += 1
+        if self._updates_seen % self.check_interval == 0:
+            return self.poll()
+        return []
+
+    def observe_stream(
+        self, updates: Iterable[FlowUpdate]
+    ) -> List[CrossingEvent]:
+        """Feed a whole stream; returns all crossing events raised."""
+        raised: List[CrossingEvent] = []
+        for update in updates:
+            raised.extend(self.observe(update))
+        return raised
+
+    def poll(self) -> List[CrossingEvent]:
+        """Query the sketch now and emit crossing events."""
+        result = self.sketch.track_threshold(self.tau)
+        now_above: Dict[int, int] = result.as_dict()
+        events: List[CrossingEvent] = []
+        for dest, estimate in now_above.items():
+            if dest not in self._currently_above:
+                events.append(
+                    CrossingEvent(
+                        dest=dest,
+                        estimate=estimate,
+                        above=True,
+                        updates_seen=self._updates_seen,
+                    )
+                )
+        for dest in list(self._currently_above):
+            if dest not in now_above:
+                events.append(
+                    CrossingEvent(
+                        dest=dest,
+                        estimate=0,
+                        above=False,
+                        updates_seen=self._updates_seen,
+                    )
+                )
+        self._currently_above = set(now_above)
+        self._events.extend(events)
+        return events
+
+    def above_threshold(self) -> List[Tuple[int, int]]:
+        """Current ``(dest, estimate)`` list over the threshold."""
+        return [
+            (entry.dest, entry.estimate)
+            for entry in self.sketch.track_threshold(self.tau)
+        ]
+
+    @property
+    def events(self) -> List[CrossingEvent]:
+        """All crossing events observed so far."""
+        return list(self._events)
+
+    @property
+    def updates_seen(self) -> int:
+        """Number of flow updates processed so far."""
+        return self._updates_seen
+
+    def __repr__(self) -> str:
+        return (
+            f"ThresholdWatch(tau={self.tau}, updates={self._updates_seen}, "
+            f"above={len(self._currently_above)})"
+        )

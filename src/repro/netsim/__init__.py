@@ -1,0 +1,60 @@
+"""Network simulation substrate: the traffic the paper's monitor watches.
+
+The paper evaluates on synthetic Zipf streams, but its motivating system
+(Figures 1, Section 1-2) is an ISP network carrying TCP traffic in which
+SYN-flood attacks and flash crowds must be told apart.  This package
+builds that world from scratch:
+
+* :mod:`repro.netsim.addresses` — IPv4 arithmetic, prefixes, and
+  deterministic address pools (including spoofed-source generation).
+* :mod:`repro.netsim.packets` — packet events and the TCP handshake
+  state machine (SYN / SYN-ACK / ACK / RST / FIN).
+* :mod:`repro.netsim.traffic` — traffic generators: legitimate client
+  sessions, background traffic, SYN-flood attacks with spoofed sources,
+  and flash crowds.
+* :mod:`repro.netsim.netflow` — the flow exporter: watches packets at
+  the network edge and emits the ``(source, dest, +/-1)`` updates of the
+  paper's stream model (SYN -> insert; legitimising ACK or RST ->
+  delete).
+* :mod:`repro.netsim.router` — edge routers and a toy ISP topology that
+  split traffic into the multiple per-router update streams a central
+  monitor merges.
+"""
+
+from .addresses import AddressPool, format_ip, parse_ip, Prefix
+from .mitigation import SynProxy
+from .netflow import FlowExporter
+from .records import FlowRecord, RecordExporter, TcpFlag, records_to_updates
+from .reflector import ReflectorAttack
+from .packets import ConnectionState, Packet, PacketKind, TcpConnection
+from .router import EdgeRouter, IspNetwork
+from .traffic import (
+    BackgroundTraffic,
+    FlashCrowd,
+    Scenario,
+    SynFloodAttack,
+)
+
+__all__ = [
+    "AddressPool",
+    "BackgroundTraffic",
+    "ConnectionState",
+    "EdgeRouter",
+    "FlashCrowd",
+    "FlowExporter",
+    "FlowRecord",
+    "IspNetwork",
+    "RecordExporter",
+    "TcpFlag",
+    "records_to_updates",
+    "Packet",
+    "PacketKind",
+    "Prefix",
+    "ReflectorAttack",
+    "Scenario",
+    "SynFloodAttack",
+    "SynProxy",
+    "TcpConnection",
+    "format_ip",
+    "parse_ip",
+]

@@ -1,0 +1,154 @@
+"""IPv4 address arithmetic and deterministic address pools.
+
+Addresses are plain integers in ``[0, 2^32)`` — the same integer domain
+the sketch hashes — with helpers to render and parse dotted-quad
+notation and to carve prefixes (CIDR blocks) for clients, servers, and
+spoofed-source generation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Set
+
+from ..exceptions import DomainError, ParameterError
+
+#: The full IPv4 space.
+IPV4_SPACE = 1 << 32
+
+
+def parse_ip(text: str) -> int:
+    """Parse dotted-quad notation into an integer address."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise DomainError(f"not a dotted-quad IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        try:
+            octet = int(part)
+        except ValueError:
+            raise DomainError(
+                f"not a dotted-quad IPv4 address: {text!r}"
+            ) from None
+        if not 0 <= octet <= 255:
+            raise DomainError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_ip(address: int) -> str:
+    """Render an integer address as dotted-quad notation."""
+    if not 0 <= address < IPV4_SPACE:
+        raise DomainError(f"address {address} outside the IPv4 space")
+    return ".".join(
+        str((address >> shift) & 0xFF) for shift in (24, 16, 8, 0)
+    )
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """A CIDR block ``base/length``.
+
+    Example:
+        >>> prefix = Prefix.parse("10.1.0.0/16")
+        >>> prefix.contains(parse_ip("10.1.2.3"))
+        True
+    """
+
+    base: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise DomainError(f"prefix length {self.length} out of range")
+        mask = self.mask
+        if self.base & ~mask & 0xFFFFFFFF:
+            raise DomainError("prefix base has host bits set")
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation."""
+        try:
+            address_text, length_text = text.split("/")
+        except ValueError:
+            raise DomainError(f"not CIDR notation: {text!r}") from None
+        return cls(base=parse_ip(address_text), length=int(length_text))
+
+    @property
+    def mask(self) -> int:
+        """The network mask as an integer."""
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the block."""
+        return 1 << (32 - self.length)
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` falls inside this block."""
+        return (address & self.mask) == self.base
+
+    def address_at(self, offset: int) -> int:
+        """The ``offset``-th address of the block."""
+        if not 0 <= offset < self.size:
+            raise DomainError(
+                f"offset {offset} outside prefix of size {self.size}"
+            )
+        return self.base + offset
+
+    def __str__(self) -> str:
+        return f"{format_ip(self.base)}/{self.length}"
+
+
+class AddressPool:
+    """Deterministic pool of distinct addresses drawn from a prefix.
+
+    Used both for legitimate client populations (a handful of access
+    networks) and for spoofed-source generation (the whole IPv4 space —
+    the paper's attackers forge source addresses "using a
+    randomly-chosen address").
+    """
+
+    def __init__(self, prefix: Prefix, seed: int = 0) -> None:
+        self.prefix = prefix
+        self._rng = random.Random(seed)
+        self._handed_out: Set[int] = set()
+
+    def draw(self) -> int:
+        """Draw one address not handed out before."""
+        if len(self._handed_out) >= self.prefix.size:
+            raise ParameterError(
+                f"address pool for {self.prefix} exhausted"
+            )
+        while True:
+            address = self.prefix.address_at(
+                self._rng.randrange(self.prefix.size)
+            )
+            if address not in self._handed_out:
+                self._handed_out.add(address)
+                return address
+
+    def draw_many(self, count: int) -> List[int]:
+        """Draw ``count`` distinct addresses."""
+        return [self.draw() for _ in range(count)]
+
+    def random_address(self) -> int:
+        """Draw a uniformly random address, duplicates allowed.
+
+        This is the spoofed-source model: the attacker does not track
+        which forged addresses it already used.
+        """
+        return self.prefix.address_at(self._rng.randrange(self.prefix.size))
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._handed_out))
+
+    def __len__(self) -> int:
+        return len(self._handed_out)
+
+
+#: Convenience: the whole IPv4 space as a prefix (for spoofing pools).
+FULL_SPACE = Prefix(base=0, length=0)

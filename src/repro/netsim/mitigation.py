@@ -1,0 +1,126 @@
+"""Mitigation devices: closing the loop after detection.
+
+Once the monitor names a victim, an operator deploys mitigation in
+front of it.  We model the standard **SYN proxy** (SYN-cookies box):
+
+* it answers SYNs toward protected destinations itself, so the victim's
+  connection table never grows;
+* clients that complete the handshake are spliced through (their flows
+  were never really half-open — the proxy emits the legitimising
+  deletion);
+* spoofed sources never answer, and the proxy *times out* their
+  half-open entries, emitting the teardown deletion the spoofed source
+  never would.
+
+In update-stream terms the proxy is a transformation: every insert for
+a protected destination is eventually matched by a deletion — either
+quickly (real client ACKs or RSTs) or after ``timeout`` (spoofed
+sources).  Feeding the transformed stream to the sketch makes the
+victim's tracked frequency fall back toward zero, which is exactly the
+lifecycle the threshold-watch example and bench E7 exercise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..exceptions import ParameterError
+from ..types import FlowUpdate
+from .packets import Packet, PacketKind
+
+
+class SynProxy:
+    """A SYN-proxy in front of a set of protected destinations.
+
+    Consumes a (time-sorted) packet stream and yields the flow updates
+    the monitor sees *behind* the proxy:
+
+    * unprotected destinations pass through unchanged (their handshake
+      machine runs as usual in the caller's exporter — this class only
+      handles protected traffic, and re-emits other packets);
+    * for protected destinations, a SYN opens a pending entry (insert
+      emitted), a completing ACK closes it (delete emitted), and any
+      entry older than ``timeout`` is expired (delete emitted).
+
+    Args:
+        protected: destination addresses behind the proxy.
+        timeout: seconds a pending handshake may stay open.
+    """
+
+    def __init__(self, protected: Set[int], timeout: float = 5.0) -> None:
+        if timeout <= 0:
+            raise ParameterError(f"timeout must be > 0, got {timeout}")
+        self.protected = set(protected)
+        self.timeout = timeout
+        # (source, dest) -> open time of the pending handshake.
+        self._pending: Dict[Tuple[int, int], float] = {}
+        #: Half-open entries expired so far.
+        self.expired_handshakes = 0
+        #: Handshakes completed (spliced through) so far.
+        self.completed_handshakes = 0
+
+    def process(
+        self, packet: Packet
+    ) -> Tuple[List[FlowUpdate], Optional[Packet]]:
+        """Handle one packet.
+
+        Returns ``(updates, passthrough)``: updates to feed the monitor
+        for protected destinations, and the packet itself when its
+        destination is unprotected (``None`` when consumed).
+        """
+        updates = self._expire(packet.time)
+        if packet.dest not in self.protected:
+            return updates, packet
+        key = (packet.source, packet.dest)
+        if packet.kind is PacketKind.SYN:
+            if key not in self._pending:
+                self._pending[key] = packet.time
+                updates.append(FlowUpdate(packet.source, packet.dest, +1))
+        elif packet.kind in (PacketKind.ACK, PacketKind.RST):
+            if key in self._pending:
+                del self._pending[key]
+                if packet.kind is PacketKind.ACK:
+                    self.completed_handshakes += 1
+                updates.append(FlowUpdate(packet.source, packet.dest, -1))
+        return updates, None
+
+    def _expire(self, now: float) -> List[FlowUpdate]:
+        """Expire pending handshakes older than the timeout."""
+        expired: List[FlowUpdate] = []
+        cutoff = now - self.timeout
+        for key, opened in list(self._pending.items()):
+            if opened <= cutoff:
+                del self._pending[key]
+                self.expired_handshakes += 1
+                expired.append(FlowUpdate(key[0], key[1], -1))
+        return expired
+
+    def drain(self, now: float) -> List[FlowUpdate]:
+        """Expire everything pending as of ``now + timeout`` (shutdown)."""
+        return self._expire(now + 2 * self.timeout)
+
+    def updates_for(self, packets) -> Iterator[FlowUpdate]:
+        """Transform a whole packet stream into monitor updates.
+
+        Unprotected packets are dropped (callers wanting them should
+        use :meth:`process` directly and route the passthrough to their
+        own exporter).  A final drain expires everything left pending.
+        """
+        last_time = 0.0
+        for packet in packets:
+            last_time = packet.time
+            updates, _ = self.process(packet)
+            yield from updates
+        yield from self.drain(last_time)
+
+    @property
+    def pending_handshakes(self) -> int:
+        """Currently open proxied handshakes."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"SynProxy(protected={len(self.protected)}, "
+            f"pending={len(self._pending)}, "
+            f"expired={self.expired_handshakes})"
+        )

@@ -1,0 +1,99 @@
+"""The flow exporter: packets in, flow updates out.
+
+Models the role the paper assigns to "Cisco's NetFlow tool or AT&T's
+GigaScope probe ... monitoring egress-flow traffic (and corresponding
+TCP flags) for routers at the edge of the ISP network" (Section 2): it
+watches packets, runs the per-connection handshake machine, and emits
+the abstract update stream —
+
+* a connection entering the half-open state emits ``(source, dest, +1)``
+* a connection leaving it (completing ACK, or an RST teardown) emits
+  ``(source, dest, -1)``
+
+The exporter's connection table is bounded: entries for *established or
+closed* connections are evicted eagerly (nothing more will be emitted
+for them), and half-open entries can be capped to model a real
+exporter's finite memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..exceptions import ParameterError
+from ..types import FlowUpdate
+from .packets import ConnectionState, Packet, TcpConnection
+
+
+class FlowExporter:
+    """Converts a packet stream into the paper's flow-update stream.
+
+    Args:
+        max_connections: optional cap on tracked half-open connections;
+            when full, new SYNs are dropped from tracking (and counted
+            in :attr:`dropped_connections`), modelling exporter
+            overload during a large attack.
+    """
+
+    def __init__(self, max_connections: Optional[int] = None) -> None:
+        if max_connections is not None and max_connections < 1:
+            raise ParameterError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        self.max_connections = max_connections
+        self._connections: Dict[Tuple[int, int], TcpConnection] = {}
+        #: SYNs ignored because the connection table was full.
+        self.dropped_connections = 0
+        #: Updates emitted so far.
+        self.updates_emitted = 0
+
+    def observe(self, packet: Packet) -> Optional[FlowUpdate]:
+        """Feed one packet; return the emitted update, if any."""
+        key = (packet.source, packet.dest)
+        connection = self._connections.get(key)
+        if connection is None:
+            if (
+                self.max_connections is not None
+                and len(self._connections) >= self.max_connections
+            ):
+                self.dropped_connections += 1
+                return None
+            connection = TcpConnection(packet.source, packet.dest)
+            self._connections[key] = connection
+        delta = connection.observe(packet.kind)
+        # Evict entries that can emit nothing further.
+        if connection.state is not ConnectionState.HALF_OPEN:
+            # Keep established connections out of the table too: their
+            # only remaining transitions (FIN/RST) emit no updates.
+            del self._connections[key]
+        if delta == 0:
+            return None
+        self.updates_emitted += 1
+        return FlowUpdate(packet.source, packet.dest, delta)
+
+    def export(self, packets: Iterable[Packet]) -> Iterator[FlowUpdate]:
+        """Feed packets in order, yielding the flow-update stream."""
+        for packet in packets:
+            update = self.observe(packet)
+            if update is not None:
+                yield update
+
+    def export_all(self, packets: Iterable[Packet]) -> List[FlowUpdate]:
+        """Like :meth:`export`, materialized into a list."""
+        return list(self.export(packets))
+
+    @property
+    def half_open_connections(self) -> int:
+        """Connections currently tracked as half-open."""
+        return sum(
+            1
+            for connection in self._connections.values()
+            if connection.is_half_open
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowExporter(tracked={len(self._connections)}, "
+            f"emitted={self.updates_emitted}, "
+            f"dropped={self.dropped_connections})"
+        )

@@ -1,0 +1,120 @@
+"""Packet events and the TCP three-way-handshake state machine.
+
+The paper's SYN-flood story (Section 1) revolves around *half-open*
+connections: a SYN creates one, the client's final ACK completes the
+handshake, and a flood of spoofed SYNs — whose ACKs never arrive — fills
+the victim's connection table.  We model exactly the state a flow
+exporter at the network edge can observe:
+
+    CLOSED --SYN--> HALF_OPEN --ACK--> ESTABLISHED --FIN/RST--> CLOSED
+                        |
+                        +----RST----> CLOSED   (reset before completion)
+
+Only two transitions matter to the monitor's update stream: entering
+HALF_OPEN emits ``(source, dest, +1)`` and leaving it (either way) emits
+``(source, dest, -1)`` — so the tracked frequency of a destination is
+its current number of distinct half-open sources, the paper's DDoS
+indicator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..exceptions import StreamError
+
+
+class PacketKind(enum.Enum):
+    """TCP packet types the exporter distinguishes."""
+
+    SYN = "syn"
+    SYN_ACK = "syn-ack"
+    ACK = "ack"
+    FIN = "fin"
+    RST = "rst"
+    DATA = "data"
+
+
+@dataclass(frozen=True, order=True)
+class Packet:
+    """One observed packet.
+
+    Ordering is by timestamp (then the remaining fields, which makes
+    sorting stable and deterministic).  ``source``/``dest`` are the
+    *client* and *server* addresses of the connection regardless of the
+    packet's direction; ``kind`` identifies the handshake step.
+    """
+
+    time: float
+    source: int
+    dest: int
+    kind: PacketKind = field(compare=False, default=PacketKind.SYN)
+
+
+class ConnectionState(enum.Enum):
+    """States of the observable handshake machine."""
+
+    CLOSED = "closed"
+    HALF_OPEN = "half-open"
+    ESTABLISHED = "established"
+
+
+class TcpConnection:
+    """Handshake state machine for one (source, dest) connection.
+
+    :meth:`observe` consumes a packet and returns the update delta the
+    exporter should emit: ``+1`` when the connection becomes half-open,
+    ``-1`` when it stops being half-open, ``0`` otherwise.
+    """
+
+    __slots__ = ("source", "dest", "state")
+
+    def __init__(self, source: int, dest: int) -> None:
+        self.source = source
+        self.dest = dest
+        self.state = ConnectionState.CLOSED
+
+    def observe(self, kind: PacketKind) -> int:
+        """Advance the machine for one packet; return the emitted delta."""
+        state = self.state
+        if kind is PacketKind.SYN:
+            if state is ConnectionState.CLOSED:
+                self.state = ConnectionState.HALF_OPEN
+                return +1
+            # Retransmitted SYN on a half-open or established connection
+            # changes nothing the monitor tracks.
+            return 0
+        if kind is PacketKind.SYN_ACK:
+            # Server response; no state change observable at the edge.
+            return 0
+        if kind is PacketKind.ACK:
+            if state is ConnectionState.HALF_OPEN:
+                self.state = ConnectionState.ESTABLISHED
+                return -1
+            return 0
+        if kind is PacketKind.RST:
+            if state is ConnectionState.HALF_OPEN:
+                self.state = ConnectionState.CLOSED
+                return -1
+            self.state = ConnectionState.CLOSED
+            return 0
+        if kind is PacketKind.FIN:
+            if state is ConnectionState.ESTABLISHED:
+                self.state = ConnectionState.CLOSED
+            return 0
+        if kind is PacketKind.DATA:
+            return 0
+        raise StreamError(f"unknown packet kind: {kind!r}")
+
+    @property
+    def is_half_open(self) -> bool:
+        """True while the connection awaits its completing ACK."""
+        return self.state is ConnectionState.HALF_OPEN
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpConnection({self.source} -> {self.dest}, "
+            f"{self.state.value})"
+        )

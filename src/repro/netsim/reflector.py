@@ -1,0 +1,104 @@
+"""Reflector (backscatter) attacks — Paxson [29], cited in Section 1.
+
+In a reflector attack the zombies do not contact the victim at all:
+they send SYNs to thousands of innocent *reflectors* (ordinary servers)
+with the **victim's address forged as the source**.  Each reflector
+answers the victim with a SYN-ACK, swamping it with backscatter from
+legitimate machines — much harder to filter than direct flood traffic.
+
+From the monitor's viewpoint the signature is inverted: the victim
+appears as a *source* establishing half-open connections to an enormous
+number of distinct *destinations* (the reflectors).  Detection is
+therefore exactly the footnote-1 role swap implemented by
+:class:`~repro.monitor.portscan.PortScanDetector` — the victim surfaces
+as the top "scanner".  :class:`ReflectorAttack` generates the traffic;
+the integration tests and the example close the loop.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..exceptions import ParameterError
+from .addresses import AddressPool, Prefix
+from .packets import Packet, PacketKind
+from .traffic import TrafficGenerator
+
+
+class ReflectorAttack(TrafficGenerator):
+    """Spoofed-source SYNs bounced off innocent reflectors.
+
+    Args:
+        victim: the address whose identity is forged (and who receives
+            the SYN-ACK backscatter).
+        reflectors: number of distinct reflector servers abused.
+        requests_per_reflector: forged SYNs sent to each reflector.
+        start, duration: attack window.
+        reflector_prefix: block the reflector addresses come from.
+        seed: RNG seed.
+
+    The generated packets are the forged ``victim -> reflector`` SYNs
+    as seen by edge routers; each creates a half-open connection state
+    keyed ``(victim, reflector)`` that no one will ever complete (the
+    victim never sent the SYN, so it answers the SYN-ACK with an RST at
+    best — modelled by ``rst_fraction``).
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        reflectors: int,
+        requests_per_reflector: int = 1,
+        start: float = 0.0,
+        duration: float = 10.0,
+        reflector_prefix: Prefix = Prefix.parse("198.18.0.0/15"),
+        rst_fraction: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        if reflectors < 1:
+            raise ParameterError(f"reflectors must be >= 1, got {reflectors}")
+        if requests_per_reflector < 1:
+            raise ParameterError(
+                "requests_per_reflector must be >= 1, got "
+                f"{requests_per_reflector}"
+            )
+        if duration <= 0:
+            raise ParameterError(f"duration must be > 0, got {duration}")
+        if not 0.0 <= rst_fraction <= 1.0:
+            raise ParameterError(
+                f"rst_fraction must be in [0, 1], got {rst_fraction}"
+            )
+        self.victim = victim
+        self.reflectors = reflectors
+        self.requests_per_reflector = requests_per_reflector
+        self.start = start
+        self.duration = duration
+        self.reflector_prefix = reflector_prefix
+        self.rst_fraction = rst_fraction
+        self.seed = seed
+
+    def packets(self) -> List[Packet]:
+        """Forged SYNs toward each reflector; occasional victim RSTs."""
+        rng = random.Random(self.seed)
+        pool = AddressPool(self.reflector_prefix, seed=self.seed + 1)
+        reflector_addresses = pool.draw_many(self.reflectors)
+        result: List[Packet] = []
+        for reflector in reflector_addresses:
+            for _ in range(self.requests_per_reflector):
+                time = self.start + rng.random() * self.duration
+                result.append(
+                    Packet(time=time, source=self.victim,
+                           dest=reflector, kind=PacketKind.SYN)
+                )
+                # The real victim, hit by an unexpected SYN-ACK, may
+                # answer RST — tearing the reflector's half-open state
+                # down.  Under heavy backscatter it mostly cannot keep
+                # up, so only a fraction of states get cleared.
+                if rng.random() < self.rst_fraction:
+                    result.append(
+                        Packet(time=time + 0.05, source=self.victim,
+                               dest=reflector, kind=PacketKind.RST)
+                    )
+        result.sort()
+        return result

@@ -1,0 +1,88 @@
+"""Edge routers and a toy ISP topology producing multiple update streams.
+
+Figure 1 shows the DDoS monitor consuming "a (collection of) continuous
+streams of flow updates from various elements in the underlying ISP
+network".  :class:`IspNetwork` models that: packets are assigned to the
+edge router serving their destination, each router's
+:class:`~repro.netsim.netflow.FlowExporter` produces its own update
+stream, and the monitor either processes the merged stream or merges
+per-router sketches (the DCS is linear, so both give identical state —
+an integration test exercises this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..exceptions import ParameterError
+from ..hashing import TabulationHash, derive_seed
+from ..types import FlowUpdate
+from .netflow import FlowExporter
+from .packets import Packet
+
+
+class EdgeRouter:
+    """One edge router: a name plus its flow exporter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.exporter = FlowExporter()
+        self._updates: List[FlowUpdate] = []
+
+    def observe(self, packet: Packet) -> None:
+        """Feed one packet through the router's exporter."""
+        update = self.exporter.observe(packet)
+        if update is not None:
+            self._updates.append(update)
+
+    @property
+    def updates(self) -> List[FlowUpdate]:
+        """The flow-update stream this router has emitted so far."""
+        return list(self._updates)
+
+    def __repr__(self) -> str:
+        return f"EdgeRouter({self.name!r}, updates={len(self._updates)})"
+
+
+class IspNetwork:
+    """A set of edge routers sharing the network's traffic.
+
+    Packets are routed to a deterministic router chosen by hashing the
+    destination address, modelling destination-based egress routing: all
+    packets of one flow traverse the same edge router, so each exporter
+    sees complete handshakes.
+    """
+
+    def __init__(self, router_names: Sequence[str], seed: int = 0) -> None:
+        if not router_names:
+            raise ParameterError("at least one router is required")
+        self.routers: List[EdgeRouter] = [
+            EdgeRouter(name) for name in router_names
+        ]
+        self._route_hash = TabulationHash(
+            range_size=len(self.routers),
+            seed=derive_seed(seed, "routing"),
+        )
+
+    def router_for(self, dest: int) -> EdgeRouter:
+        """The edge router serving ``dest``."""
+        return self.routers[self._route_hash(dest)]
+
+    def carry(self, packets: Iterable[Packet]) -> None:
+        """Deliver packets to their routers in timeline order."""
+        for packet in packets:
+            self.router_for(packet.dest).observe(packet)
+
+    def update_streams(self) -> Dict[str, List[FlowUpdate]]:
+        """Per-router flow-update streams, keyed by router name."""
+        return {router.name: router.updates for router in self.routers}
+
+    def merged_updates(self) -> List[FlowUpdate]:
+        """All routers' updates concatenated (router order)."""
+        merged: List[FlowUpdate] = []
+        for router in self.routers:
+            merged.extend(router.updates)
+        return merged
+
+    def __repr__(self) -> str:
+        return f"IspNetwork(routers={[r.name for r in self.routers]})"

@@ -1,0 +1,238 @@
+"""Traffic generators: attacks, flash crowds, and background noise.
+
+Each generator produces a time-ordered list of :class:`Packet` events;
+:class:`Scenario` merges generators into one timeline.  The three
+built-in generators realise the paper's motivating cases:
+
+* :class:`SynFloodAttack` — zombies send SYNs with *spoofed* source
+  addresses toward a victim; the forged sources never ACK, so every
+  flow stays half-open (Section 1's TCP-SYN-flooding scenario).
+* :class:`FlashCrowd` — a surge of *legitimate* clients: every session
+  completes its handshake after one RTT, so its insertion is soon
+  cancelled by a deletion.  This is the case volume-based detectors
+  confuse with an attack and the deletion-aware sketch does not.
+* :class:`BackgroundTraffic` — steady legitimate traffic to many
+  destinations with a configurable fraction of abandoned handshakes
+  (clients that give up), providing the noise floor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..exceptions import ParameterError
+from .addresses import FULL_SPACE, AddressPool, Prefix
+from .packets import Packet, PacketKind
+
+
+class TrafficGenerator:
+    """Base class: anything that can emit a packet timeline."""
+
+    def packets(self) -> List[Packet]:
+        """Generate this source's packets, sorted by time."""
+        raise NotImplementedError
+
+
+class SynFloodAttack(TrafficGenerator):
+    """A distributed SYN flood with spoofed source addresses.
+
+    Args:
+        victim: destination address under attack.
+        flood_size: number of spoofed SYNs to send.
+        start: attack start time (seconds).
+        duration: attack duration; SYNs are spread uniformly over it.
+        spoof_prefix: block forged source addresses are drawn from
+            (default: the whole IPv4 space, per the paper's
+            "randomly-chosen address" model).
+        seed: RNG seed.
+        ack_fraction: fraction of flows that nevertheless complete —
+            nonzero only in mixed/partial-spoofing experiments.
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        flood_size: int,
+        start: float = 0.0,
+        duration: float = 10.0,
+        spoof_prefix: Prefix = FULL_SPACE,
+        seed: int = 0,
+        ack_fraction: float = 0.0,
+    ) -> None:
+        if flood_size < 1:
+            raise ParameterError(f"flood_size must be >= 1, got {flood_size}")
+        if duration <= 0:
+            raise ParameterError(f"duration must be > 0, got {duration}")
+        if not 0.0 <= ack_fraction <= 1.0:
+            raise ParameterError(
+                f"ack_fraction must be in [0, 1], got {ack_fraction}"
+            )
+        self.victim = victim
+        self.flood_size = flood_size
+        self.start = start
+        self.duration = duration
+        self.spoof_prefix = spoof_prefix
+        self.seed = seed
+        self.ack_fraction = ack_fraction
+
+    def packets(self) -> List[Packet]:
+        """SYNs at uniform times; spoofed sources never answer."""
+        rng = random.Random(self.seed)
+        pool = AddressPool(self.spoof_prefix, seed=self.seed + 1)
+        result: List[Packet] = []
+        for _ in range(self.flood_size):
+            time = self.start + rng.random() * self.duration
+            source = pool.random_address()
+            result.append(
+                Packet(time=time, source=source, dest=self.victim,
+                       kind=PacketKind.SYN)
+            )
+            if self.ack_fraction and rng.random() < self.ack_fraction:
+                result.append(
+                    Packet(time=time + 0.05, source=source,
+                           dest=self.victim, kind=PacketKind.ACK)
+                )
+        result.sort()
+        return result
+
+
+class FlashCrowd(TrafficGenerator):
+    """A surge of legitimate clients toward one destination.
+
+    Every client completes its handshake: SYN at arrival time, the
+    completing ACK one round-trip later.  The resulting update stream
+    inserts and then deletes each pair, so the destination's *tracked*
+    distinct-source frequency stays near the in-flight handshake count —
+    tiny compared to the crowd size.
+    """
+
+    def __init__(
+        self,
+        destination: int,
+        crowd_size: int,
+        start: float = 0.0,
+        duration: float = 10.0,
+        rtt: float = 0.05,
+        client_prefix: Prefix = Prefix.parse("24.0.0.0/8"),
+        seed: int = 0,
+    ) -> None:
+        if crowd_size < 1:
+            raise ParameterError(f"crowd_size must be >= 1, got {crowd_size}")
+        if duration <= 0:
+            raise ParameterError(f"duration must be > 0, got {duration}")
+        if rtt <= 0:
+            raise ParameterError(f"rtt must be > 0, got {rtt}")
+        self.destination = destination
+        self.crowd_size = crowd_size
+        self.start = start
+        self.duration = duration
+        self.rtt = rtt
+        self.client_prefix = client_prefix
+        self.seed = seed
+
+    def packets(self) -> List[Packet]:
+        """SYN + completing ACK per client, arrival times uniform."""
+        rng = random.Random(self.seed)
+        pool = AddressPool(self.client_prefix, seed=self.seed + 1)
+        clients = pool.draw_many(self.crowd_size)
+        result: List[Packet] = []
+        for client in clients:
+            arrival = self.start + rng.random() * self.duration
+            result.append(
+                Packet(time=arrival, source=client,
+                       dest=self.destination, kind=PacketKind.SYN)
+            )
+            result.append(
+                Packet(time=arrival + self.rtt, source=client,
+                       dest=self.destination, kind=PacketKind.ACK)
+            )
+        result.sort()
+        return result
+
+
+class BackgroundTraffic(TrafficGenerator):
+    """Steady legitimate traffic to many destinations.
+
+    Args:
+        destinations: server addresses receiving traffic.
+        sessions: total client sessions to generate.
+        abandon_fraction: fraction of sessions whose client never sends
+            the final ACK (transient network failures), leaving a small
+            genuine half-open residue everywhere.
+        duration: time window over which sessions arrive.
+        client_prefix: block client addresses come from.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        destinations: Sequence[int],
+        sessions: int,
+        abandon_fraction: float = 0.02,
+        start: float = 0.0,
+        duration: float = 10.0,
+        rtt: float = 0.05,
+        client_prefix: Prefix = Prefix.parse("10.0.0.0/8"),
+        seed: int = 0,
+    ) -> None:
+        if not destinations:
+            raise ParameterError("destinations must be non-empty")
+        if sessions < 1:
+            raise ParameterError(f"sessions must be >= 1, got {sessions}")
+        if not 0.0 <= abandon_fraction <= 1.0:
+            raise ParameterError(
+                f"abandon_fraction must be in [0, 1], got {abandon_fraction}"
+            )
+        self.destinations = list(destinations)
+        self.sessions = sessions
+        self.abandon_fraction = abandon_fraction
+        self.start = start
+        self.duration = duration
+        self.rtt = rtt
+        self.client_prefix = client_prefix
+        self.seed = seed
+
+    def packets(self) -> List[Packet]:
+        """Each session: SYN, then (usually) the completing ACK."""
+        rng = random.Random(self.seed)
+        pool = AddressPool(self.client_prefix, seed=self.seed + 1)
+        result: List[Packet] = []
+        for _ in range(self.sessions):
+            client = pool.draw()
+            dest = rng.choice(self.destinations)
+            arrival = self.start + rng.random() * self.duration
+            result.append(
+                Packet(time=arrival, source=client, dest=dest,
+                       kind=PacketKind.SYN)
+            )
+            if rng.random() >= self.abandon_fraction:
+                result.append(
+                    Packet(time=arrival + self.rtt, source=client,
+                           dest=dest, kind=PacketKind.ACK)
+                )
+        result.sort()
+        return result
+
+
+class Scenario:
+    """A composition of traffic generators into one packet timeline."""
+
+    def __init__(self, *generators: TrafficGenerator) -> None:
+        self._generators: List[TrafficGenerator] = list(generators)
+
+    def add(self, generator: TrafficGenerator) -> "Scenario":
+        """Add a generator; returns self for chaining."""
+        self._generators.append(generator)
+        return self
+
+    def packets(self) -> List[Packet]:
+        """All packets from all generators, merged in time order."""
+        result: List[Packet] = []
+        for generator in self._generators:
+            result.extend(generator.packets())
+        result.sort()
+        return result
+
+    def __len__(self) -> int:
+        return len(self._generators)

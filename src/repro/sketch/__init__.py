@@ -1,0 +1,37 @@
+"""The paper's primary contribution: Distinct-Count Sketch synopses.
+
+Three layers live here:
+
+* :class:`CountSignature` — the per-bucket counter array (one total
+  count plus one counter per bit of the pair encoding) that makes the
+  sketch delete-resistant and lets singleton buckets be decoded
+  (Section 3).
+* :class:`DistinctCountSketch` — the basic two-level synopsis with the
+  ``BaseTopk`` estimator (Sections 3-4).
+* :class:`TrackingDistinctCountSketch` — the tracking variant that
+  incrementally maintains the distinct sample, singleton counters, and
+  per-level destination heaps so top-k queries cost ``O(k log m)``
+  (Section 5).
+"""
+
+from .dcs import DistinctCountSketch
+from .estimate import TopKEntry, TopKResult
+from .heap import IndexedMaxHeap
+from .params import SketchParams
+from .sharded import ShardedSketch
+from .signature import CountSignature
+from .tracking import TrackingDistinctCountSketch
+from . import debug, serialize
+
+__all__ = [
+    "CountSignature",
+    "DistinctCountSketch",
+    "IndexedMaxHeap",
+    "ShardedSketch",
+    "SketchParams",
+    "TopKEntry",
+    "TopKResult",
+    "TrackingDistinctCountSketch",
+    "debug",
+    "serialize",
+]

@@ -1,0 +1,392 @@
+"""The Distinct-Count Sketch and the BaseTopk estimator (Sections 3-4).
+
+Structure (Figure 2): a geometric first-level hash ``h`` partitions the
+pair domain ``[m^2]`` into ``Theta(log m)`` levels with exponentially
+decreasing probabilities; each level holds ``r`` independent second-level
+hash tables of ``s`` buckets; each bucket keeps a
+:class:`~repro.sketch.signature.CountSignature`.
+
+Maintenance (Section 3): an update ``(u, v, +/-1)`` touches one bucket in
+each of the ``r`` tables of level ``h(u, v)`` — ``O(r log m)`` counter
+operations, independent of the stream length.  Because signatures are
+linear, the sketch is *delete-resistant*: after a matched insert/delete
+it is bit-identical to a sketch that never saw the pair.
+
+Estimation (Section 4, Figures 3-4): ``BaseTopk`` walks levels top-down,
+recovering singleton buckets into a distinct sample until the sample
+reaches ``(1 + eps) * s / 16`` pairs, then reports the k most frequent
+destinations in the sample with frequencies scaled by ``2^b``.
+
+Note on the paper's pseudocode: Figure 3 decrements ``b`` once more after
+the final ``GetdSample`` call, but Lemma 4.3's analysis scales by ``2^b``
+where ``b`` is the *lowest level actually included in the sample*.  We
+follow the analysis (scale by the last sampled level), which is the
+unbiased choice: a pair lands at level ``>= b`` with probability exactly
+``2^-b``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from ..exceptions import MergeError, ParameterError
+from ..hashing import CarterWegmanHash, GeometricLevelHash, derive_seed
+from ..types import AddressDomain, FlowUpdate
+from .estimate import TopKResult, build_result
+from .params import SketchParams
+from .signature import CountSignature
+
+#: Default relative-error parameter used when a query does not supply one.
+DEFAULT_EPSILON = 0.25
+
+# A level's state: per inner table, a sparse map bucket-index -> signature.
+LevelTables = List[Dict[int, CountSignature]]
+
+
+class DistinctCountSketch:
+    """Delete-resistant synopsis for top-k distinct-source frequencies.
+
+    Args:
+        params: sketch shape, or an :class:`AddressDomain` (in which case
+            ``r``/``s`` are taken from the keyword arguments).
+        seed: root seed; all hash functions derive from it, so two
+            sketches with equal params and seed are structurally
+            identical (and therefore mergeable).
+
+    Example:
+        >>> from repro.types import AddressDomain
+        >>> sketch = DistinctCountSketch(AddressDomain(2 ** 16), seed=7)
+        >>> for source in range(50):
+        ...     sketch.insert(source, dest=9)
+        >>> result = sketch.base_topk(1)
+        >>> result.destinations[0]
+        9
+    """
+
+    def __init__(
+        self,
+        params: Union[SketchParams, AddressDomain],
+        *,
+        r: int = 3,
+        s: int = 128,
+        seed: int = 0,
+    ) -> None:
+        if isinstance(params, AddressDomain):
+            params = SketchParams(domain=params, r=r, s=s)
+        self.params = params
+        self.seed = int(seed)
+        self.domain = params.domain
+        self._level_hash = GeometricLevelHash(
+            max_level=params.num_levels - 1,
+            seed=derive_seed(self.seed, "level-hash"),
+        )
+        self._inner_hashes: List[CarterWegmanHash] = [
+            CarterWegmanHash(
+                range_size=params.s,
+                seed=derive_seed(self.seed, "inner-hash", j),
+            )
+            for j in range(params.r)
+        ]
+        self._tables: List[LevelTables] = [
+            [{} for _ in range(params.r)] for _ in range(params.num_levels)
+        ]
+        #: Number of stream updates processed (the paper's ``n``).
+        self.updates_processed = 0
+        #: Net sum of deltas across all updates.
+        self.net_total = 0
+
+    # -- maintenance (Section 3) --------------------------------------------
+
+    def update(self, source: int, dest: int, delta: int) -> None:
+        """Process one flow update ``(source, dest, delta)``."""
+        if delta not in (1, -1):
+            raise ParameterError(f"delta must be +1 or -1, got {delta}")
+        self._update_pair(self.domain.encode_pair(source, dest), delta)
+
+    def insert(self, source: int, dest: int) -> None:
+        """Process an insertion (``delta = +1``)."""
+        self._update_pair(self.domain.encode_pair(source, dest), 1)
+
+    def delete(self, source: int, dest: int) -> None:
+        """Process a deletion (``delta = -1``)."""
+        self._update_pair(self.domain.encode_pair(source, dest), -1)
+
+    def process(self, update: FlowUpdate) -> None:
+        """Process a :class:`~repro.types.FlowUpdate`."""
+        self._update_pair(
+            self.domain.encode_pair(update.source, update.dest), update.delta
+        )
+
+    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
+        """Process every update from an iterable; returns the count."""
+        count = 0
+        for update in updates:
+            self.process(update)
+            count += 1
+        return count
+
+    def _update_pair(self, pair: int, delta: int) -> None:
+        """Apply one update for an encoded pair: the sketch hot path."""
+        level = self._level_hash(pair)
+        tables = self._tables[level]
+        pair_bits = self.params.pair_bits
+        for j, inner_hash in enumerate(self._inner_hashes):
+            bucket = inner_hash(pair)
+            table = tables[j]
+            signature = table.get(bucket)
+            if signature is None:
+                signature = CountSignature(pair_bits)
+                table[bucket] = signature
+            signature.update(pair, delta)
+            if signature.is_zero:
+                # Prune emptied buckets so "absent" always means "empty";
+                # this also keeps the sketch identical to one that never
+                # saw a deleted pair.
+                del table[bucket]
+        self.updates_processed += 1
+        self.net_total += delta
+
+    # -- structural accessors -----------------------------------------------
+
+    def level_of(self, source: int, dest: int) -> int:
+        """First-level bucket the pair ``(source, dest)`` maps to."""
+        return self._level_hash(self.domain.encode_pair(source, dest))
+
+    def inner_bucket(self, j: int, source: int, dest: int) -> int:
+        """Second-level bucket of the pair in inner table ``j``."""
+        return self._inner_hashes[j](self.domain.encode_pair(source, dest))
+
+    def signature_at(
+        self, level: int, j: int, bucket: int
+    ) -> Optional[CountSignature]:
+        """The signature at ``(level, j, bucket)``, or ``None`` if empty."""
+        return self._tables[level][j].get(bucket)
+
+    def return_singleton(self, level: int, j: int, bucket: int) -> Optional[int]:
+        """The paper's ``ReturnSingleton``: decode bucket if a singleton.
+
+        Returns the encoded pair, or ``None`` for empty/collision buckets.
+        """
+        signature = self._tables[level][j].get(bucket)
+        if signature is None:
+            return None
+        return signature.recover_singleton()
+
+    def get_dsample(self, level: int) -> Set[int]:
+        """The paper's ``GetdSample``: all singleton pairs at ``level``.
+
+        Scans every occupied second-level bucket of the level across all
+        ``r`` inner tables, decoding singletons; duplicates (a pair
+        singleton in several tables) collapse in the returned set.
+        """
+        sample: Set[int] = set()
+        for table in self._tables[level]:
+            for signature in table.values():
+                pair = signature.recover_singleton()
+                if pair is not None:
+                    sample.add(pair)
+        return sample
+
+    def active_levels(self) -> int:
+        """Number of first-level buckets currently holding any state."""
+        return sum(
+            1
+            for level_tables in self._tables
+            if any(level_tables[j] for j in range(self.params.r))
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the sketch holds no state at all."""
+        return all(
+            not table for level in self._tables for table in level
+        )
+
+    # -- estimation (Section 4) ----------------------------------------------
+
+    def collect_distinct_sample(
+        self, epsilon: float = DEFAULT_EPSILON
+    ) -> Tuple[Set[int], int, float]:
+        """Walk levels top-down building the distinct sample (Fig 3, 1-7).
+
+        Returns ``(sample, stop_level, target_size)`` where ``sample`` is
+        a set of encoded pairs recovered from levels ``>= stop_level``.
+        """
+        target = self.params.sample_target(epsilon)
+        sample: Set[int] = set()
+        stop_level = 0
+        for level in range(self.params.num_levels - 1, -1, -1):
+            sample |= self.get_dsample(level)
+            stop_level = level
+            if len(sample) >= target:
+                break
+        return sample, stop_level, target
+
+    def sample_destination_frequencies(
+        self, sample: Set[int]
+    ) -> Dict[int, int]:
+        """Occurrence frequency ``f_v^s`` of each destination in a sample."""
+        frequencies: Dict[int, int] = {}
+        decode = self.domain.decode_pair
+        for pair in sample:
+            dest = decode(pair)[1]
+            frequencies[dest] = frequencies.get(dest, 0) + 1
+        return frequencies
+
+    def base_topk(
+        self, k: int, epsilon: float = DEFAULT_EPSILON
+    ) -> TopKResult:
+        """The BaseTopk estimator (Figure 3).
+
+        Returns the ``k`` destinations with the highest sample
+        frequencies, each with estimate ``2^b * f_v^s``.  Fewer than
+        ``k`` entries are returned if the sample holds fewer
+        destinations.
+        """
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        sample, stop_level, target = self.collect_distinct_sample(epsilon)
+        frequencies = self.sample_destination_frequencies(sample)
+        ranked = sorted(
+            frequencies.items(), key=lambda item: (-item[1], item[0])
+        )[:k]
+        return build_result(
+            ranked=ranked,
+            stop_level=stop_level,
+            sample_size=len(sample),
+            target_size=target,
+        )
+
+    def threshold_query(
+        self, tau: int, epsilon: float = DEFAULT_EPSILON
+    ) -> TopKResult:
+        """All destinations with estimated frequency ``>= tau``.
+
+        The Section 2 footnote-3 variant of the tracking problem: instead
+        of a fixed ``k``, report every destination whose estimated
+        distinct-source frequency reaches the threshold.
+        """
+        if tau < 1:
+            raise ParameterError(f"tau must be >= 1, got {tau}")
+        sample, stop_level, target = self.collect_distinct_sample(epsilon)
+        frequencies = self.sample_destination_frequencies(sample)
+        scale = 1 << stop_level
+        ranked = sorted(
+            (
+                (dest, freq)
+                for dest, freq in frequencies.items()
+                if scale * freq >= tau
+            ),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return build_result(
+            ranked=ranked,
+            stop_level=stop_level,
+            sample_size=len(sample),
+            target_size=target,
+        )
+
+    def estimate_distinct_pairs(
+        self, epsilon: float = DEFAULT_EPSILON
+    ) -> int:
+        """Estimate ``U``, the number of distinct active pairs.
+
+        Uses the same distinct sample: ``U_hat = |sample| * 2^b``.
+        """
+        sample, stop_level, _ = self.collect_distinct_sample(epsilon)
+        return len(sample) << stop_level
+
+    # -- merging and copying ---------------------------------------------------
+
+    def compatible_with(self, other: "DistinctCountSketch") -> bool:
+        """True when ``other`` has identical params and seed."""
+        return self.params == other.params and self.seed == other.seed
+
+    def merge(self, other: "DistinctCountSketch") -> None:
+        """Fold ``other`` into this sketch in place.
+
+        Valid because the sketch is a linear transform of the stream:
+        merging per-router sketches yields exactly the sketch of the
+        interleaved streams (Figure 1's multiple update streams).
+        """
+        if not self.compatible_with(other):
+            raise MergeError(
+                "sketches must share params and seed to merge"
+            )
+        for level in range(self.params.num_levels):
+            for j in range(self.params.r):
+                mine = self._tables[level][j]
+                for bucket, signature in other._tables[level][j].items():
+                    existing = mine.get(bucket)
+                    if existing is None:
+                        mine[bucket] = signature.copy()
+                    else:
+                        existing.merge(signature)
+                        if existing.is_zero:
+                            del mine[bucket]
+        self.updates_processed += other.updates_processed
+        self.net_total += other.net_total
+
+    def copy(self) -> "DistinctCountSketch":
+        """Return a deep, independent copy of this sketch."""
+        clone = DistinctCountSketch(self.params, seed=self.seed)
+        for level in range(self.params.num_levels):
+            for j in range(self.params.r):
+                clone._tables[level][j] = {
+                    bucket: signature.copy()
+                    for bucket, signature in self._tables[level][j].items()
+                }
+        clone.updates_processed = self.updates_processed
+        clone.net_total = self.net_total
+        return clone
+
+    def structurally_equal(self, other: "DistinctCountSketch") -> bool:
+        """True when both sketches hold identical counter state.
+
+        This is the delete-resilience test surface: a sketch that saw
+        matched insert/delete pairs must be structurally equal to one
+        that never saw them.
+        """
+        if not self.compatible_with(other):
+            return False
+        return self._tables == other._tables
+
+    # -- space accounting (Section 6.1) ----------------------------------------
+
+    def space_bytes(
+        self, counter_bytes: int = 4, only_active_levels: bool = True
+    ) -> int:
+        """Model space usage per the paper's Section 6.1 accounting.
+
+        Charges ``r * s * (2 log m + 1) * counter_bytes`` per first-level
+        bucket, counting only non-empty levels by default (the paper's
+        "approximately 23 non-empty buckets at U = 8e6").
+        """
+        levels = (
+            self.active_levels() if only_active_levels else self.params.num_levels
+        )
+        return self.params.allocated_bytes(
+            active_levels=levels, counter_bytes=counter_bytes
+        )
+
+    def occupied_buckets(self) -> int:
+        """Number of second-level buckets currently holding state."""
+        return sum(
+            len(table) for level in self._tables for table in level
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DistinctCountSketch(m={self.domain.m}, r={self.params.r}, "
+            f"s={self.params.s}, levels={self.params.num_levels}, "
+            f"updates={self.updates_processed})"
+        )
+
+    def _iter_signatures(
+        self,
+    ) -> Iterator[Tuple[int, int, int, CountSignature]]:
+        """Yield ``(level, j, bucket, signature)`` for all occupied buckets."""
+        for level, level_tables in enumerate(self._tables):
+            for j, table in enumerate(level_tables):
+                for bucket, signature in table.items():
+                    yield level, j, bucket, signature

@@ -1,0 +1,104 @@
+"""Result objects returned by the top-k estimators.
+
+Both ``BaseTopk`` (Section 4) and ``TrackTopk`` (Section 5) return, for
+each reported destination, an estimated distinct-source frequency of
+``2^b * f_v^s`` where ``b`` is the stopping level of the distinct-sample
+walk and ``f_v^s`` the destination's occurrence count in the sample.
+:class:`TopKResult` carries those entries plus the diagnostic context
+(stopping level, sample size) that the experiments report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TopKEntry:
+    """One reported destination.
+
+    Attributes:
+        dest: the destination address.
+        estimate: estimated distinct-source frequency ``2^b * f^s``.
+        sample_frequency: raw occurrence count ``f^s`` in the distinct
+            sample (before scaling).
+    """
+
+    dest: int
+    estimate: int
+    sample_frequency: int
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """An approximate top-k answer.
+
+    Attributes:
+        entries: reported destinations, highest estimate first.
+        stop_level: the first-level bucket index ``b`` at which the
+            distinct-sample walk stopped; estimates are scaled by
+            ``2 ** stop_level``.
+        sample_size: number of distinct pairs in the recovered sample.
+        target_size: the sample-size target ``(1 + eps) * s / 16`` the
+            walk aimed for.
+    """
+
+    entries: Tuple[TopKEntry, ...]
+    stop_level: int
+    sample_size: int
+    target_size: float
+
+    @property
+    def destinations(self) -> List[int]:
+        """Reported destination addresses, best first."""
+        return [entry.dest for entry in self.entries]
+
+    @property
+    def scale(self) -> int:
+        """The sampling-rate inverse ``2 ** stop_level``."""
+        return 1 << self.stop_level
+
+    def estimate_for(self, dest: int) -> Optional[int]:
+        """The estimate for ``dest``, or ``None`` if it was not reported."""
+        for entry in self.entries:
+            if entry.dest == dest:
+                return entry.estimate
+        return None
+
+    def as_dict(self) -> Dict[int, int]:
+        """``{dest: estimate}`` for all reported destinations."""
+        return {entry.dest: entry.estimate for entry in self.entries}
+
+    def __iter__(self) -> Iterator[TopKEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, index: int) -> TopKEntry:
+        return self.entries[index]
+
+
+def build_result(
+    ranked: List[Tuple[int, int]],
+    stop_level: int,
+    sample_size: int,
+    target_size: float,
+) -> TopKResult:
+    """Assemble a :class:`TopKResult` from ``(dest, f^s)`` pairs.
+
+    ``ranked`` must already be sorted by sample frequency, best first;
+    estimates are the sample frequencies scaled by ``2 ** stop_level``.
+    """
+    scale = 1 << stop_level
+    entries = tuple(
+        TopKEntry(dest=dest, estimate=scale * freq, sample_frequency=freq)
+        for dest, freq in ranked
+    )
+    return TopKResult(
+        entries=entries,
+        stop_level=stop_level,
+        sample_size=sample_size,
+        target_size=target_size,
+    )

@@ -1,0 +1,210 @@
+"""An indexed binary max-heap with in-place priority updates.
+
+The tracking sketch's ``topDestHeap(b)`` structures (Section 5) must
+support, besides ``deleteMax``, the operation "find the entry for
+destination v and adjust its frequency by +/-1" (Figure 6, steps 11 and
+21).  The standard-library ``heapq`` cannot do that in ``O(log n)``, so
+we implement a classic binary heap with a key -> position index.
+
+Keys are arbitrary hashables (destination addresses here); priorities
+are integers (sample frequencies).  Ties are broken by key order so the
+heap's pop order — and therefore every top-k answer built on it — is
+deterministic for a given state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, List, Tuple, TypeVar
+
+from ..exceptions import ReproError
+
+K = TypeVar("K", bound=Hashable)
+
+
+class HeapKeyError(ReproError, KeyError):
+    """Raised when an operation references a key absent from the heap."""
+
+
+class IndexedMaxHeap(Generic[K]):
+    """Binary max-heap over ``(priority, key)`` with an index on keys."""
+
+    __slots__ = ("_entries", "_positions")
+
+    def __init__(self) -> None:
+        # Each entry is [priority, key]; lists so priorities mutate in place.
+        self._entries: List[List] = []
+        self._positions: Dict[K, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._positions
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def priority(self, key: K) -> int:
+        """Return the current priority of ``key``."""
+        try:
+            position = self._positions[key]
+        except KeyError:
+            raise HeapKeyError(f"key {key!r} not in heap") from None
+        return self._entries[position][0]
+
+    def insert(self, key: K, priority: int) -> None:
+        """Insert a new key; raises if the key is already present."""
+        if key in self._positions:
+            raise HeapKeyError(f"key {key!r} already in heap")
+        self._entries.append([priority, key])
+        position = len(self._entries) - 1
+        self._positions[key] = position
+        self._sift_up(position)
+
+    def update(self, key: K, priority: int) -> None:
+        """Set the priority of an existing key and restore heap order."""
+        try:
+            position = self._positions[key]
+        except KeyError:
+            raise HeapKeyError(f"key {key!r} not in heap") from None
+        old_priority = self._entries[position][0]
+        self._entries[position][0] = priority
+        if priority > old_priority:
+            self._sift_up(position)
+        elif priority < old_priority:
+            self._sift_down(position)
+
+    def add_to(self, key: K, delta: int, *, remove_at_zero: bool = False) -> int:
+        """Adjust ``key``'s priority by ``delta`` (inserting at ``delta``
+        if absent) and return the new priority.
+
+        This is exactly the Figure 6 heap operation: "find entry for
+        destination v (or create one with f=0 if not already there),
+        update frequency, and adjust the heap".  With
+        ``remove_at_zero=True`` an entry whose priority reaches zero is
+        dropped, keeping the heap tight.
+        """
+        if key in self._positions:
+            new_priority = self.priority(key) + delta
+            if remove_at_zero and new_priority == 0:
+                self.remove(key)
+            else:
+                self.update(key, new_priority)
+            return new_priority
+        self.insert(key, delta)
+        return delta
+
+    def remove(self, key: K) -> int:
+        """Remove ``key``, returning its priority."""
+        try:
+            position = self._positions[key]
+        except KeyError:
+            raise HeapKeyError(f"key {key!r} not in heap") from None
+        priority = self._entries[position][0]
+        self._swap_with_last_and_pop(position)
+        return priority
+
+    def peek(self) -> Tuple[K, int]:
+        """Return ``(key, priority)`` of the maximum without removing it."""
+        if not self._entries:
+            raise HeapKeyError("peek on empty heap")
+        priority, key = self._entries[0]
+        return key, priority
+
+    def pop(self) -> Tuple[K, int]:
+        """Remove and return the maximum ``(key, priority)`` (deleteMax)."""
+        if not self._entries:
+            raise HeapKeyError("pop on empty heap")
+        priority, key = self._entries[0]
+        self._swap_with_last_and_pop(0)
+        return key, priority
+
+    def top_k(self, k: int) -> List[Tuple[K, int]]:
+        """Return the ``k`` largest entries without mutating the heap.
+
+        Implemented as k ``deleteMax`` operations followed by
+        re-insertion, matching the paper's TrackTopk usage while keeping
+        the synopsis intact for subsequent queries.
+        """
+        count = min(k, len(self._entries))
+        popped = [self.pop() for _ in range(count)]
+        for key, priority in popped:
+            self.insert(key, priority)
+        return popped
+
+    def items(self) -> List[Tuple[K, int]]:
+        """All ``(key, priority)`` pairs in arbitrary (heap) order."""
+        return [(key, priority) for priority, key in self._entries]
+
+    def check_invariants(self) -> None:
+        """Assert heap order and index consistency (used by tests)."""
+        for position, (priority, key) in enumerate(self._entries):
+            if self._positions[key] != position:
+                raise AssertionError(
+                    f"position index stale for key {key!r}"
+                )
+            parent = (position - 1) // 2
+            if position > 0 and self._less(
+                self._entries[parent], self._entries[position]
+            ):
+                raise AssertionError(
+                    f"heap order violated at position {position}"
+                )
+        if len(self._positions) != len(self._entries):
+            raise AssertionError("position index size mismatch")
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _less(a: List, b: List) -> bool:
+        """Max-heap ordering: priority first, key as deterministic tiebreak."""
+        if a[0] != b[0]:
+            return a[0] < b[0]
+        # Invert key order so smaller keys win ties at the top.
+        return a[1] > b[1]
+
+    def _swap(self, i: int, j: int) -> None:
+        entries = self._entries
+        entries[i], entries[j] = entries[j], entries[i]
+        self._positions[entries[i][1]] = i
+        self._positions[entries[j][1]] = j
+
+    def _swap_with_last_and_pop(self, position: int) -> None:
+        last = len(self._entries) - 1
+        if position != last:
+            self._swap(position, last)
+        removed = self._entries.pop()
+        del self._positions[removed[1]]
+        if position <= last - 1 and self._entries:
+            position = min(position, len(self._entries) - 1)
+            self._sift_down(position)
+            self._sift_up(position)
+
+    def _sift_up(self, position: int) -> None:
+        entries = self._entries
+        while position > 0:
+            parent = (position - 1) // 2
+            if self._less(entries[parent], entries[position]):
+                self._swap(parent, position)
+                position = parent
+            else:
+                break
+
+    def _sift_down(self, position: int) -> None:
+        entries = self._entries
+        size = len(entries)
+        while True:
+            left = 2 * position + 1
+            right = left + 1
+            largest = position
+            if left < size and self._less(entries[largest], entries[left]):
+                largest = left
+            if right < size and self._less(entries[largest], entries[right]):
+                largest = right
+            if largest == position:
+                break
+            self._swap(position, largest)
+            position = largest
+
+    def __repr__(self) -> str:
+        return f"IndexedMaxHeap(size={len(self._entries)})"

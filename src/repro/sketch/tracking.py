@@ -1,0 +1,351 @@
+"""The Tracking Distinct-Count Sketch and TrackTopk (Section 5).
+
+A Tracking-DCS augments the basic sketch with, per first-level bucket
+``b`` (Figure 5):
+
+1. ``singletons(b)`` — the current set of pairs that are a singleton in
+   at least one of the level's ``r`` inner tables, each with a count of
+   how many tables it is a singleton in (:class:`SingletonSet`);
+2. ``numSingletons(b)`` — the size of that set; and
+3. ``topDestHeap(b)`` — a max-heap over destinations keyed by their
+   occurrence frequency in the distinct sample drawn from levels
+   ``>= b`` (:class:`~repro.sketch.heap.IndexedMaxHeap`).
+
+``UpdateTracking`` (Figure 6) maintains all three alongside every
+count-signature update in ``O(r log^2 m)`` worst-case time;
+``TrackTopk`` (Figure 7) then answers a top-k query in ``O(k log m)`` by
+walking ``numSingletons`` counters to find the stopping level and popping
+the level's heap ``k`` times.
+
+The paper's Figure 6 details only the insertion case and notes the
+deletion case is "completely symmetric"; we implement both through a
+single state-diff: for each inner bucket touched, compare the bucket's
+singleton occupant *before* and *after* the counter update and emit
+add/remove singleton events for any change.  This uniform rule covers
+every transition the paper lists — empty -> singleton,
+singleton -> non-singleton, non-singleton -> singleton,
+singleton -> empty — plus the no-op transitions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..exceptions import ParameterError
+from .dcs import DEFAULT_EPSILON, DistinctCountSketch
+from .estimate import TopKResult, build_result
+from .heap import IndexedMaxHeap
+from .signature import CountSignature
+
+
+class SingletonSet:
+    """The ``singletons(b)`` structure of Figure 5.
+
+    Maps each pair that is currently a singleton in at least one inner
+    table of the level to the number of tables where it is one.  The
+    interface mirrors the paper's: ``getCount``, ``incrCount``,
+    ``decrCount``; all O(1) expected.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    def get_count(self, pair: int) -> int:
+        """Tables in which ``pair`` is currently a singleton (0 if none)."""
+        return self._counts.get(pair, 0)
+
+    def incr_count(self, pair: int) -> int:
+        """Increment ``pair``'s count, inserting at 1; returns new count."""
+        new_count = self._counts.get(pair, 0) + 1
+        self._counts[pair] = new_count
+        return new_count
+
+    def decr_count(self, pair: int) -> int:
+        """Decrement ``pair``'s count, deleting at 0; returns new count."""
+        count = self._counts.get(pair)
+        if count is None:
+            raise ParameterError(
+                f"pair {pair} not present in singleton set"
+            )
+        count -= 1
+        if count == 0:
+            del self._counts[pair]
+        else:
+            self._counts[pair] = count
+        return count
+
+    def pairs(self) -> Set[int]:
+        """The set of distinct singleton pairs (the level's sample)."""
+        return set(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, pair: int) -> bool:
+        return pair in self._counts
+
+    def __repr__(self) -> str:
+        return f"SingletonSet(size={len(self._counts)})"
+
+
+class TrackingDistinctCountSketch(DistinctCountSketch):
+    """Distinct-Count Sketch with incrementally-maintained sample state.
+
+    Supports the same maintenance interface as
+    :class:`DistinctCountSketch` (``insert``/``delete``/``update``/
+    ``process``) and adds :meth:`track_topk` — a continuous-tracking
+    query with ``O(k log m)`` cost.
+
+    Example:
+        >>> from repro.types import AddressDomain
+        >>> sketch = TrackingDistinctCountSketch(AddressDomain(2 ** 16), seed=7)
+        >>> for source in range(80):
+        ...     sketch.insert(source, dest=4)
+        >>> sketch.track_topk(1).destinations[0]
+        4
+    """
+
+    def __init__(
+        self,
+        params,
+        *,
+        r: int = 3,
+        s: int = 128,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(params, r=r, s=s, seed=seed)
+        levels = self.params.num_levels
+        #: singletons(b) for every first-level bucket b.
+        self._singletons: List[SingletonSet] = [
+            SingletonSet() for _ in range(levels)
+        ]
+        #: numSingletons(b) counters.
+        self._num_singletons: List[int] = [0] * levels
+        #: topDestHeap(b): destination -> frequency in sample from levels >= b.
+        self._dest_heaps: List[IndexedMaxHeap] = [
+            IndexedMaxHeap() for _ in range(levels)
+        ]
+
+    # -- maintenance (Figure 6) ------------------------------------------------
+
+    def _update_pair(self, pair: int, delta: int) -> None:
+        """UpdateTracking: signature update plus sample-state maintenance."""
+        level = self._level_hash(pair)
+        tables = self._tables[level]
+        pair_bits = self.params.pair_bits
+        for j, inner_hash in enumerate(self._inner_hashes):
+            bucket = inner_hash(pair)
+            table = tables[j]
+            signature = table.get(bucket)
+            before = (
+                None if signature is None else signature.recover_singleton()
+            )
+            if signature is None:
+                signature = CountSignature(pair_bits)
+                table[bucket] = signature
+            signature.update(pair, delta)
+            if signature.is_zero:
+                del table[bucket]
+                after: Optional[int] = None
+            else:
+                after = signature.recover_singleton()
+            if before == after:
+                continue
+            # The bucket's singleton occupant changed: emit sample events.
+            if before is not None:
+                self._remove_singleton_occurrence(level, before)
+            if after is not None:
+                self._add_singleton_occurrence(level, after)
+        self.updates_processed += 1
+        self.net_total += delta
+
+    def _add_singleton_occurrence(self, level: int, pair: int) -> None:
+        """A bucket at ``level`` became a singleton holding ``pair``."""
+        if self._singletons[level].incr_count(pair) == 1:
+            # New distinct pair in the level's sample (Fig 6, steps 18-22).
+            self._num_singletons[level] += 1
+            dest = self.domain.decode_pair(pair)[1]
+            for l in range(level, -1, -1):
+                self._dest_heaps[l].add_to(dest, 1, remove_at_zero=True)
+
+    def _remove_singleton_occurrence(self, level: int, pair: int) -> None:
+        """A bucket at ``level`` stopped being a singleton of ``pair``."""
+        if self._singletons[level].decr_count(pair) == 0:
+            # Pair left the level's sample (Fig 6, steps 8-12).
+            self._num_singletons[level] -= 1
+            dest = self.domain.decode_pair(pair)[1]
+            for l in range(level, -1, -1):
+                self._dest_heaps[l].add_to(dest, -1, remove_at_zero=True)
+
+    # -- tracked-state accessors -------------------------------------------------
+
+    def num_singletons(self, level: int) -> int:
+        """The ``numSingletons(b)`` counter for ``level``."""
+        return self._num_singletons[level]
+
+    def singleton_pairs(self, level: int) -> Set[int]:
+        """The tracked distinct sample contributed by ``level``."""
+        return self._singletons[level].pairs()
+
+    def heap_frequency(self, level: int, dest: int) -> int:
+        """Tracked sample frequency of ``dest`` at ``level`` (0 if absent)."""
+        heap = self._dest_heaps[level]
+        return heap.priority(dest) if dest in heap else 0
+
+    # -- estimation (Figure 7) -----------------------------------------------------
+
+    def track_topk(
+        self, k: int, epsilon: float = DEFAULT_EPSILON
+    ) -> TopKResult:
+        """TrackTopk: the O(k log m) continuous-tracking query.
+
+        Walks ``numSingletons`` counters top-down to locate the sample
+        inference level, then pops the level's destination heap ``k``
+        times (re-inserting afterwards, so the synopsis is unchanged).
+        """
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        target = self.params.sample_target(epsilon)
+        sample_size = 0
+        stop_level = 0
+        for level in range(self.params.num_levels - 1, -1, -1):
+            sample_size += self._num_singletons[level]
+            stop_level = level
+            if sample_size >= target:
+                break
+        ranked = [
+            (dest, freq)
+            for dest, freq in self._dest_heaps[stop_level].top_k(k)
+            if freq > 0
+        ]
+        return build_result(
+            ranked=ranked,
+            stop_level=stop_level,
+            sample_size=sample_size,
+            target_size=target,
+        )
+
+    def track_threshold(
+        self, tau: int, epsilon: float = DEFAULT_EPSILON
+    ) -> TopKResult:
+        """All destinations with tracked estimate ``>= tau``.
+
+        The footnote-3 threshold variant, answered from tracked state:
+        repeatedly pops the stopping level's heap while estimates clear
+        the threshold. Cost ``O(a log m)`` for ``a`` reported answers.
+        """
+        if tau < 1:
+            raise ParameterError(f"tau must be >= 1, got {tau}")
+        target = self.params.sample_target(epsilon)
+        sample_size = 0
+        stop_level = 0
+        for level in range(self.params.num_levels - 1, -1, -1):
+            sample_size += self._num_singletons[level]
+            stop_level = level
+            if sample_size >= target:
+                break
+        scale = 1 << stop_level
+        heap = self._dest_heaps[stop_level]
+        popped: List[Tuple[int, int]] = []
+        while heap:
+            dest, freq = heap.pop()
+            if scale * freq < tau:
+                heap.insert(dest, freq)
+                break
+            popped.append((dest, freq))
+        for dest, freq in popped:
+            heap.insert(dest, freq)
+        return build_result(
+            ranked=popped,
+            stop_level=stop_level,
+            sample_size=sample_size,
+            target_size=target,
+        )
+
+    # -- consistency checking ---------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Verify tracked state against a from-scratch recomputation.
+
+        Asserts that, for every level ``b``:
+
+        * ``singletons(b)`` equals the set ``GetdSample`` would recover;
+        * ``numSingletons(b)`` equals its size; and
+        * ``topDestHeap(b)`` holds exactly the destination frequencies of
+          the union of singleton sets from levels ``>= b``.
+
+        Used heavily by the test suite; O(sketch size), not for hot paths.
+        """
+        cumulative: Dict[int, int] = {}
+        for level in range(self.params.num_levels - 1, -1, -1):
+            expected_sample = self.get_dsample(level)
+            tracked_sample = self._singletons[level].pairs()
+            if expected_sample != tracked_sample:
+                raise AssertionError(
+                    f"level {level}: tracked singletons diverge from scan"
+                )
+            if self._num_singletons[level] != len(expected_sample):
+                raise AssertionError(
+                    f"level {level}: numSingletons counter is stale"
+                )
+            for pair in expected_sample:
+                dest = self.domain.decode_pair(pair)[1]
+                cumulative[dest] = cumulative.get(dest, 0) + 1
+            heap_state = dict(self._dest_heaps[level].items())
+            expected_heap = {
+                dest: freq for dest, freq in cumulative.items() if freq > 0
+            }
+            if heap_state != expected_heap:
+                raise AssertionError(
+                    f"level {level}: topDestHeap diverges from sample"
+                )
+            self._dest_heaps[level].check_invariants()
+
+    # -- merging ------------------------------------------------------------------
+
+    def merge(self, other: DistinctCountSketch) -> None:
+        """Merge another sketch's stream into this one.
+
+        Implemented by replaying the structural merge and then rebuilding
+        the tracked sample state, since singleton-ness is not additive
+        (two singletons can merge into a collision).
+        """
+        super().merge(other)
+        self._rebuild_tracking_state()
+
+    def _rebuild_tracking_state(self) -> None:
+        """Recompute singletons/counters/heaps from the raw signatures."""
+        levels = self.params.num_levels
+        self._singletons = [SingletonSet() for _ in range(levels)]
+        self._num_singletons = [0] * levels
+        self._dest_heaps = [IndexedMaxHeap() for _ in range(levels)]
+        for level in range(levels):
+            for table in self._tables[level]:
+                for signature in table.values():
+                    pair = signature.recover_singleton()
+                    if pair is not None:
+                        self._add_singleton_occurrence(level, pair)
+
+    def copy(self) -> "TrackingDistinctCountSketch":
+        """Deep copy, including tracked state (rebuilt from signatures)."""
+        clone = TrackingDistinctCountSketch(self.params, seed=self.seed)
+        for level in range(self.params.num_levels):
+            for j in range(self.params.r):
+                clone._tables[level][j] = {
+                    bucket: signature.copy()
+                    for bucket, signature in self._tables[level][j].items()
+                }
+        clone.updates_processed = self.updates_processed
+        clone.net_total = self.net_total
+        clone._rebuild_tracking_state()
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"TrackingDistinctCountSketch(m={self.domain.m}, "
+            f"r={self.params.r}, s={self.params.s}, "
+            f"levels={self.params.num_levels}, "
+            f"updates={self.updates_processed})"
+        )

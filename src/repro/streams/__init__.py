@@ -1,0 +1,67 @@
+"""Flow-update streams: sources, workload generators, and churn injection.
+
+The stream model (Section 2) is a sequence of updates
+``(source, dest, +/-1)``.  This package provides:
+
+* :mod:`repro.streams.source` — composable stream sources: in-memory
+  replay, concatenation, and the round-robin interleaving a monitor sees
+  when several routers feed it (Figure 1).
+* :mod:`repro.streams.zipf` — the paper's synthetic workload generator
+  (Section 6.1): ``U`` distinct source-destination pairs spread over
+  ``d`` destinations with Zipf(z) skew.
+* :mod:`repro.streams.mutation` — churn injection: duplicate
+  insertions, matched insert/delete pairs (legitimate flows that
+  complete their handshake), and shuffling.
+* :mod:`repro.streams.stats` — exact accounting helpers (net pair
+  counts, true distinct-source frequencies, U) used as ground truth by
+  the experiments.
+"""
+
+from .adversarial import (
+    ChurnStorm,
+    RankFlipper,
+    SingleVictimStorm,
+    UniformSpray,
+)
+from .mutation import (
+    interleave,
+    shuffled,
+    with_duplicates,
+    with_matched_deletions,
+)
+from .source import ChainSource, ListSource, RoundRobinMerge, UpdateSource
+from .stats import net_pair_counts, true_frequencies, total_distinct_pairs
+from .trace import read_trace, trace_from_string, write_trace
+from .transport import (
+    Channel,
+    DuplicatingChannel,
+    LossyChannel,
+    ReorderingChannel,
+)
+from .zipf import ZipfWorkload
+
+__all__ = [
+    "ChainSource",
+    "Channel",
+    "ChurnStorm",
+    "DuplicatingChannel",
+    "ListSource",
+    "LossyChannel",
+    "ReorderingChannel",
+    "RankFlipper",
+    "SingleVictimStorm",
+    "UniformSpray",
+    "RoundRobinMerge",
+    "UpdateSource",
+    "ZipfWorkload",
+    "interleave",
+    "net_pair_counts",
+    "read_trace",
+    "shuffled",
+    "total_distinct_pairs",
+    "trace_from_string",
+    "true_frequencies",
+    "with_duplicates",
+    "with_matched_deletions",
+    "write_trace",
+]

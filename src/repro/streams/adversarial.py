@@ -1,0 +1,179 @@
+"""Adversarial workloads: stress patterns beyond friendly Zipf streams.
+
+The paper's robustness claims deserve hostile inputs.  These generators
+produce the stress patterns a deployed monitor will eventually meet:
+
+* :class:`SingleVictimStorm` — the entire stream is one destination
+  (maximal frequency concentration; the estimator's easiest catch but
+  the heap's deepest single entry).
+* :class:`UniformSpray` — every pair distinct, every destination
+  frequency 1 (no top-k signal at all; the estimator must not invent
+  one).
+* :class:`ChurnStorm` — pairs inserted and deleted at high frequency so
+  the tracked state oscillates (maximal singleton-transition pressure
+  on ``UpdateTracking``).
+* :class:`RankFlipper` — two destinations alternately overtake each
+  other so every tracking query straddles a rank boundary (the
+  "reversing the order of neighboring top-k elements" effect the paper
+  mentions as its main recall loss).
+
+All generators are deterministic given their seed and expose exact
+ground truth where meaningful.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List
+
+from ..exceptions import ParameterError
+from ..types import FlowUpdate
+from .source import UpdateSource
+
+
+class SingleVictimStorm(UpdateSource):
+    """Every update targets one destination from a distinct source."""
+
+    def __init__(self, dest: int, sources: int, seed: int = 0) -> None:
+        if sources < 1:
+            raise ParameterError(f"sources must be >= 1, got {sources}")
+        self.dest = dest
+        self.sources = sources
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.sources
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        rng = random.Random(self.seed)
+        seen = set()
+        while len(seen) < self.sources:
+            source = rng.randrange(2 ** 32)
+            if source in seen:
+                continue
+            seen.add(source)
+            yield FlowUpdate(source, self.dest, +1)
+
+    def frequencies(self) -> Dict[int, int]:
+        """Ground truth: one destination at full frequency."""
+        return {self.dest: self.sources}
+
+
+class UniformSpray(UpdateSource):
+    """Every pair distinct and every destination hit exactly once."""
+
+    def __init__(self, pairs: int, seed: int = 0) -> None:
+        if pairs < 1:
+            raise ParameterError(f"pairs must be >= 1, got {pairs}")
+        self.pairs = pairs
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.pairs
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        rng = random.Random(self.seed)
+        dests = set()
+        while len(dests) < self.pairs:
+            dest = rng.randrange(2 ** 32)
+            if dest in dests:
+                continue
+            dests.add(dest)
+            yield FlowUpdate(rng.randrange(2 ** 32), dest, +1)
+
+    def frequencies(self) -> Dict[int, int]:
+        """Ground truth: every destination frequency is exactly 1."""
+        return {update.dest: 1 for update in self}
+
+
+class ChurnStorm(UpdateSource):
+    """A fixed pair set cycled through insert/delete rounds.
+
+    After every full round the net state equals the initial insertion
+    round, so at any *round boundary* the tracked answers must equal a
+    churn-free sketch's.  ``survivor_dest`` receives extra persistent
+    pairs so there is a stable signal to recover.
+    """
+
+    def __init__(
+        self,
+        churn_pairs: int,
+        rounds: int,
+        survivor_dest: int,
+        survivor_sources: int,
+        seed: int = 0,
+    ) -> None:
+        if churn_pairs < 1 or rounds < 1 or survivor_sources < 1:
+            raise ParameterError(
+                "churn_pairs, rounds, survivor_sources must be >= 1"
+            )
+        self.churn_pairs = churn_pairs
+        self.rounds = rounds
+        self.survivor_dest = survivor_dest
+        self.survivor_sources = survivor_sources
+        self.seed = seed
+
+    def _churn_set(self) -> List[FlowUpdate]:
+        rng = random.Random(self.seed)
+        return [
+            FlowUpdate(rng.randrange(2 ** 32), rng.randrange(2 ** 16), +1)
+            for _ in range(self.churn_pairs)
+        ]
+
+    def __len__(self) -> int:
+        return (self.survivor_sources
+                + 2 * self.churn_pairs * self.rounds)
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        for source in range(self.survivor_sources):
+            yield FlowUpdate(source, self.survivor_dest, +1)
+        churn = self._churn_set()
+        for _ in range(self.rounds):
+            yield from churn
+            for update in churn:
+                yield update.inverted()
+
+    def frequencies(self) -> Dict[int, int]:
+        """Ground truth at any round boundary: survivors only."""
+        return {self.survivor_dest: self.survivor_sources}
+
+
+class RankFlipper(UpdateSource):
+    """Two destinations repeatedly overtaking each other.
+
+    Emits ``flips`` phases; in each phase one of the two destinations
+    gains ``step`` fresh sources, alternating — so their ranks swap
+    every phase and any query lands near a rank boundary.
+    """
+
+    def __init__(self, dest_a: int, dest_b: int, flips: int = 10,
+                 step: int = 20, seed: int = 0) -> None:
+        if dest_a == dest_b:
+            raise ParameterError("destinations must differ")
+        if flips < 1 or step < 1:
+            raise ParameterError("flips and step must be >= 1")
+        self.dest_a = dest_a
+        self.dest_b = dest_b
+        self.flips = flips
+        self.step = step
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.flips * self.step
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        next_source = 0
+        for phase in range(self.flips):
+            dest = self.dest_a if phase % 2 == 0 else self.dest_b
+            for _ in range(self.step):
+                yield FlowUpdate(next_source, dest, +1)
+                next_source += 1
+
+    def frequencies(self) -> Dict[int, int]:
+        """Final ground-truth frequencies of the two destinations."""
+        phases_a = (self.flips + 1) // 2
+        phases_b = self.flips // 2
+        return {
+            self.dest_a: phases_a * self.step,
+            self.dest_b: phases_b * self.step,
+        }

@@ -1,0 +1,110 @@
+"""Churn injection: turning clean insert streams into realistic updates.
+
+The paper's central robustness claim is that the sketch "can readily
+handle deletions in the data stream" and is impervious to them: matched
+insert/delete pairs leave the synopsis exactly as if never seen.  These
+helpers build the streams that exercise that claim:
+
+* :func:`with_duplicates` re-inserts existing pairs (a source
+  retransmitting its SYN), which must not change any *distinct* count;
+* :func:`with_matched_deletions` appends, for a fraction of pairs, a
+  later deletion (the client ACKed — the flow became legitimate), which
+  must remove the pair from the tracked frequencies entirely;
+* :func:`interleave` and :func:`shuffled` reorder streams, which must
+  not change the final sketch (linearity).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence
+
+from ..exceptions import ParameterError
+from ..types import FlowUpdate
+
+
+def _validate_rate(rate: float) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ParameterError(f"rate must be in [0, 1], got {rate}")
+
+
+def shuffled(
+    updates: Sequence[FlowUpdate], seed: int = 0
+) -> List[FlowUpdate]:
+    """Return the updates in a deterministic random order."""
+    result = list(updates)
+    random.Random(seed).shuffle(result)
+    return result
+
+
+def with_duplicates(
+    updates: Sequence[FlowUpdate], rate: float, seed: int = 0
+) -> List[FlowUpdate]:
+    """Duplicate a ``rate`` fraction of insertions at random positions.
+
+    Duplicates raise a pair's multiplicity above one; distinct-source
+    frequencies are unchanged, which is exactly what the estimators must
+    preserve.
+    """
+    _validate_rate(rate)
+    rng = random.Random(seed)
+    inserts = [update for update in updates if update.is_insert]
+    duplicate_count = int(rate * len(inserts))
+    duplicates = rng.sample(inserts, duplicate_count) if duplicate_count else []
+    result = list(updates) + duplicates
+    rng.shuffle(result)
+    return result
+
+
+def with_matched_deletions(
+    updates: Sequence[FlowUpdate], rate: float, seed: int = 0
+) -> List[FlowUpdate]:
+    """Append a matching deletion for a ``rate`` fraction of insertions.
+
+    Models legitimate flows completing their handshake: the deletion
+    always appears *after* its insertion (deletions are shuffled into
+    the tail half of the stream), keeping the stream well-formed in the
+    strict-turnstile sense.
+
+    Returns the new stream; pairs chosen for deletion end with net count
+    zero and must vanish from every tracked frequency.
+    """
+    _validate_rate(rate)
+    rng = random.Random(seed)
+    inserts = [update for update in updates if update.is_insert]
+    chosen = (
+        rng.sample(inserts, int(rate * len(inserts)))
+        if rate > 0 and inserts
+        else []
+    )
+    deletions = [update.inverted() for update in chosen]
+    rng.shuffle(deletions)
+    # Keep all original updates in order, then apply the deletions.
+    return list(updates) + deletions
+
+
+def interleave(
+    *streams: Iterable[FlowUpdate], seed: int = 0
+) -> List[FlowUpdate]:
+    """Randomly interleave several streams, preserving each one's order.
+
+    Per-stream order preservation keeps every stream well-formed (no
+    deletion jumps ahead of its insertion) while the merge order is
+    random, modeling asynchronous arrival from multiple routers.
+    """
+    rng = random.Random(seed)
+    cursors = [list(stream) for stream in streams]
+    positions = [0] * len(cursors)
+    result: List[FlowUpdate] = []
+    remaining = sum(len(cursor) for cursor in cursors)
+    while remaining > 0:
+        live = [
+            index
+            for index, cursor in enumerate(cursors)
+            if positions[index] < len(cursor)
+        ]
+        pick = rng.choice(live)
+        result.append(cursors[pick][positions[pick]])
+        positions[pick] += 1
+        remaining -= 1
+    return result

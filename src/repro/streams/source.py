@@ -1,0 +1,92 @@
+"""Composable flow-update stream sources.
+
+A monitor in the Figure 1 architecture consumes "a (collection of)
+continuous streams of flow updates" from network elements.  These small
+source classes model that: each source is an iterable of
+:class:`~repro.types.FlowUpdate` that can be replayed, concatenated, or
+interleaved round-robin the way a collector multiplexes router feeds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence
+
+from ..types import FlowUpdate
+
+
+class UpdateSource:
+    """Base class: an iterable, replayable stream of flow updates."""
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def materialize(self) -> List[FlowUpdate]:
+        """Return the whole stream as a list (for shuffling or reuse)."""
+        return list(self)
+
+
+class ListSource(UpdateSource):
+    """A stream backed by an in-memory list of updates."""
+
+    def __init__(self, updates: Sequence[FlowUpdate]) -> None:
+        self._updates = list(updates)
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def append(self, update: FlowUpdate) -> None:
+        """Append one update to the stream."""
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[FlowUpdate]) -> None:
+        """Append many updates to the stream."""
+        self._updates.extend(updates)
+
+
+class ChainSource(UpdateSource):
+    """Concatenates several sources back to back."""
+
+    def __init__(self, *sources: UpdateSource) -> None:
+        self._sources = list(sources)
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        for source in self._sources:
+            yield from source
+
+    def __len__(self) -> int:
+        return sum(len(source) for source in self._sources)
+
+
+class RoundRobinMerge(UpdateSource):
+    """Interleaves several sources one update at a time.
+
+    Models a collector polling multiple router feeds in turn; exhausted
+    feeds drop out of the rotation.  Because the Distinct-Count Sketch
+    is order-insensitive (it is a linear transform of the update
+    multiset), any interleaving yields the same final sketch — a fact
+    the integration tests exercise.
+    """
+
+    def __init__(self, *sources: UpdateSource) -> None:
+        self._sources = list(sources)
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        iterators = [iter(source) for source in self._sources]
+        while iterators:
+            still_live = []
+            for iterator in iterators:
+                try:
+                    yield next(iterator)
+                except StopIteration:
+                    continue
+                still_live.append(iterator)
+            iterators = still_live
+
+    def __len__(self) -> int:
+        return sum(len(source) for source in self._sources)

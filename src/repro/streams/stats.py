@@ -1,0 +1,57 @@
+"""Exact stream accounting: the ground truth for every experiment.
+
+Implements the Section 2 semantics directly: the *distinct-source
+frequency* of a destination ``v`` is the number of sources ``u`` whose
+net update count for ``(u, v)`` is positive,
+
+    ``f_v = |{u : OCCUR(u, v, +1) > OCCUR(u, v, -1)}|``
+
+and ``U = sum_v f_v`` is the total number of distinct active pairs.
+These helpers are O(stream length) in time and O(distinct pairs) in
+space — exactly the cost the sketch exists to avoid — and serve as the
+reference answer for recall/error measurements.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Tuple
+
+from ..types import FlowUpdate
+
+
+def net_pair_counts(
+    updates: Iterable[FlowUpdate],
+) -> Dict[Tuple[int, int], int]:
+    """Net occurrence count of every (source, dest) pair in the stream.
+
+    Pairs whose count returns to zero are dropped, so the result holds
+    only pairs with a nonzero net count.
+    """
+    counts: Dict[Tuple[int, int], int] = defaultdict(int)
+    for update in updates:
+        key = (update.source, update.dest)
+        counts[key] += update.delta
+        if counts[key] == 0:
+            del counts[key]
+    return dict(counts)
+
+
+def true_frequencies(updates: Iterable[FlowUpdate]) -> Dict[int, int]:
+    """Exact distinct-source frequency ``f_v`` of every destination.
+
+    Only pairs with *positive* net count contribute, per the paper's
+    definition; a destination with no active sources is absent.
+    """
+    frequencies: Dict[int, int] = defaultdict(int)
+    for (source, dest), count in net_pair_counts(updates).items():
+        if count > 0:
+            frequencies[dest] += 1
+    return dict(frequencies)
+
+
+def total_distinct_pairs(updates: Iterable[FlowUpdate]) -> int:
+    """The paper's ``U``: number of distinct pairs with positive net count."""
+    return sum(
+        1 for count in net_pair_counts(updates).values() if count > 0
+    )

@@ -1,0 +1,155 @@
+"""Transport channels: what UDP does to an update stream.
+
+NetFlow export (the paper's suggested feed) rides UDP: records can be
+*lost*, *duplicated*, or *reordered* between router and monitor.  Each
+imperfection interacts differently with the sketch semantics:
+
+* **reordering** is harmless — the sketch is order-invariant;
+* **duplication** inflates a pair's multiplicity: a duplicated insert
+  followed by one delete leaves net +1, a phantom half-open flow;
+* **loss** is the dangerous one: losing a deletion leaves a legitimate
+  flow counted forever (overcount), losing an insertion can drive a
+  pair's net count negative (undercount / ill-formed stream).
+
+These channel models are deterministic given their seed, so experiments
+can sweep loss rates reproducibly (bench E13); the monitor-facing fix —
+periodic re-synchronisation from a fresh epoch — is what
+:class:`~repro.monitor.epochs.EpochRotator` provides, and the bench
+demonstrates the combination.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Sequence
+
+from ..exceptions import ParameterError
+from ..types import FlowUpdate
+
+
+class LossyChannel:
+    """Drops each update independently with probability ``loss_rate``."""
+
+    def __init__(self, loss_rate: float, seed: int = 0) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ParameterError(
+                f"loss_rate must be in [0, 1), got {loss_rate}"
+            )
+        self.loss_rate = loss_rate
+        self.seed = seed
+        #: Updates dropped by the most recent transmission.
+        self.dropped = 0
+
+    def transmit(
+        self, updates: Iterable[FlowUpdate]
+    ) -> Iterator[FlowUpdate]:
+        """Yield the updates that survive the channel."""
+        rng = random.Random(self.seed)
+        self.dropped = 0
+        for update in updates:
+            if rng.random() < self.loss_rate:
+                self.dropped += 1
+                continue
+            yield update
+
+
+class DuplicatingChannel:
+    """Re-delivers each update with probability ``duplicate_rate``.
+
+    Duplicates arrive immediately after the original (the common UDP
+    retransmit-storm pattern); a duplicated duplicate is possible at
+    rate ``duplicate_rate ** 2`` and so on.
+    """
+
+    def __init__(self, duplicate_rate: float, seed: int = 0) -> None:
+        if not 0.0 <= duplicate_rate < 1.0:
+            raise ParameterError(
+                f"duplicate_rate must be in [0, 1), got {duplicate_rate}"
+            )
+        self.duplicate_rate = duplicate_rate
+        self.seed = seed
+        #: Extra copies injected by the most recent transmission.
+        self.duplicated = 0
+
+    def transmit(
+        self, updates: Iterable[FlowUpdate]
+    ) -> Iterator[FlowUpdate]:
+        """Yield updates, occasionally more than once."""
+        rng = random.Random(self.seed)
+        self.duplicated = 0
+        for update in updates:
+            yield update
+            while rng.random() < self.duplicate_rate:
+                self.duplicated += 1
+                yield update
+
+
+class ReorderingChannel:
+    """Shuffles updates within a bounded window (jittered delivery).
+
+    Each update is delayed by a uniformly random number of slots up to
+    ``window``; ties preserve the original order.  Models per-packet
+    jitter without unbounded displacement.
+    """
+
+    def __init__(self, window: int, seed: int = 0) -> None:
+        if window < 0:
+            raise ParameterError(f"window must be >= 0, got {window}")
+        self.window = window
+        self.seed = seed
+
+    def transmit(
+        self, updates: Sequence[FlowUpdate]
+    ) -> List[FlowUpdate]:
+        """Return the updates in jittered order."""
+        rng = random.Random(self.seed)
+        keyed = [
+            (index + rng.randint(0, self.window), index, update)
+            for index, update in enumerate(updates)
+        ]
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        return [update for _, _, update in keyed]
+
+
+class Channel:
+    """A composite channel: loss, duplication, and reordering chained.
+
+    Args:
+        loss_rate: per-update drop probability.
+        duplicate_rate: per-update duplication probability.
+        reorder_window: maximum displacement in delivery order.
+        seed: shared seed (each stage derives its own).
+    """
+
+    def __init__(
+        self,
+        loss_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        reorder_window: int = 0,
+        seed: int = 0,
+    ) -> None:
+        self.lossy = LossyChannel(loss_rate, seed=seed * 3 + 1)
+        self.duplicating = DuplicatingChannel(
+            duplicate_rate, seed=seed * 3 + 2
+        )
+        self.reordering = ReorderingChannel(
+            reorder_window, seed=seed * 3 + 3
+        )
+
+    def transmit(
+        self, updates: Sequence[FlowUpdate]
+    ) -> List[FlowUpdate]:
+        """Apply duplication, then loss, then reordering."""
+        duplicated = list(self.duplicating.transmit(updates))
+        survived = list(self.lossy.transmit(duplicated))
+        return self.reordering.transmit(survived)
+
+    @property
+    def dropped(self) -> int:
+        """Updates dropped in the last transmission."""
+        return self.lossy.dropped
+
+    @property
+    def duplicated(self) -> int:
+        """Extra copies injected in the last transmission."""
+        return self.duplicating.duplicated

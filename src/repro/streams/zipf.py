@@ -1,0 +1,208 @@
+"""The paper's synthetic workload generator (Section 6.1).
+
+The experimental streams are "characterized by three key parameters:
+the total number of distinct source-destination IP-address pairs U, the
+number of distinct destinations d, and the Zipfian skew parameter z that
+determines the distribution of distinct source IP addresses across the d
+distinct destinations".
+
+:class:`ZipfWorkload` reproduces that: destination rank ``i`` (from 1)
+receives a share of ``U`` proportional to ``i^-z``, each of its sources
+is a distinct address, and the stream is the (optionally shuffled)
+sequence of insertions for every pair.  The generator also knows its own
+exact frequencies, which is what makes recall/error measurement cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from ..exceptions import ParameterError
+from ..types import AddressDomain, FlowUpdate
+from .source import UpdateSource
+
+
+def _draw_distinct(
+    rng: np.random.Generator, domain_size: int, count: int
+) -> List[int]:
+    """Draw ``count`` distinct integers from ``[0, domain_size)``.
+
+    Vectorized rejection sampling: memory is O(count) regardless of the
+    domain size, and for ``count <= domain_size / 2`` the expected number
+    of rounds is O(1).
+    """
+    drawn: List[int] = []
+    seen: set = set()
+    needed = count
+    while needed > 0:
+        batch = rng.integers(0, domain_size, size=max(2 * needed, 16))
+        for address in batch:
+            value = int(address)
+            if value not in seen:
+                seen.add(value)
+                drawn.append(value)
+                needed -= 1
+                if needed == 0:
+                    break
+    return drawn
+
+
+class ZipfWorkload(UpdateSource):
+    """Synthetic flow-update workload with Zipf-distributed frequencies.
+
+    Args:
+        domain: address domain; destinations and sources are drawn from
+            it without collisions between the two roles.
+        distinct_pairs: the paper's ``U`` — total distinct pairs.
+        destinations: the paper's ``d`` — number of distinct
+            destinations.
+        skew: the paper's ``z`` — Zipf exponent (1.0 = moderate,
+            2.5 = extreme).
+        seed: RNG seed for address assignment and stream order.
+        shuffle: whether to shuffle the update order (the sketch is
+            order-insensitive, but shuffling exercises that fact).
+
+    The exact per-destination distinct-source counts are available as
+    :meth:`frequencies` before a single update is generated.
+    """
+
+    def __init__(
+        self,
+        domain: AddressDomain,
+        distinct_pairs: int,
+        destinations: int,
+        skew: float,
+        seed: int = 0,
+        shuffle: bool = True,
+    ) -> None:
+        if distinct_pairs < 1:
+            raise ParameterError("distinct_pairs must be >= 1")
+        if destinations < 1:
+            raise ParameterError("destinations must be >= 1")
+        if destinations > distinct_pairs:
+            raise ParameterError(
+                "cannot have more destinations than distinct pairs"
+            )
+        if skew < 0:
+            raise ParameterError(f"skew must be >= 0, got {skew}")
+        if destinations >= domain.m:
+            raise ParameterError(
+                "destination count must be below the domain size"
+            )
+        if distinct_pairs > domain.m // 2:
+            raise ParameterError(
+                "distinct_pairs must be at most half the domain size so "
+                "distinct source addresses can be drawn efficiently"
+            )
+        self.domain = domain
+        self.distinct_pairs = distinct_pairs
+        self.num_destinations = destinations
+        self.skew = skew
+        self.seed = seed
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+        self._dest_addresses = self._draw_destination_addresses()
+        self._counts = self._allocate_counts()
+
+    # -- workload shape ---------------------------------------------------------
+
+    def _draw_destination_addresses(self) -> np.ndarray:
+        """Pick ``d`` distinct destination addresses from the domain.
+
+        Rejection sampling keeps memory proportional to ``d`` even when
+        the domain is the full 2^32 IPv4 space (numpy's
+        ``choice(replace=False)`` would materialize the population).
+        """
+        drawn = _draw_distinct(
+            self._rng, self.domain.m, self.num_destinations
+        )
+        return np.asarray(drawn, dtype=np.int64)
+
+    def _allocate_counts(self) -> np.ndarray:
+        """Split ``U`` across destinations proportionally to ``rank^-z``.
+
+        Uses largest-remainder rounding so the counts sum to exactly
+        ``U`` and every destination gets at least one source.
+        """
+        ranks = np.arange(1, self.num_destinations + 1, dtype=np.float64)
+        weights = ranks ** -self.skew
+        shares = weights / weights.sum() * self.distinct_pairs
+        counts = np.floor(shares).astype(np.int64)
+        # Guarantee one source per destination before distributing the rest.
+        counts = np.maximum(counts, 1)
+        deficit = self.distinct_pairs - int(counts.sum())
+        if deficit > 0:
+            remainders = shares - np.floor(shares)
+            order = np.argsort(-remainders)
+            for index in order[:deficit]:
+                counts[index] += 1
+            deficit = self.distinct_pairs - int(counts.sum())
+            # Any residue (all remainders exhausted) lands on the head.
+            if deficit > 0:
+                counts[0] += deficit
+        elif deficit < 0:
+            # The max(counts, 1) floor overshot; shave the largest counts.
+            order = np.argsort(-counts)
+            index = 0
+            while deficit < 0:
+                target = order[index % len(order)]
+                if counts[target] > 1:
+                    counts[target] -= 1
+                    deficit += 1
+                index += 1
+        return counts
+
+    def frequencies(self) -> Dict[int, int]:
+        """Exact distinct-source frequency of every destination address."""
+        return {
+            int(dest): int(count)
+            for dest, count in zip(self._dest_addresses, self._counts)
+        }
+
+    @property
+    def total_updates(self) -> int:
+        """Stream length (one insertion per distinct pair)."""
+        return self.distinct_pairs
+
+    def __len__(self) -> int:
+        return self.distinct_pairs
+
+    # -- stream generation ---------------------------------------------------------
+
+    def pairs(self) -> List[tuple]:
+        """All (source, dest) pairs, one per distinct pair.
+
+        Source addresses are globally distinct across the workload (a
+        fresh address per pair), matching the paper's spoofed-source
+        attack model where every pair is unique.
+        """
+        rng = np.random.default_rng(self.seed + 1)
+        drawn = _draw_distinct(rng, self.domain.m, self.distinct_pairs)
+        result = []
+        cursor = 0
+        for dest, count in zip(self._dest_addresses, self._counts):
+            for source in drawn[cursor : cursor + int(count)]:
+                result.append((source, int(dest)))
+            cursor += int(count)
+        if self.shuffle:
+            order = np.random.default_rng(self.seed + 2).permutation(
+                len(result)
+            )
+            result = [result[i] for i in order]
+        return result
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        for source, dest in self.pairs():
+            yield FlowUpdate(source, dest, 1)
+
+    def updates(self) -> List[FlowUpdate]:
+        """The whole stream as a list of insertions."""
+        return list(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ZipfWorkload(U={self.distinct_pairs}, "
+            f"d={self.num_destinations}, z={self.skew}, seed={self.seed})"
+        )

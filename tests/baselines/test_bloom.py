@@ -1,0 +1,102 @@
+"""Tests for Bloom filters and the deduplicating front-end."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import BloomFilter, DedupFront
+from repro.exceptions import ParameterError
+from repro.streams import true_frequencies
+from repro.types import FlowUpdate
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(bits=1 << 12, hashes=4, seed=1)
+        keys = [random.Random(2).randrange(2 ** 40) for _ in range(500)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(bits=1 << 14, hashes=4, seed=3)
+        rng = random.Random(4)
+        members = {rng.randrange(2 ** 40) for _ in range(1000)}
+        for key in members:
+            bloom.add(key)
+        probes = [rng.randrange(2 ** 40) for _ in range(5000)]
+        false_positives = sum(
+            1 for key in probes if key not in members and key in bloom
+        )
+        observed = false_positives / len(probes)
+        predicted = bloom.expected_false_positive_rate()
+        assert observed < 3 * predicted + 0.02
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(seed=5)
+        assert all(key not in bloom for key in range(100))
+        assert bloom.expected_false_positive_rate() == 0.0
+
+    def test_add_if_new(self):
+        bloom = BloomFilter(seed=6)
+        assert bloom.add_if_new(42)
+        assert not bloom.add_if_new(42)
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(bits=1 << 10, hashes=2, seed=7)
+        assert bloom.fill_ratio == 0.0
+        for key in range(100):
+            bloom.add(key)
+        assert bloom.fill_ratio > 0.1
+
+    def test_space_bytes(self):
+        assert BloomFilter(bits=1 << 16).space_bytes() == 8192
+
+    @pytest.mark.parametrize("kwargs", [dict(bits=4), dict(hashes=0)])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            BloomFilter(**kwargs)
+
+
+class TestDedupFront:
+    def test_suppresses_duplicates(self):
+        front = DedupFront(seed=1)
+        stream = [FlowUpdate(1, 2, +1)] * 10 + [FlowUpdate(3, 4, +1)]
+        forwarded = list(front.forward(stream))
+        assert len(forwarded) == 2
+        assert front.suppressed == 9
+
+    def test_forwarded_stream_has_unit_frequencies(self):
+        front = DedupFront(seed=2)
+        rng = random.Random(3)
+        stream = []
+        for _ in range(2000):
+            stream.append(
+                FlowUpdate(rng.randrange(50), rng.randrange(10), +1)
+            )
+        forwarded = list(front.forward(stream))
+        # Each distinct forwarded pair appears exactly once.
+        pairs = [(u.source, u.dest) for u in forwarded]
+        assert len(pairs) == len(set(pairs))
+
+    def test_deletions_are_dropped(self):
+        # The structural limitation: the filter cannot unlearn.
+        front = DedupFront(seed=4)
+        stream = [
+            FlowUpdate(1, 2, +1),
+            FlowUpdate(1, 2, -1),   # dropped by the front-end
+            FlowUpdate(1, 2, +1),   # suppressed: pair "already seen"
+        ]
+        forwarded = list(front.forward(stream))
+        # Downstream sees a permanently half-open flow even though the
+        # true net state oscillated — the DCS contrast.
+        assert true_frequencies(forwarded) == {2: 1}
+
+    def test_counters(self):
+        front = DedupFront(seed=5)
+        list(front.forward([FlowUpdate(1, 2, +1),
+                            FlowUpdate(1, 2, +1)]))
+        assert front.forwarded == 1
+        assert front.suppressed == 1

@@ -1,0 +1,37 @@
+"""Tests for the brute-force space strawman."""
+
+from __future__ import annotations
+
+from repro.baselines import BruteForceTracker
+
+
+class TestSpaceModel:
+    def test_twelve_bytes_per_pair(self):
+        tracker = BruteForceTracker()
+        for source in range(10):
+            tracker.insert(source, 1)
+        assert tracker.space_bytes() == 120
+
+    def test_duplicates_do_not_grow_space(self):
+        tracker = BruteForceTracker()
+        for _ in range(10):
+            tracker.insert(1, 1)
+        assert tracker.space_bytes() == 12
+
+    def test_projected_matches_paper_8m(self):
+        # The paper: "approximately 96MB of space" at U = 8e6.
+        projected = BruteForceTracker.projected_space_bytes(8_000_000)
+        assert projected == 96_000_000
+
+    def test_projected_matches_paper_1e9(self):
+        # The paper: "over 12GB" at U = 2^30.
+        projected = BruteForceTracker.projected_space_bytes(2 ** 30)
+        assert projected > 12e9
+
+    def test_behaves_like_exact_tracker(self):
+        tracker = BruteForceTracker()
+        tracker.insert(1, 9)
+        tracker.insert(2, 9)
+        tracker.delete(1, 9)
+        assert tracker.frequency(9) == 1
+        assert tracker.top_k(1) == [(9, 1)]

@@ -1,0 +1,131 @@
+"""Tests for the Count-Min volume sketch and change detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import CountMinSketch, VolumeChangeDetector
+from repro.exceptions import ParameterError
+from repro.types import FlowUpdate
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(width=64, depth=3, seed=1)
+        for _ in range(123):
+            sketch.add(7)
+        assert sketch.estimate(7) >= 123
+
+    def test_estimate_close_when_sparse(self):
+        sketch = CountMinSketch(width=4096, depth=4, seed=2)
+        for dest in range(50):
+            for _ in range(dest + 1):
+                sketch.add(dest)
+        # With a wide sketch and few keys, estimates are near-exact.
+        for dest in range(50):
+            assert sketch.estimate(dest) <= (dest + 1) + 5
+
+    def test_turnstile_deltas(self):
+        sketch = CountMinSketch(width=128, depth=3, seed=3)
+        sketch.add(9, +5)
+        sketch.add(9, -3)
+        assert sketch.estimate(9) >= 2
+        assert sketch.total == 2
+
+    def test_process_stream(self):
+        sketch = CountMinSketch(width=128, depth=3, seed=4)
+        count = sketch.process_stream(
+            [FlowUpdate(1, 9, +1), FlowUpdate(2, 9, +1),
+             FlowUpdate(1, 9, -1)]
+        )
+        assert count == 3
+        assert sketch.estimate(9) >= 1
+
+    def test_heavy_hitters_requires_candidates(self):
+        sketch = CountMinSketch(width=512, depth=3, seed=5)
+        for _ in range(200):
+            sketch.add(7)
+        sketch.add(8)
+        hitters = sketch.heavy_hitters(candidates=[7, 8], threshold=100)
+        assert [dest for dest, _ in hitters] == [7]
+
+    def test_heavy_hitters_rejects_bad_threshold(self):
+        with pytest.raises(ParameterError):
+            CountMinSketch().heavy_hitters([1], 0)
+
+    def test_space_accounting(self):
+        assert CountMinSketch(width=100, depth=2).space_bytes() == 800
+
+    @pytest.mark.parametrize("kwargs", [dict(width=1), dict(depth=0)])
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            CountMinSketch(**kwargs)
+
+
+class TestVolumeChangeDetector:
+    def test_volume_jump_detected(self):
+        detector = VolumeChangeDetector(window_size=1000,
+                                        change_factor=4.0, floor=50,
+                                        seed=1)
+        # Window 1: light traffic to dest 7.
+        for _ in range(10):
+            detector.process(FlowUpdate(1, 7, +1))
+        for _ in range(990):
+            detector.process(FlowUpdate(1, 99, +1))
+        # Window 2: a surge to dest 7.
+        for _ in range(800):
+            detector.process(FlowUpdate(2, 7, +1))
+        assert detector.changed(7)
+
+    def test_steady_volume_not_flagged(self):
+        detector = VolumeChangeDetector(window_size=500,
+                                        change_factor=4.0, floor=50,
+                                        seed=2)
+        for _ in range(4):
+            for _ in range(500):
+                detector.process(FlowUpdate(1, 7, +1))
+        assert not detector.changed(7)
+
+    def test_flood_and_flash_crowd_look_identical(self):
+        # The structural blindness the DCS fixes: both surges are pure
+        # volume jumps, indistinguishable to a change detector.
+        detector = VolumeChangeDetector(window_size=2000,
+                                        change_factor=3.0, floor=50,
+                                        seed=3)
+        for _ in range(2000):
+            detector.process(FlowUpdate(1, 99, +1))  # quiet window
+        # Surges stay inside the current window (no rotation yet).
+        for source in range(900):
+            detector.process(FlowUpdate(source, 7, +1))   # "attack"
+        for source in range(900):
+            detector.process(FlowUpdate(source, 8, +1))   # "crowd"
+        assert detector.changed(7) and detector.changed(8)
+
+    def test_changed_among_sorts_by_volume(self):
+        detector = VolumeChangeDetector(window_size=100, floor=10,
+                                        seed=4)
+        for _ in range(100):
+            detector.process(FlowUpdate(1, 99, +1))
+        for _ in range(60):
+            detector.process(FlowUpdate(1, 7, +1))
+        for _ in range(30):
+            detector.process(FlowUpdate(1, 8, +1))
+        assert detector.changed_among([7, 8, 9]) == [7, 8]
+
+    def test_rotation_bookkeeping(self):
+        detector = VolumeChangeDetector(window_size=10, seed=5)
+        for _ in range(35):
+            detector.process(FlowUpdate(1, 2, +1))
+        # 35 updates / 10 per window -> 3 rotations.
+        assert "window=3" in repr(detector)
+
+    def test_space_counts_both_windows(self):
+        detector = VolumeChangeDetector(width=64, depth=2)
+        assert detector.space_bytes() == 2 * 64 * 2 * 4
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(window_size=0), dict(change_factor=1.0)]
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            VolumeChangeDetector(**kwargs)

@@ -1,0 +1,100 @@
+"""Tests for the Gibbons-style distinct sampler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import DistinctSampler
+from repro.exceptions import ParameterError, StreamError
+from repro.types import AddressDomain, FlowUpdate
+
+
+@pytest.fixture
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 16)
+
+
+class TestSampling:
+    def test_small_stream_kept_entirely(self, domain):
+        sampler = DistinctSampler(domain, capacity=100, seed=1)
+        for source in range(50):
+            sampler.insert(source, 7)
+        assert sampler.size == 50
+        assert sampler.threshold == 0
+        assert sampler.estimate_distinct_pairs() == 50
+
+    def test_capacity_respected(self, domain):
+        sampler = DistinctSampler(domain, capacity=64, seed=2)
+        for source in range(2000):
+            sampler.insert(source, source % 7)
+        assert sampler.size <= 64
+        assert sampler.threshold > 0
+
+    def test_duplicates_not_double_counted(self, domain):
+        sampler = DistinctSampler(domain, capacity=100, seed=3)
+        for _ in range(10):
+            for source in range(30):
+                sampler.insert(source, 1)
+        assert sampler.size == 30
+
+    def test_estimate_within_factor_two(self, domain):
+        sampler = DistinctSampler(domain, capacity=256, seed=4)
+        rng = random.Random(0)
+        pairs = {(rng.randrange(2 ** 16), rng.randrange(2 ** 16))
+                 for _ in range(5000)}
+        for source, dest in pairs:
+            sampler.insert(source, dest)
+        estimate = sampler.estimate_distinct_pairs()
+        assert 0.5 * len(pairs) <= estimate <= 2.0 * len(pairs)
+
+    def test_scale_matches_threshold(self, domain):
+        sampler = DistinctSampler(domain, capacity=16, seed=5)
+        for source in range(1000):
+            sampler.insert(source, 1)
+        assert sampler.scale == 1 << sampler.threshold
+
+
+class TestQueries:
+    def test_destination_frequencies_scaled(self, domain):
+        sampler = DistinctSampler(domain, capacity=1000, seed=6)
+        for source in range(200):
+            sampler.insert(source, 9)
+        assert sampler.destination_frequencies()[9] == 200
+
+    def test_top_k_finds_heavy_hitter(self, domain):
+        sampler = DistinctSampler(domain, capacity=256, seed=7)
+        for source in range(3000):
+            sampler.insert(source, 1)
+        for source in range(100):
+            sampler.insert(source + 10_000, 2)
+        assert sampler.top_k(1)[0][0] == 1
+
+    def test_rejects_bad_k(self, domain):
+        with pytest.raises(ParameterError):
+            DistinctSampler(domain).top_k(0)
+
+
+class TestLimitations:
+    def test_rejects_deletions(self, domain):
+        sampler = DistinctSampler(domain)
+        with pytest.raises(StreamError):
+            sampler.process(FlowUpdate(1, 2, -1))
+
+    def test_rejects_bad_capacity(self, domain):
+        with pytest.raises(ParameterError):
+            DistinctSampler(domain, capacity=0)
+
+    def test_space_accounting(self, domain):
+        sampler = DistinctSampler(domain, capacity=100, seed=8)
+        for source in range(10):
+            sampler.insert(source, 1)
+        assert sampler.space_bytes() == 80
+
+    def test_process_stream_insert_only(self, domain):
+        sampler = DistinctSampler(domain)
+        count = sampler.process_stream(
+            [FlowUpdate(1, 2, +1), FlowUpdate(2, 2, +1)]
+        )
+        assert count == 2

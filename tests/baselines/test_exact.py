@@ -1,0 +1,128 @@
+"""Tests for the exact distinct-source frequency tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactDistinctTracker
+from repro.exceptions import ParameterError, StreamError
+from repro.types import FlowUpdate
+
+
+@pytest.fixture
+def tracker() -> ExactDistinctTracker:
+    return ExactDistinctTracker()
+
+
+class TestFrequencySemantics:
+    def test_distinct_sources_counted_once(self, tracker):
+        for _ in range(5):
+            tracker.insert(1, 9)  # same pair five times
+        tracker.insert(2, 9)
+        assert tracker.frequency(9) == 2
+
+    def test_deletion_removes_source(self, tracker):
+        tracker.insert(1, 9)
+        tracker.insert(2, 9)
+        tracker.delete(1, 9)
+        assert tracker.frequency(9) == 1
+
+    def test_deletion_of_multiplicity_keeps_source(self, tracker):
+        tracker.insert(1, 9)
+        tracker.insert(1, 9)
+        tracker.delete(1, 9)
+        # Net count is still +1, so the source still counts.
+        assert tracker.frequency(9) == 1
+
+    def test_unknown_destination_is_zero(self, tracker):
+        assert tracker.frequency(12345) == 0
+
+    def test_frequencies_snapshot(self, tracker):
+        tracker.insert(1, 5)
+        tracker.insert(2, 5)
+        tracker.insert(1, 6)
+        assert tracker.frequencies() == {5: 2, 6: 1}
+
+    def test_destination_vanishes_at_zero(self, tracker):
+        tracker.insert(1, 5)
+        tracker.delete(1, 5)
+        assert tracker.frequencies() == {}
+        assert tracker.num_destinations == 0
+
+
+class TestStrictMode:
+    def test_strict_rejects_negative_net(self, tracker):
+        with pytest.raises(StreamError):
+            tracker.delete(1, 2)
+
+    def test_lenient_allows_negative_net(self):
+        tracker = ExactDistinctTracker(strict=False)
+        tracker.delete(1, 2)
+        assert tracker.frequency(2) == 0
+        tracker.insert(1, 2)  # back to zero net: still not counted
+        assert tracker.frequency(2) == 0
+        tracker.insert(1, 2)  # now net +1
+        assert tracker.frequency(2) == 1
+
+    def test_rejects_bad_delta(self, tracker):
+        with pytest.raises(ParameterError):
+            tracker.update(1, 2, 7)
+
+
+class TestTopKAndThreshold:
+    def test_top_k_order(self, tracker):
+        for source in range(5):
+            tracker.insert(source, 10)
+        for source in range(3):
+            tracker.insert(source, 20)
+        for source in range(8):
+            tracker.insert(source, 30)
+        assert tracker.top_k(2) == [(30, 8), (10, 5)]
+
+    def test_top_k_ties_break_by_address(self, tracker):
+        tracker.insert(1, 50)
+        tracker.insert(1, 40)
+        assert tracker.top_k(2) == [(40, 1), (50, 1)]
+
+    def test_kth_frequency(self, tracker):
+        for source in range(5):
+            tracker.insert(source, 10)
+        for source in range(3):
+            tracker.insert(source, 20)
+        assert tracker.kth_frequency(1) == 5
+        assert tracker.kth_frequency(2) == 3
+        assert tracker.kth_frequency(3) == 0  # fewer than 3 destinations
+
+    def test_threshold(self, tracker):
+        for source in range(5):
+            tracker.insert(source, 10)
+        tracker.insert(0, 20)
+        assert tracker.threshold(2) == [(10, 5)]
+        assert tracker.threshold(1) == [(10, 5), (20, 1)]
+
+    def test_rejects_bad_parameters(self, tracker):
+        with pytest.raises(ParameterError):
+            tracker.top_k(0)
+        with pytest.raises(ParameterError):
+            tracker.threshold(0)
+
+
+class TestBookkeeping:
+    def test_total_distinct_pairs(self, tracker):
+        tracker.insert(1, 2)
+        tracker.insert(1, 2)
+        tracker.insert(3, 2)
+        assert tracker.total_distinct_pairs == 2
+
+    def test_process_stream(self, tracker):
+        count = tracker.process_stream(
+            [FlowUpdate(1, 2, +1), FlowUpdate(3, 2, +1)]
+        )
+        assert count == 2
+        assert tracker.updates_processed == 2
+
+    def test_space_grows_with_pairs(self, tracker):
+        assert tracker.space_bytes() == 0
+        tracker.insert(1, 2)
+        tracker.insert(3, 4)
+        assert tracker.space_bytes() == 24

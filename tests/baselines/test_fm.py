@@ -1,0 +1,115 @@
+"""Tests for the Flajolet-Martin baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FlajoletMartin, FMDestinationTracker
+from repro.exceptions import ParameterError, StreamError
+from repro.types import FlowUpdate
+
+
+class TestFlajoletMartin:
+    def test_empty_estimate_near_one(self):
+        # With no values, R = 0 so the estimate is 1/phi ~ 1.29.
+        assert FlajoletMartin(seed=1).estimate() < 2
+
+    def test_estimate_within_factor_two(self):
+        fm = FlajoletMartin(seed=2, num_vectors=32)
+        for value in range(10_000):
+            fm.add(value)
+        estimate = fm.estimate()
+        assert 5_000 <= estimate <= 20_000
+
+    def test_duplicates_do_not_inflate(self):
+        fm = FlajoletMartin(seed=3)
+        for _ in range(100):
+            for value in range(50):
+                fm.add(value)
+        once = FlajoletMartin(seed=3)
+        for value in range(50):
+            once.add(value)
+        assert fm.estimate() == once.estimate()
+
+    def test_estimate_monotone_in_distinct_values(self):
+        fm = FlajoletMartin(seed=4, num_vectors=32)
+        small_estimates = []
+        for block in range(3):
+            for value in range(block * 3000, (block + 1) * 3000):
+                fm.add(value)
+            small_estimates.append(fm.estimate())
+        assert small_estimates == sorted(small_estimates)
+
+    def test_merge_equals_union(self):
+        a = FlajoletMartin(seed=5)
+        b = FlajoletMartin(seed=5)
+        union = FlajoletMartin(seed=5)
+        for value in range(500):
+            a.add(value)
+            union.add(value)
+        for value in range(500, 1000):
+            b.add(value)
+            union.add(value)
+        a.merge(b)
+        assert a.estimate() == union.estimate()
+
+    def test_merge_rejects_width_mismatch(self):
+        with pytest.raises(ParameterError):
+            FlajoletMartin(num_vectors=8).merge(FlajoletMartin(num_vectors=16))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            FlajoletMartin(num_vectors=0)
+
+    def test_space_accounting(self):
+        assert FlajoletMartin(num_vectors=16).space_bytes() == 128
+
+
+class TestFMDestinationTracker:
+    def test_tracks_per_destination(self):
+        tracker = FMDestinationTracker(seed=1, num_vectors=32)
+        for source in range(2000):
+            tracker.insert(source, 7)
+        for source in range(100):
+            tracker.insert(source, 8)
+        estimate_big = tracker.estimate(7)
+        estimate_small = tracker.estimate(8)
+        assert estimate_big > estimate_small
+        assert 1000 <= estimate_big <= 4000
+
+    def test_unseen_destination_zero(self):
+        assert FMDestinationTracker().estimate(1) == 0.0
+
+    def test_top_k_orders_by_estimate(self):
+        tracker = FMDestinationTracker(seed=2, num_vectors=32)
+        for source in range(3000):
+            tracker.insert(source, 1)
+        for source in range(300):
+            tracker.insert(source, 2)
+        for source in range(30):
+            tracker.insert(source, 3)
+        order = [dest for dest, _ in tracker.top_k(3)]
+        assert order[0] == 1
+
+    def test_rejects_deletions(self):
+        tracker = FMDestinationTracker()
+        with pytest.raises(StreamError):
+            tracker.process(FlowUpdate(1, 2, -1))
+
+    def test_process_stream_insert_only(self):
+        tracker = FMDestinationTracker()
+        count = tracker.process_stream(
+            [FlowUpdate(1, 2, +1), FlowUpdate(3, 2, +1)]
+        )
+        assert count == 2
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            FMDestinationTracker().top_k(0)
+
+    def test_space_grows_with_destinations(self):
+        tracker = FMDestinationTracker(num_vectors=16)
+        tracker.insert(1, 1)
+        one = tracker.space_bytes()
+        tracker.insert(1, 2)
+        assert tracker.space_bytes() == 2 * one

@@ -1,0 +1,97 @@
+"""Tests for the HyperLogLog baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import HyperLogLog, HLLDestinationTracker
+from repro.exceptions import ParameterError, StreamError
+from repro.types import FlowUpdate
+
+
+class TestHyperLogLog:
+    def test_empty_estimate_near_zero(self):
+        assert HyperLogLog(seed=1).estimate() < 1.0
+
+    def test_accuracy_within_ten_percent(self):
+        hll = HyperLogLog(precision=12, seed=2)
+        true_count = 50_000
+        for value in range(true_count):
+            hll.add(value)
+        estimate = hll.estimate()
+        assert abs(estimate - true_count) / true_count < 0.10
+
+    def test_small_range_linear_counting(self):
+        hll = HyperLogLog(precision=10, seed=3)
+        for value in range(100):
+            hll.add(value)
+        assert abs(hll.estimate() - 100) < 15
+
+    def test_duplicates_do_not_inflate(self):
+        hll = HyperLogLog(precision=8, seed=4)
+        for _ in range(20):
+            for value in range(200):
+                hll.add(value)
+        once = HyperLogLog(precision=8, seed=4)
+        for value in range(200):
+            once.add(value)
+        assert hll.estimate() == once.estimate()
+
+    def test_merge_equals_union(self):
+        a = HyperLogLog(precision=8, seed=5)
+        b = HyperLogLog(precision=8, seed=5)
+        union = HyperLogLog(precision=8, seed=5)
+        for value in range(1000):
+            (a if value % 2 else b).add(value)
+            union.add(value)
+        a.merge(b)
+        assert a.estimate() == union.estimate()
+
+    def test_merge_rejects_precision_mismatch(self):
+        with pytest.raises(ParameterError):
+            HyperLogLog(precision=8).merge(HyperLogLog(precision=10))
+
+    @pytest.mark.parametrize("bad", [3, 17, 0])
+    def test_rejects_bad_precision(self, bad):
+        with pytest.raises(ParameterError):
+            HyperLogLog(precision=bad)
+
+    def test_space_accounting(self):
+        assert HyperLogLog(precision=10).space_bytes() == 1024
+
+
+class TestHLLDestinationTracker:
+    def test_tracks_per_destination(self):
+        tracker = HLLDestinationTracker(precision=10, seed=1)
+        for source in range(5000):
+            tracker.insert(source, 7)
+        for source in range(50):
+            tracker.insert(source, 8)
+        assert abs(tracker.estimate(7) - 5000) / 5000 < 0.15
+        assert tracker.estimate(8) < 200
+
+    def test_unseen_destination_zero(self):
+        assert HLLDestinationTracker().estimate(123) == 0.0
+
+    def test_rejects_deletions(self):
+        tracker = HLLDestinationTracker()
+        with pytest.raises(StreamError):
+            tracker.process(FlowUpdate(1, 2, -1))
+
+    def test_top_k(self):
+        tracker = HLLDestinationTracker(precision=10, seed=2)
+        for source in range(4000):
+            tracker.insert(source, 1)
+        for source in range(400):
+            tracker.insert(source, 2)
+        assert [dest for dest, _ in tracker.top_k(2)] == [1, 2]
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            HLLDestinationTracker().top_k(0)
+
+    def test_space_linear_in_destinations(self):
+        tracker = HLLDestinationTracker(precision=8)
+        for dest in range(10):
+            tracker.insert(1, dest)
+        assert tracker.space_bytes() == 10 * (4 + 256)

@@ -1,0 +1,91 @@
+"""Tests for Manku-Motwani lossy counting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import LossyCounter
+from repro.exceptions import ParameterError, StreamError
+from repro.types import FlowUpdate
+
+
+class TestGuarantees:
+    def test_undercount_bounded_by_epsilon_n(self):
+        epsilon = 0.01
+        counter = LossyCounter(epsilon=epsilon)
+        rng = random.Random(1)
+        true_counts = {}
+        for _ in range(20_000):
+            item = rng.randrange(200) if rng.random() < 0.8 else 7
+            true_counts[item] = true_counts.get(item, 0) + 1
+            counter.add(item)
+        bound = epsilon * counter.items_seen
+        for item, truth in true_counts.items():
+            estimate = counter.estimate(item)
+            assert estimate <= truth
+            assert truth - estimate <= bound, item
+
+    def test_heavy_items_always_present(self):
+        epsilon = 0.005
+        counter = LossyCounter(epsilon=epsilon)
+        rng = random.Random(2)
+        for _ in range(10_000):
+            counter.add(1 if rng.random() < 0.3 else rng.randrange(1000))
+        # Item 1 has true frequency ~30% >> support 10%.
+        frequent = dict(counter.frequent_items(support=0.1))
+        assert 1 in frequent
+
+    def test_rare_items_evicted(self):
+        counter = LossyCounter(epsilon=0.01)
+        for item in range(50_000):
+            counter.add(item)  # every item unique
+        # All-unique stream: the structure stays near 1/epsilon entries.
+        assert counter.tracked_entries <= 3 * counter.bucket_width
+
+    def test_space_stays_sublinear(self):
+        counter = LossyCounter(epsilon=0.01)
+        rng = random.Random(3)
+        for _ in range(30_000):
+            counter.add(rng.randrange(10_000))
+        assert counter.tracked_entries < 3_000
+        assert counter.space_bytes() == 12 * counter.tracked_entries
+
+
+class TestInterface:
+    def test_unseen_item_estimate_zero(self):
+        assert LossyCounter().estimate(42) == 0
+
+    def test_frequent_items_sorted(self):
+        counter = LossyCounter(epsilon=0.01)
+        for _ in range(500):
+            counter.add(1)
+        for _ in range(300):
+            counter.add(2)
+        items = counter.frequent_items(support=0.2)
+        assert [item for item, _ in items] == [1, 2]
+
+    def test_process_counts_destinations(self):
+        counter = LossyCounter(epsilon=0.1)
+        counter.process_stream(
+            [FlowUpdate(source, 9, +1) for source in range(50)]
+        )
+        assert counter.estimate(9) > 0
+
+    def test_rejects_deletions(self):
+        with pytest.raises(StreamError):
+            LossyCounter().process(FlowUpdate(1, 2, -1))
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5])
+    def test_rejects_bad_epsilon(self, bad):
+        with pytest.raises(ParameterError):
+            LossyCounter(epsilon=bad)
+
+    def test_rejects_support_below_epsilon(self):
+        counter = LossyCounter(epsilon=0.1)
+        counter.add(1)
+        with pytest.raises(ParameterError):
+            counter.frequent_items(support=0.05)
+        with pytest.raises(ParameterError):
+            counter.frequent_items(support=1.5)

@@ -1,0 +1,126 @@
+"""Tests for Estan-Varghese large-flow detection baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import MultistageFilter, SampleAndHold
+from repro.exceptions import ParameterError
+from repro.types import FlowUpdate
+
+
+class TestSampleAndHold:
+    def test_elephant_flow_detected(self):
+        detector = SampleAndHold(sample_probability=0.05,
+                                 report_threshold=100, seed=1)
+        # One flow sending 10k packets: certainly sampled early.
+        for _ in range(10_000):
+            detector.observe_packet(1, 2)
+        large = dict(detector.large_flows())
+        assert (1, 2) in large
+        assert large[(1, 2)] >= 100
+
+    def test_mice_not_reported(self):
+        detector = SampleAndHold(sample_probability=0.05,
+                                 report_threshold=100, seed=2)
+        for source in range(1000):
+            detector.observe_packet(source, 9)  # 1 packet each
+        assert detector.large_flows() == []
+
+    def test_spoofed_syn_flood_is_invisible(self):
+        # The paper's Section 1 argument: every spoofed flow is a single
+        # packet, so a per-flow volume detector sees nothing.
+        detector = SampleAndHold(sample_probability=0.1,
+                                 report_threshold=50, seed=3)
+        for source in range(20_000):
+            detector.observe_packet(source, 7)
+        assert detector.large_flows() == []
+
+    def test_destination_aggregation_can_see_volume(self):
+        detector = SampleAndHold(sample_probability=0.1,
+                                 report_threshold=50,
+                                 by_destination=True, seed=4)
+        for source in range(5000):
+            detector.observe_packet(source, 7)
+        large = dict(detector.large_flows())
+        assert 7 in large
+
+    def test_deletions_ignored(self):
+        detector = SampleAndHold(sample_probability=1.0,
+                                 report_threshold=2, seed=5)
+        detector.process(FlowUpdate(1, 2, +1))
+        detector.process(FlowUpdate(1, 2, -1))  # no packet in volume land
+        detector.process(FlowUpdate(1, 2, +1))
+        assert dict(detector.large_flows())[(1, 2)] == 2
+
+    def test_space_counts_held_flows(self):
+        detector = SampleAndHold(sample_probability=1.0,
+                                 report_threshold=10, seed=6)
+        for source in range(5):
+            detector.observe_packet(source, 1)
+        assert detector.held_flows() == 5
+        assert detector.space_bytes() == 60
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(sample_probability=0.0, report_threshold=1),
+            dict(sample_probability=1.5, report_threshold=1),
+            dict(sample_probability=0.5, report_threshold=0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            SampleAndHold(**kwargs)
+
+
+class TestMultistageFilter:
+    def test_volume_heavy_destination_flagged(self):
+        filter_ = MultistageFilter(width=256, depth=3,
+                                   report_threshold=100, seed=1)
+        for _ in range(500):
+            filter_.observe_packet(1, 7)
+        assert filter_.is_large(7)
+        assert filter_.estimate(7) >= 500
+
+    def test_light_destination_not_flagged(self):
+        filter_ = MultistageFilter(width=1024, depth=4,
+                                   report_threshold=100, seed=2)
+        for dest in range(100):
+            filter_.observe_packet(1, dest)
+        assert not filter_.is_large(50)
+
+    def test_estimate_never_underestimates(self):
+        filter_ = MultistageFilter(width=128, depth=3, seed=3)
+        for _ in range(77):
+            filter_.observe_packet(1, 9)
+        assert filter_.estimate(9) >= 77
+
+    def test_spoofed_flood_is_visible_by_volume_only(self):
+        # The multistage filter DOES see a flood's packet volume — but
+        # cannot distinguish it from a flash crowd (same volume), which
+        # is the discrimination experiment's point.
+        filter_ = MultistageFilter(width=1024, depth=4,
+                                   report_threshold=500, seed=4)
+        for source in range(1000):
+            filter_.observe_packet(source, 7)   # attack: spoofed SYNs
+        for source in range(1000):
+            filter_.observe_packet(source, 8)   # crowd: real SYNs
+        assert filter_.is_large(7) == filter_.is_large(8) == True  # noqa: E712
+
+    def test_deletions_ignored(self):
+        filter_ = MultistageFilter(width=64, depth=2, seed=5)
+        filter_.process(FlowUpdate(1, 2, -1))
+        assert filter_.estimate(2) == 0
+
+    def test_space_accounting(self):
+        filter_ = MultistageFilter(width=100, depth=3)
+        assert filter_.space_bytes() == 1200
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(width=1), dict(depth=0), dict(report_threshold=0)],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            MultistageFilter(**kwargs)

@@ -1,0 +1,77 @@
+"""Tests for the superspreader-detection baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SuperspreaderDetector
+from repro.exceptions import ParameterError, StreamError
+from repro.types import AddressDomain, FlowUpdate
+
+
+@pytest.fixture
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 32)
+
+
+class TestDetection:
+    def test_detects_heavy_destination(self, domain):
+        detector = SuperspreaderDetector(domain, threshold=500, seed=1)
+        for source in range(5000):
+            detector.insert(source, 7)
+        assert detector.is_superspreader(7)
+        reported = dict(detector.report())
+        assert 7 in reported
+
+    def test_ignores_light_destination(self, domain):
+        detector = SuperspreaderDetector(domain, threshold=500, seed=2)
+        for source in range(20):
+            detector.insert(source, 8)
+        assert not detector.is_superspreader(8)
+        assert 8 not in dict(detector.report())
+
+    def test_estimates_scale_correctly(self, domain):
+        detector = SuperspreaderDetector(domain, threshold=200, seed=3)
+        for source in range(4000):
+            detector.insert(source, 9)
+        reported = dict(detector.report())
+        assert 9 in reported
+        assert 1500 <= reported[9] <= 8000
+
+    def test_duplicate_pairs_sample_identically(self, domain):
+        detector = SuperspreaderDetector(domain, threshold=100, seed=4)
+        for _ in range(50):
+            detector.insert(1, 5)  # same pair repeatedly
+        # One distinct source only: cannot be a superspreader.
+        assert not detector.is_superspreader(5)
+
+    def test_report_sorted_by_estimate(self, domain):
+        detector = SuperspreaderDetector(domain, threshold=100, seed=5)
+        for source in range(3000):
+            detector.insert(source, 1)
+        for source in range(1000):
+            detector.insert(source, 2)
+        report = detector.report()
+        estimates = [estimate for _, estimate in report]
+        assert estimates == sorted(estimates, reverse=True)
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self, domain):
+        with pytest.raises(ParameterError):
+            SuperspreaderDetector(domain, threshold=0)
+
+    def test_rejects_bad_error_fraction(self, domain):
+        with pytest.raises(ParameterError):
+            SuperspreaderDetector(domain, threshold=10, error_fraction=1.0)
+
+    def test_rejects_deletions(self, domain):
+        detector = SuperspreaderDetector(domain, threshold=10)
+        with pytest.raises(StreamError):
+            detector.process(FlowUpdate(1, 2, -1))
+
+    def test_space_accounting(self, domain):
+        detector = SuperspreaderDetector(domain, threshold=8, seed=6)
+        for source in range(100):
+            detector.insert(source, 1)
+        assert detector.space_bytes() > 0

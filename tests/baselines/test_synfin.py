@@ -1,0 +1,94 @@
+"""Tests for the SYN-FIN(RST) CUSUM detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SynFinDetector
+from repro.exceptions import ParameterError
+from repro.netsim import FlashCrowd, Packet, PacketKind, Scenario, SynFloodAttack
+
+
+def balanced_traffic(seconds, per_second=20, start=0.0):
+    """SYN immediately answered: the stationary baseline."""
+    packets = []
+    for second in range(seconds):
+        for index in range(per_second):
+            t = start + second + index / per_second
+            source = 1000 * second + index
+            packets.append(Packet(time=t, source=source, dest=1,
+                                  kind=PacketKind.SYN))
+            packets.append(Packet(time=t + 0.01, source=source, dest=1,
+                                  kind=PacketKind.ACK))
+    return sorted(packets)
+
+
+class TestDetection:
+    def test_quiet_on_balanced_traffic(self):
+        detector = SynFinDetector(interval=1.0)
+        detector.observe_stream(balanced_traffic(30))
+        assert not detector.alarmed
+
+    def test_alarms_on_syn_flood(self):
+        detector = SynFinDetector(interval=1.0)
+        packets = balanced_traffic(10)
+        packets += SynFloodAttack(victim=7, flood_size=2000, start=10,
+                                  duration=10, seed=1).packets()
+        detector.observe_stream(sorted(packets))
+        assert detector.alarmed
+        assert detector.alarm_times[0] > 10
+
+    def test_flash_crowd_does_not_alarm(self):
+        # Crowd handshakes complete, so SYN ~ ACK and the difference
+        # stays near zero.
+        detector = SynFinDetector(interval=1.0)
+        packets = balanced_traffic(10)
+        packets += FlashCrowd(destination=8, crowd_size=2000, start=10,
+                              duration=10, seed=2).packets()
+        detector.observe_stream(sorted(packets))
+        assert not detector.alarmed
+
+    def test_cannot_attribute_victims(self):
+        detector = SynFinDetector(interval=1.0)
+        detector.observe_stream(
+            SynFloodAttack(victim=7, flood_size=3000, seed=3).packets()
+        )
+        assert detector.alarmed
+        # The structural limitation the paper points out:
+        assert detector.victims() == []
+
+    def test_differences_recorded_per_interval(self):
+        detector = SynFinDetector(interval=1.0)
+        detector.observe_stream(balanced_traffic(5))
+        assert len(detector.differences) >= 4
+        assert all(abs(d) < 0.2 for d in detector.differences)
+
+
+class TestMechanics:
+    def test_flush_closes_partial_interval(self):
+        detector = SynFinDetector(interval=10.0)
+        detector.observe(Packet(time=0.0, source=1, dest=2,
+                                kind=PacketKind.SYN))
+        assert detector.differences == []
+        detector.flush()
+        assert detector.differences == [1.0]
+
+    def test_empty_intervals_are_neutral(self):
+        detector = SynFinDetector(interval=1.0)
+        detector.observe(Packet(time=0.0, source=1, dest=2,
+                                kind=PacketKind.SYN))
+        # A packet 10 intervals later closes 10 intervals, 9 empty.
+        detector.observe(Packet(time=10.5, source=3, dest=2,
+                                kind=PacketKind.SYN))
+        assert detector.differences.count(0.0) >= 8
+
+    def test_space_is_constant(self):
+        assert SynFinDetector().space_bytes() == 24
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(interval=0), dict(drift=-0.1), dict(alarm_threshold=0)],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            SynFinDetector(**kwargs)

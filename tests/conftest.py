@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import AddressDomain
+
+
+@pytest.fixture
+def small_domain() -> AddressDomain:
+    """A tiny 8-bit address domain: fast sketches, easy exhaustion."""
+    return AddressDomain(2 ** 8)
+
+
+@pytest.fixture
+def medium_domain() -> AddressDomain:
+    """A 16-bit domain: realistic pair-bit widths without the cost."""
+    return AddressDomain(2 ** 16)
+
+
+@pytest.fixture
+def ipv4_domain() -> AddressDomain:
+    """The full IPv4 domain used by the examples and benchmarks."""
+    return AddressDomain(2 ** 32)

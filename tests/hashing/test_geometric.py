@@ -1,0 +1,83 @@
+"""Tests for the geometric first-level hash."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hashing import GeometricLevelHash, lsb_index
+
+
+class TestLsbIndex:
+    def test_basic_values(self):
+        assert lsb_index(0b1) == 0
+        assert lsb_index(0b10) == 1
+        assert lsb_index(0b1011000) == 3
+        assert lsb_index(1 << 40) == 40
+
+    def test_zero_maps_to_63(self):
+        assert lsb_index(0) == 63
+
+    def test_odd_numbers_are_level_zero(self):
+        assert all(lsb_index(2 * k + 1) == 0 for k in range(50))
+
+
+class TestGeometricLevelHash:
+    def test_output_range(self):
+        hash_function = GeometricLevelHash(max_level=10, seed=1)
+        assert all(0 <= hash_function(x) <= 10 for x in range(5000))
+
+    def test_num_levels(self):
+        assert GeometricLevelHash(max_level=7, seed=0).num_levels == 8
+
+    def test_deterministic(self):
+        a = GeometricLevelHash(max_level=20, seed=5)
+        b = GeometricLevelHash(max_level=20, seed=5)
+        assert [a(x) for x in range(500)] == [b(x) for x in range(500)]
+
+    def test_rejects_negative_max_level(self):
+        with pytest.raises(ParameterError):
+            GeometricLevelHash(max_level=-1, seed=1)
+
+    def test_degenerate_single_level(self):
+        hash_function = GeometricLevelHash(max_level=0, seed=1)
+        assert all(hash_function(x) == 0 for x in range(100))
+        assert hash_function.level_probability(0) == 1.0
+
+    def test_geometric_distribution(self):
+        hash_function = GeometricLevelHash(max_level=30, seed=9)
+        n = 40000
+        counts = [0] * 31
+        for x in range(n):
+            counts[hash_function(x)] += 1
+        # Level l should get ~n / 2^(l+1); check the first few levels.
+        for level in range(4):
+            expected = n / 2 ** (level + 1)
+            assert abs(counts[level] - expected) < 0.15 * expected
+
+    def test_level_probability_values(self):
+        hash_function = GeometricLevelHash(max_level=4, seed=1)
+        assert hash_function.level_probability(0) == 0.5
+        assert hash_function.level_probability(1) == 0.25
+        # Top level absorbs the tail: 2^-max_level.
+        assert hash_function.level_probability(4) == 2.0 ** -4
+
+    def test_level_probabilities_sum_to_one(self):
+        hash_function = GeometricLevelHash(max_level=12, seed=1)
+        total = sum(
+            hash_function.level_probability(level) for level in range(13)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_level_probability_rejects_out_of_range(self):
+        hash_function = GeometricLevelHash(max_level=4, seed=1)
+        with pytest.raises(ParameterError):
+            hash_function.level_probability(5)
+        with pytest.raises(ParameterError):
+            hash_function.level_probability(-1)
+
+    def test_clamps_to_max_level(self):
+        # With max_level=1, every value must land in {0, 1}.
+        hash_function = GeometricLevelHash(max_level=1, seed=2)
+        levels = {hash_function(x) for x in range(1000)}
+        assert levels == {0, 1}

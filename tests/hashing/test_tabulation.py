@@ -1,0 +1,64 @@
+"""Tests for tabulation hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hashing import TabulationHash
+
+
+class TestTabulationHash:
+    def test_range_respected(self):
+        hash_function = TabulationHash(range_size=10, seed=1)
+        assert all(0 <= hash_function(x) < 10 for x in range(2000))
+
+    def test_deterministic(self):
+        a = TabulationHash(range_size=100, seed=3)
+        b = TabulationHash(range_size=100, seed=3)
+        assert [a(x) for x in range(200)] == [b(x) for x in range(200)]
+
+    def test_seeds_differ(self):
+        a = TabulationHash(range_size=2 ** 30, seed=1)
+        b = TabulationHash(range_size=2 ** 30, seed=2)
+        assert [a(x) for x in range(30)] != [b(x) for x in range(30)]
+
+    def test_word_is_64_bits(self):
+        hash_function = TabulationHash(range_size=1, seed=5)
+        for x in (0, 1, 2 ** 32, 2 ** 63):
+            assert 0 <= hash_function.word(x) < 2 ** 64
+
+    def test_rejects_negative_keys(self):
+        hash_function = TabulationHash(range_size=4, seed=1)
+        with pytest.raises(ParameterError):
+            hash_function.word(-1)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            TabulationHash(range_size=0, seed=1)
+        with pytest.raises(ParameterError):
+            TabulationHash(range_size=4, seed=1, key_bytes=0)
+
+    def test_oversized_keys_fold(self):
+        # Keys wider than 8 * key_bytes still hash, deterministically.
+        hash_function = TabulationHash(range_size=97, seed=2, key_bytes=4)
+        wide = 2 ** 100 + 12345
+        assert hash_function(wide) == hash_function(wide)
+        assert 0 <= hash_function(wide) < 97
+
+    def test_distinct_bytes_change_output(self):
+        hash_function = TabulationHash(range_size=2 ** 32, seed=7)
+        outputs = {hash_function.word(x) for x in range(4096)}
+        # With 64-bit words, 4096 inputs should essentially never collide.
+        assert len(outputs) == 4096
+
+    def test_word_uniformity_per_bit(self):
+        hash_function = TabulationHash(range_size=1, seed=11)
+        n = 4000
+        ones = [0] * 64
+        for x in range(n):
+            word = hash_function.word(x)
+            for bit in range(64):
+                ones[bit] += (word >> bit) & 1
+        # Every output bit should be set roughly half the time.
+        assert all(0.42 * n < count < 0.58 * n for count in ones)

@@ -1,0 +1,107 @@
+"""Tests for Carter-Wegman polynomial hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.hashing import MERSENNE_61, CarterWegmanHash, PairwiseHashFamily
+from repro.hashing.universal import _mod_mersenne_61
+
+
+class TestModMersenne:
+    def test_small_values_unchanged(self):
+        assert _mod_mersenne_61(0) == 0
+        assert _mod_mersenne_61(12345) == 12345
+
+    def test_prime_itself_reduces_to_zero(self):
+        assert _mod_mersenne_61(MERSENNE_61) == 0
+
+    def test_agrees_with_builtin_mod(self):
+        for value in [MERSENNE_61 - 1, MERSENNE_61, MERSENNE_61 + 1,
+                      2 ** 100 + 17, 3 * MERSENNE_61 + 5]:
+            assert _mod_mersenne_61(value) == value % MERSENNE_61
+
+    def test_large_products(self):
+        a = MERSENNE_61 - 2
+        b = MERSENNE_61 - 3
+        assert _mod_mersenne_61(a * b) == (a * b) % MERSENNE_61
+
+
+class TestCarterWegmanHash:
+    def test_range_respected(self):
+        hash_function = CarterWegmanHash(range_size=7, seed=1)
+        assert all(0 <= hash_function(x) < 7 for x in range(1000))
+
+    def test_deterministic_given_seed(self):
+        a = CarterWegmanHash(range_size=64, seed=5)
+        b = CarterWegmanHash(range_size=64, seed=5)
+        assert [a(x) for x in range(100)] == [b(x) for x in range(100)]
+
+    def test_different_seeds_differ(self):
+        a = CarterWegmanHash(range_size=2 ** 20, seed=1)
+        b = CarterWegmanHash(range_size=2 ** 20, seed=2)
+        assert [a(x) for x in range(50)] != [b(x) for x in range(50)]
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ParameterError):
+            CarterWegmanHash(range_size=0, seed=1)
+
+    def test_rejects_oversized_universe(self):
+        with pytest.raises(ParameterError):
+            CarterWegmanHash(range_size=4, seed=1, universe=2 ** 64)
+
+    def test_roughly_uniform(self):
+        buckets = 16
+        hash_function = CarterWegmanHash(range_size=buckets, seed=3)
+        counts = [0] * buckets
+        n = 16000
+        for x in range(n):
+            counts[hash_function(x)] += 1
+        expected = n / buckets
+        # Loose bound: every bucket within 30% of expected.
+        assert all(0.7 * expected < c < 1.3 * expected for c in counts)
+
+    def test_field_value_consistent_with_call(self):
+        hash_function = CarterWegmanHash(range_size=13, seed=9)
+        for x in (0, 5, 10 ** 9):
+            assert hash_function(x) == hash_function.field_value(x) % 13
+
+    def test_repr(self):
+        assert "range_size=8" in repr(CarterWegmanHash(range_size=8, seed=2))
+
+
+class TestPairwiseHashFamily:
+    def test_range_respected(self):
+        family = PairwiseHashFamily(range_size=11, seed=4, degree=3)
+        assert all(0 <= family(x) < 11 for x in range(500))
+
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ParameterError):
+            PairwiseHashFamily(range_size=4, seed=1, degree=0)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ParameterError):
+            PairwiseHashFamily(range_size=0, seed=1)
+
+    def test_deterministic(self):
+        a = PairwiseHashFamily(range_size=32, seed=7, degree=4)
+        b = PairwiseHashFamily(range_size=32, seed=7, degree=4)
+        assert [a(x) for x in range(64)] == [b(x) for x in range(64)]
+
+    def test_degrees_produce_different_functions(self):
+        a = PairwiseHashFamily(range_size=2 ** 16, seed=7, degree=2)
+        b = PairwiseHashFamily(range_size=2 ** 16, seed=7, degree=3)
+        assert [a(x) for x in range(40)] != [b(x) for x in range(40)]
+
+    def test_pairwise_collision_rate(self):
+        # Over many function draws, Pr[h(x) == h(y)] should be ~1/s.
+        s = 8
+        collisions = 0
+        trials = 4000
+        for seed in range(trials):
+            family = PairwiseHashFamily(range_size=s, seed=seed)
+            if family(1) == family(2):
+                collisions += 1
+        rate = collisions / trials
+        assert abs(rate - 1 / s) < 0.03

@@ -1,0 +1,108 @@
+"""Integration: statistical accuracy on the paper's Zipf workloads.
+
+Scaled-down versions of the Figure 8 measurements, with loose bounds so
+the suite stays deterministic and fast while still catching regressions
+that would break the experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactDistinctTracker
+from repro.metrics import average_relative_error, top_k_recall
+from repro.sketch import TrackingDistinctCountSketch
+from repro.streams import (
+    ZipfWorkload,
+    with_duplicates,
+    with_matched_deletions,
+)
+from repro.types import AddressDomain
+
+DOMAIN = AddressDomain(2 ** 32)
+
+
+def run_workload(skew, seed, pairs=60_000, dests=1500):
+    workload = ZipfWorkload(DOMAIN, distinct_pairs=pairs,
+                            destinations=dests, skew=skew, seed=seed)
+    sketch = TrackingDistinctCountSketch(DOMAIN, seed=seed + 100)
+    updates = workload.updates()
+    sketch.process_stream(updates)
+    return workload, sketch, updates
+
+
+class TestFigure8Shape:
+    @pytest.mark.parametrize("skew", [1.0, 1.5, 2.0])
+    def test_top5_recall_high(self, skew):
+        workload, sketch, _ = run_workload(skew, seed=int(skew * 10))
+        result = sketch.track_topk(5)
+        recall = top_k_recall(workload.frequencies(),
+                              result.destinations, 5)
+        assert recall >= 0.6
+
+    @pytest.mark.parametrize("skew", [1.5, 2.0])
+    def test_top5_error_moderate(self, skew):
+        workload, sketch, _ = run_workload(skew, seed=int(skew * 10) + 1)
+        result = sketch.track_topk(5)
+        error = average_relative_error(workload.frequencies(),
+                                       result.as_dict(), 5)
+        assert error <= 0.5
+
+    def test_recall_degrades_gracefully_with_k(self):
+        workload, sketch, _ = run_workload(1.5, seed=42)
+        truth = workload.frequencies()
+        recall_small = top_k_recall(
+            truth, sketch.track_topk(3).destinations, 3
+        )
+        recall_large = top_k_recall(
+            truth, sketch.track_topk(25).destinations, 25
+        )
+        assert recall_small >= recall_large - 0.2  # no cliff at small k
+
+    def test_top1_identified(self):
+        workload, sketch, _ = run_workload(2.0, seed=7)
+        truth = workload.frequencies()
+        true_top = max(truth.items(), key=lambda kv: kv[1])[0]
+        assert sketch.track_topk(1).destinations == [true_top]
+
+
+class TestChurnRobustness:
+    def test_duplicates_do_not_change_answers(self):
+        workload, clean_sketch, updates = run_workload(
+            1.5, seed=9, pairs=30_000, dests=800
+        )
+        churned = with_duplicates(updates, rate=0.3, seed=10)
+        churned_sketch = TrackingDistinctCountSketch(DOMAIN, seed=109)
+        churned_sketch.process_stream(churned)
+        truth = workload.frequencies()
+        recall = top_k_recall(
+            truth, churned_sketch.track_topk(5).destinations, 5
+        )
+        assert recall >= 0.6
+
+    def test_matched_deletions_tracked_exactly(self):
+        workload, _, updates = run_workload(
+            1.5, seed=11, pairs=30_000, dests=800
+        )
+        churned = with_matched_deletions(updates, rate=0.4, seed=12)
+        exact = ExactDistinctTracker()
+        exact.process_stream(churned)
+        sketch = TrackingDistinctCountSketch(DOMAIN, seed=111)
+        sketch.process_stream(churned)
+        truth = exact.frequencies()
+        result = sketch.track_topk(5)
+        recall = top_k_recall(truth, result.destinations, 5)
+        assert recall >= 0.6
+
+    def test_estimate_of_u_tracks_deletions(self):
+        workload, _, updates = run_workload(
+            1.0, seed=13, pairs=20_000, dests=500
+        )
+        churned = with_matched_deletions(updates, rate=0.5, seed=14)
+        sketch = TrackingDistinctCountSketch(DOMAIN, seed=113)
+        sketch.process_stream(churned)
+        exact = ExactDistinctTracker()
+        exact.process_stream(churned)
+        estimate = sketch.estimate_distinct_pairs()
+        truth = exact.total_distinct_pairs
+        assert 0.4 * truth <= estimate <= 2.5 * truth

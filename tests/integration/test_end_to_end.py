@@ -1,0 +1,85 @@
+"""End-to-end integration: packets -> exporter -> monitor -> alarms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor import DDoSMonitor, MonitorConfig
+from repro.netsim import (
+    BackgroundTraffic,
+    FlashCrowd,
+    FlowExporter,
+    Scenario,
+    SynFloodAttack,
+    parse_ip,
+)
+from repro.streams import true_frequencies
+from repro.types import AddressDomain
+
+VICTIM = parse_ip("198.51.100.10")
+CROWD_DEST = parse_ip("198.51.100.20")
+SERVERS = [parse_ip(f"198.51.100.{i}") for i in range(30, 60)]
+
+
+@pytest.fixture(scope="module")
+def storm_updates():
+    scenario = Scenario(
+        SynFloodAttack(VICTIM, flood_size=4000, seed=1),
+        FlashCrowd(CROWD_DEST, crowd_size=4000, seed=2),
+        BackgroundTraffic(SERVERS, sessions=2000, seed=3),
+    )
+    return FlowExporter().export_all(scenario.packets())
+
+
+class TestAttackDetection:
+    def test_victim_alarmed_crowd_not(self, storm_updates):
+        monitor = DDoSMonitor(
+            AddressDomain(2 ** 32),
+            MonitorConfig(check_interval=500),
+            seed=5,
+        )
+        alarms = monitor.observe_stream(storm_updates)
+        assert any(alarm.dest == VICTIM for alarm in alarms)
+        assert not any(alarm.dest == CROWD_DEST for alarm in alarms)
+
+    def test_ground_truth_separates_attack_from_crowd(self, storm_updates):
+        frequencies = true_frequencies(storm_updates)
+        assert frequencies.get(VICTIM, 0) > 3900
+        assert frequencies.get(CROWD_DEST, 0) == 0
+
+    def test_sketch_estimate_tracks_ground_truth(self, storm_updates):
+        monitor = DDoSMonitor(AddressDomain(2 ** 32), seed=6)
+        monitor.observe_stream(storm_updates)
+        top = monitor.current_top()
+        assert top.destinations[0] == VICTIM
+        truth = true_frequencies(storm_updates)[VICTIM]
+        estimate = top.entries[0].estimate
+        assert abs(estimate - truth) / truth < 0.5
+
+    def test_alarm_severity_reflects_magnitude(self, storm_updates):
+        monitor = DDoSMonitor(
+            AddressDomain(2 ** 32),
+            MonitorConfig(check_interval=200),
+            seed=7,
+        )
+        alarms = monitor.observe_stream(storm_updates)
+        victim_alarms = [a for a in alarms if a.dest == VICTIM]
+        assert victim_alarms
+        assert victim_alarms[-1].excess_ratio > 50
+
+
+class TestMitigationLifecycle:
+    def test_teardown_clears_the_monitor(self, storm_updates):
+        from repro.streams import net_pair_counts
+        from repro.types import FlowUpdate
+
+        monitor = DDoSMonitor(AddressDomain(2 ** 32), seed=8)
+        monitor.observe_stream(storm_updates)
+        assert monitor.current_top().destinations[0] == VICTIM
+        # Mitigation: tear down every remaining half-open flow by
+        # feeding the exact inverse of the net residue (deletions).
+        for (source, dest), count in net_pair_counts(storm_updates).items():
+            for _ in range(count):
+                monitor.observe(FlowUpdate(source, dest, -1))
+        assert monitor.sketch.is_empty
+        assert len(monitor.current_top()) == 0

@@ -1,0 +1,80 @@
+"""Tests for alarm records and the de-duplicating sink."""
+
+from __future__ import annotations
+
+from repro.monitor import Alarm, AlarmSeverity, AlarmSink
+
+
+def alarm(dest=1, severity=AlarmSeverity.WARNING, at=0, estimate=500,
+          baseline=5.0):
+    return Alarm(
+        dest=dest,
+        estimated_frequency=estimate,
+        baseline_frequency=baseline,
+        severity=severity,
+        updates_seen=at,
+    )
+
+
+class TestAlarm:
+    def test_excess_ratio(self):
+        assert alarm(estimate=500, baseline=5.0).excess_ratio == 100.0
+
+    def test_excess_ratio_floors_baseline(self):
+        assert alarm(estimate=10, baseline=0.1).excess_ratio == 10.0
+
+
+class TestAlarmSink:
+    def test_accepts_first_alarm(self):
+        sink = AlarmSink()
+        assert sink.offer(alarm())
+        assert len(sink) == 1
+
+    def test_suppresses_duplicate(self):
+        sink = AlarmSink()
+        sink.offer(alarm(at=0))
+        assert not sink.offer(alarm(at=100))
+        assert len(sink) == 1
+
+    def test_escalation_passes(self):
+        sink = AlarmSink()
+        sink.offer(alarm(severity=AlarmSeverity.WARNING, at=0))
+        assert sink.offer(alarm(severity=AlarmSeverity.CRITICAL, at=1))
+        assert len(sink) == 2
+
+    def test_de_escalation_suppressed(self):
+        sink = AlarmSink()
+        sink.offer(alarm(severity=AlarmSeverity.CRITICAL, at=0))
+        assert not sink.offer(alarm(severity=AlarmSeverity.WARNING, at=1))
+
+    def test_renotify_after_window(self):
+        sink = AlarmSink(renotify_after=1000)
+        sink.offer(alarm(at=0))
+        assert not sink.offer(alarm(at=999))
+        assert sink.offer(alarm(at=1000))
+
+    def test_different_destinations_independent(self):
+        sink = AlarmSink()
+        assert sink.offer(alarm(dest=1))
+        assert sink.offer(alarm(dest=2))
+
+    def test_alarms_for(self):
+        sink = AlarmSink()
+        sink.offer(alarm(dest=1))
+        sink.offer(alarm(dest=2))
+        assert len(sink.alarms_for(1)) == 1
+
+    def test_latest(self):
+        sink = AlarmSink()
+        assert sink.latest() is None
+        sink.offer(alarm(dest=1))
+        sink.offer(alarm(dest=2))
+        assert sink.latest().dest == 2
+
+    def test_listener_invoked(self):
+        sink = AlarmSink()
+        received = []
+        sink.subscribe(received.append)
+        sink.offer(alarm(dest=7))
+        sink.offer(alarm(dest=7, at=1))  # duplicate: suppressed
+        assert [a.dest for a in received] == [7]

@@ -1,0 +1,99 @@
+"""Tests for epoch rotation (sliding-window monitoring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.monitor import EpochRotator
+from repro.types import AddressDomain, FlowUpdate
+
+
+@pytest.fixture
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 16)
+
+
+def flood(dest, count, base=0):
+    return [FlowUpdate(base + i, dest, +1) for i in range(count)]
+
+
+class TestRotation:
+    def test_epochs_advance_with_updates(self, domain):
+        rotator = EpochRotator(domain, epoch_length=50, window_epochs=2,
+                               seed=1)
+        rotator.observe_stream(flood(7, 125))
+        # 125 updates / 50 per epoch -> 2 rotations beyond the first.
+        assert rotator.epochs_started == 3
+        assert rotator.live_sketches == 2
+
+    def test_live_sketches_bounded(self, domain):
+        rotator = EpochRotator(domain, epoch_length=10, window_epochs=3,
+                               seed=2)
+        rotator.observe_stream(flood(7, 500))
+        assert rotator.live_sketches == 3
+
+    def test_current_traffic_visible(self, domain):
+        rotator = EpochRotator(domain, epoch_length=100,
+                               window_epochs=2, seed=3)
+        rotator.observe_stream(flood(7, 150))
+        assert rotator.top_k(1).destinations == [7]
+
+    def test_old_traffic_ages_out(self, domain):
+        rotator = EpochRotator(domain, epoch_length=100,
+                               window_epochs=2, seed=4)
+        # Old attack on dest 7 in epoch 0.
+        rotator.observe_stream(flood(7, 100))
+        # Then three epochs of traffic to dest 8 only.
+        rotator.observe_stream(flood(8, 300, base=10_000))
+        result = rotator.top_k(2)
+        assert result.destinations[0] == 8
+        # Dest 7's flows were confined to retired epochs.
+        assert 7 not in result.destinations
+
+    def test_recent_traffic_spans_epoch_boundary(self, domain):
+        rotator = EpochRotator(domain, epoch_length=60, window_epochs=2,
+                               seed=5)
+        # 100 updates cross one boundary; all within the 2-epoch window.
+        rotator.observe_stream(flood(9, 100))
+        estimate = rotator.top_k(1).as_dict().get(9, 0)
+        # The query sketch saw every update (it has been live throughout).
+        assert estimate >= 50
+
+    def test_deletions_propagate_to_all_epochs(self, domain):
+        rotator = EpochRotator(domain, epoch_length=1000,
+                               window_epochs=2, seed=6)
+        rotator.observe_stream(flood(7, 200))
+        rotator.observe_stream(
+            [FlowUpdate(i, 7, -1) for i in range(200)]
+        )
+        assert len(rotator.top_k(1)) == 0
+
+
+class TestQueriesAndSpace:
+    def test_threshold_query(self, domain):
+        rotator = EpochRotator(domain, epoch_length=10_000,
+                               window_epochs=2, seed=7)
+        rotator.observe_stream(flood(7, 400))
+        above = rotator.threshold(100).destinations
+        assert 7 in above
+
+    def test_space_scales_with_window(self, domain):
+        small = EpochRotator(domain, epoch_length=100, window_epochs=1,
+                             seed=8)
+        large = EpochRotator(domain, epoch_length=100, window_epochs=4,
+                             seed=8)
+        stream = flood(3, 450)
+        small.observe_stream(stream)
+        large.observe_stream(stream)
+        assert large.space_bytes() >= small.space_bytes()
+
+
+class TestValidation:
+    def test_rejects_bad_epoch_length(self, domain):
+        with pytest.raises(ParameterError):
+            EpochRotator(domain, epoch_length=0)
+
+    def test_rejects_bad_window(self, domain):
+        with pytest.raises(ParameterError):
+            EpochRotator(domain, epoch_length=10, window_epochs=0)

@@ -1,0 +1,67 @@
+"""Tests for baseline activity profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.monitor import ActivityProfile
+
+
+class TestLearning:
+    def test_first_observation_taken_verbatim(self):
+        profile = ActivityProfile()
+        profile.learn({1: 100})
+        assert profile.baseline(1) == 100.0
+
+    def test_ewma_blends(self):
+        profile = ActivityProfile(smoothing=0.5)
+        profile.learn({1: 100})
+        profile.learn({1: 200})
+        assert profile.baseline(1) == pytest.approx(150.0)
+
+    def test_unseen_destination_gets_default(self):
+        profile = ActivityProfile(default_frequency=3.0)
+        assert profile.baseline(42) == 3.0
+
+    def test_learning_one_destination_leaves_others(self):
+        profile = ActivityProfile()
+        profile.learn({1: 50})
+        profile.learn({2: 70})
+        assert profile.baseline(1) == 50.0
+        assert profile.baseline(2) == 70.0
+
+    def test_known_destinations_snapshot(self):
+        profile = ActivityProfile()
+        profile.learn({1: 10, 2: 20})
+        snapshot = profile.known_destinations()
+        snapshot[1] = 999.0
+        assert profile.baseline(1) == 10.0
+        assert len(profile) == 2
+
+
+class TestAnomalyScore:
+    def test_score_relative_to_baseline(self):
+        profile = ActivityProfile()
+        profile.learn({1: 10})
+        assert profile.anomaly_score(1, 100) == pytest.approx(10.0)
+
+    def test_score_for_unseen_uses_default(self):
+        profile = ActivityProfile(default_frequency=2.0)
+        assert profile.anomaly_score(9, 20) == pytest.approx(10.0)
+
+    def test_observation_at_baseline_scores_one(self):
+        profile = ActivityProfile()
+        profile.learn({1: 40})
+        assert profile.anomaly_score(1, 40) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_bad_default(self):
+        with pytest.raises(ParameterError):
+            ActivityProfile(default_frequency=0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_rejects_bad_smoothing(self, bad):
+        with pytest.raises(ParameterError):
+            ActivityProfile(smoothing=bad)

@@ -1,0 +1,112 @@
+"""Tests for incident reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.monitor import (
+    Alarm,
+    AlarmSeverity,
+    Incident,
+    IncidentReporter,
+)
+
+
+def alarm(dest=1, severity=AlarmSeverity.WARNING, at=0, estimate=500):
+    return Alarm(
+        dest=dest,
+        estimated_frequency=estimate,
+        baseline_frequency=5.0,
+        severity=severity,
+        updates_seen=at,
+    )
+
+
+class TestIncidentGrouping:
+    def test_first_alarm_opens_incident(self):
+        reporter = IncidentReporter()
+        incident = reporter.ingest(alarm())
+        assert incident.is_open
+        assert len(reporter) == 1
+
+    def test_nearby_alarms_merge(self):
+        reporter = IncidentReporter(merge_gap=1000)
+        reporter.ingest(alarm(at=0))
+        incident = reporter.ingest(alarm(at=500,
+                                         severity=AlarmSeverity.CRITICAL,
+                                         estimate=900))
+        assert len(reporter) == 1
+        assert incident.alarm_count == 2
+        assert incident.peak_frequency == 900
+        assert incident.peak_severity is AlarmSeverity.CRITICAL
+
+    def test_distant_alarms_open_new_incident(self):
+        reporter = IncidentReporter(merge_gap=1000)
+        reporter.ingest(alarm(at=0))
+        reporter.ingest(alarm(at=5000))
+        assert len(reporter) == 2
+        # The first incident was auto-closed by the gap.
+        assert len(reporter.open_incidents()) == 1
+
+    def test_different_destinations_are_separate(self):
+        reporter = IncidentReporter()
+        reporter.ingest(alarm(dest=1))
+        reporter.ingest(alarm(dest=2))
+        assert len(reporter) == 2
+        assert len(reporter.open_incidents()) == 2
+
+    def test_severity_never_downgrades(self):
+        reporter = IncidentReporter()
+        incident = reporter.ingest(
+            alarm(severity=AlarmSeverity.CRITICAL, at=0)
+        )
+        reporter.ingest(alarm(severity=AlarmSeverity.WARNING, at=1))
+        assert incident.peak_severity is AlarmSeverity.CRITICAL
+
+
+class TestLifecycle:
+    def test_close_marks_incident(self):
+        reporter = IncidentReporter()
+        reporter.ingest(alarm(dest=7, at=10))
+        incident = reporter.close(7, at_update=99)
+        assert incident is not None
+        assert not incident.is_open
+        assert incident.closed_at == 99
+        assert reporter.open_incidents() == []
+
+    def test_close_unknown_destination_is_none(self):
+        assert IncidentReporter().close(42, at_update=0) is None
+
+    def test_ingest_all(self):
+        reporter = IncidentReporter()
+        reporter.ingest_all([alarm(dest=1), alarm(dest=2),
+                             alarm(dest=1, at=10)])
+        assert len(reporter) == 2
+
+
+class TestRendering:
+    def test_empty_report(self):
+        assert IncidentReporter().render() == "no incidents"
+
+    def test_summary_contains_key_facts(self):
+        reporter = IncidentReporter()
+        reporter.ingest(alarm(dest=0xC6336414, estimate=1234,
+                              severity=AlarmSeverity.CRITICAL))
+        text = reporter.render()
+        assert "1 incident(s), 1 open" in text
+        assert "198.51.100.20" in text
+        assert "1234" in text
+        assert "CRITICAL" in text
+
+    def test_closed_incident_renders_state(self):
+        reporter = IncidentReporter()
+        reporter.ingest(alarm(dest=5))
+        reporter.close(5, at_update=10)
+        assert "closed" in reporter.render()
+
+
+class TestValidation:
+    def test_rejects_bad_merge_gap(self):
+        with pytest.raises(ParameterError):
+            IncidentReporter(merge_gap=0)

@@ -1,0 +1,106 @@
+"""Tests for IPv4 address utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DomainError, ParameterError
+from repro.netsim import AddressPool, Prefix, format_ip, parse_ip
+from repro.netsim.addresses import FULL_SPACE
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0.0.0.0", 0),
+            ("0.0.0.1", 1),
+            ("1.0.0.0", 1 << 24),
+            ("255.255.255.255", 2 ** 32 - 1),
+            ("192.168.1.1", 0xC0A80101),
+        ],
+    )
+    def test_roundtrip(self, text, value):
+        assert parse_ip(text) == value
+        assert format_ip(value) == text
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "-1.0.0.0"]
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(DomainError):
+            parse_ip(bad)
+
+    def test_format_rejects_out_of_range(self):
+        with pytest.raises(DomainError):
+            format_ip(2 ** 32)
+        with pytest.raises(DomainError):
+            format_ip(-1)
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        prefix = Prefix.parse("10.1.0.0/16")
+        assert str(prefix) == "10.1.0.0/16"
+        assert prefix.size == 65536
+
+    def test_contains(self):
+        prefix = Prefix.parse("10.1.0.0/16")
+        assert prefix.contains(parse_ip("10.1.2.3"))
+        assert not prefix.contains(parse_ip("10.2.0.0"))
+
+    def test_full_space(self):
+        assert FULL_SPACE.size == 2 ** 32
+        assert FULL_SPACE.contains(0)
+        assert FULL_SPACE.contains(2 ** 32 - 1)
+
+    def test_address_at(self):
+        prefix = Prefix.parse("192.168.0.0/24")
+        assert format_ip(prefix.address_at(5)) == "192.168.0.5"
+
+    def test_address_at_rejects_overflow(self):
+        prefix = Prefix.parse("192.168.0.0/24")
+        with pytest.raises(DomainError):
+            prefix.address_at(256)
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(DomainError):
+            Prefix(base=parse_ip("10.0.0.1"), length=16)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(DomainError):
+            Prefix(base=0, length=33)
+
+    def test_rejects_malformed_cidr(self):
+        with pytest.raises(DomainError):
+            Prefix.parse("10.0.0.0")
+
+
+class TestAddressPool:
+    def test_draws_distinct(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/24"), seed=1)
+        drawn = pool.draw_many(100)
+        assert len(set(drawn)) == 100
+        assert all(pool.prefix.contains(address) for address in drawn)
+
+    def test_exhaustion_raises(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/30"), seed=2)
+        pool.draw_many(4)
+        with pytest.raises(ParameterError):
+            pool.draw()
+
+    def test_deterministic(self):
+        a = AddressPool(Prefix.parse("10.0.0.0/24"), seed=3).draw_many(10)
+        b = AddressPool(Prefix.parse("10.0.0.0/24"), seed=3).draw_many(10)
+        assert a == b
+
+    def test_random_address_allows_duplicates(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/30"), seed=4)
+        drawn = [pool.random_address() for _ in range(50)]
+        assert len(set(drawn)) <= 4  # duplicates certain by pigeonhole
+
+    def test_len_and_iteration(self):
+        pool = AddressPool(Prefix.parse("10.0.0.0/24"), seed=5)
+        pool.draw_many(3)
+        assert len(pool) == 3
+        assert list(pool) == sorted(pool)

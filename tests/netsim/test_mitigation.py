@@ -1,0 +1,96 @@
+"""Tests for the SYN-proxy mitigation device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.netsim import Packet, PacketKind, SynProxy, SynFloodAttack
+from repro.streams import true_frequencies
+from repro.types import AddressDomain
+
+
+def syn(source, dest, time):
+    return Packet(time=time, source=source, dest=dest,
+                  kind=PacketKind.SYN)
+
+
+def ack(source, dest, time):
+    return Packet(time=time, source=source, dest=dest,
+                  kind=PacketKind.ACK)
+
+
+class TestProxyBehaviour:
+    def test_completed_handshake_nets_zero(self):
+        proxy = SynProxy(protected={9}, timeout=5.0)
+        updates = list(proxy.updates_for(
+            [syn(1, 9, 0.0), ack(1, 9, 0.1)]
+        ))
+        assert [u.delta for u in updates] == [+1, -1]
+        assert proxy.completed_handshakes == 1
+
+    def test_abandoned_handshake_expires(self):
+        proxy = SynProxy(protected={9}, timeout=2.0)
+        updates = list(proxy.updates_for(
+            [syn(1, 9, 0.0), syn(2, 9, 10.0)]
+        ))
+        # First SYN expired when the second arrived; both eventually
+        # deleted by the final drain.
+        assert true_frequencies(updates) == {}
+        assert proxy.expired_handshakes == 2
+
+    def test_unprotected_traffic_passes_through(self):
+        proxy = SynProxy(protected={9}, timeout=5.0)
+        updates, passthrough = proxy.process(syn(1, 8, 0.0))
+        assert updates == []
+        assert passthrough is not None and passthrough.dest == 8
+
+    def test_protected_traffic_is_consumed(self):
+        proxy = SynProxy(protected={9}, timeout=5.0)
+        updates, passthrough = proxy.process(syn(1, 9, 0.0))
+        assert passthrough is None
+        assert len(updates) == 1
+
+    def test_duplicate_syn_emits_once(self):
+        proxy = SynProxy(protected={9}, timeout=5.0)
+        first, _ = proxy.process(syn(1, 9, 0.0))
+        second, _ = proxy.process(syn(1, 9, 0.5))
+        assert len(first) == 1
+        assert second == []
+
+    def test_rst_clears_pending(self):
+        proxy = SynProxy(protected={9}, timeout=5.0)
+        proxy.process(syn(1, 9, 0.0))
+        updates, _ = proxy.process(
+            Packet(time=0.5, source=1, dest=9, kind=PacketKind.RST)
+        )
+        assert [u.delta for u in updates] == [-1]
+        assert proxy.pending_handshakes == 0
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ParameterError):
+            SynProxy(protected=set(), timeout=0)
+
+
+class TestMitigationLifecycle:
+    def test_flood_drains_behind_the_proxy(self):
+        from repro.sketch import TrackingDistinctCountSketch
+
+        victim = 777
+        attack = SynFloodAttack(victim, flood_size=1500, duration=10,
+                                seed=1)
+        proxy = SynProxy(protected={victim}, timeout=3.0)
+        sketch = TrackingDistinctCountSketch(AddressDomain(2 ** 32),
+                                             seed=4)
+        peak = 0
+        for update in proxy.updates_for(attack.packets()):
+            sketch.process(update)
+            top = sketch.track_topk(1)
+            if top.entries and top.entries[0].dest == victim:
+                peak = max(peak, top.entries[0].estimate)
+        # The attack was visible while in flight...
+        assert peak > 100
+        # ...but the proxy's timeouts drained it to nothing.
+        assert len(sketch.track_topk(1)) == 0
+        assert proxy.pending_handshakes == 0
+        assert proxy.expired_handshakes >= 1400

@@ -1,0 +1,100 @@
+"""Tests for the flow exporter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.netsim import FlowExporter, Packet, PacketKind
+from repro.streams import true_frequencies
+
+
+def syn(source, dest, time=0.0):
+    return Packet(time=time, source=source, dest=dest, kind=PacketKind.SYN)
+
+
+def ack(source, dest, time=1.0):
+    return Packet(time=time, source=source, dest=dest, kind=PacketKind.ACK)
+
+
+class TestExport:
+    def test_syn_emits_insert(self):
+        exporter = FlowExporter()
+        update = exporter.observe(syn(1, 2))
+        assert update is not None and update.delta == +1
+
+    def test_completing_ack_emits_delete(self):
+        exporter = FlowExporter()
+        exporter.observe(syn(1, 2))
+        update = exporter.observe(ack(1, 2))
+        assert update is not None and update.delta == -1
+
+    def test_duplicate_syn_emits_once(self):
+        exporter = FlowExporter()
+        assert exporter.observe(syn(1, 2)) is not None
+        assert exporter.observe(syn(1, 2, time=0.5)) is None
+
+    def test_unmatched_ack_emits_nothing(self):
+        exporter = FlowExporter()
+        assert exporter.observe(ack(1, 2)) is None
+
+    def test_half_open_count(self):
+        exporter = FlowExporter()
+        for source in range(5):
+            exporter.observe(syn(source, 9))
+        exporter.observe(ack(0, 9))
+        assert exporter.half_open_connections == 4
+
+    def test_net_frequency_of_completed_flows_is_zero(self):
+        exporter = FlowExporter()
+        packets = []
+        for source in range(20):
+            packets.append(syn(source, 7, time=source))
+            packets.append(ack(source, 7, time=source + 0.5))
+        updates = exporter.export_all(sorted(packets))
+        assert true_frequencies(updates) == {}
+
+    def test_abandoned_flows_stay_positive(self):
+        exporter = FlowExporter()
+        packets = [syn(source, 7, time=source) for source in range(10)]
+        updates = exporter.export_all(packets)
+        assert true_frequencies(updates) == {7: 10}
+
+    def test_rst_teardown_emits_delete(self):
+        exporter = FlowExporter()
+        exporter.observe(syn(1, 2))
+        update = exporter.observe(
+            Packet(time=1.0, source=1, dest=2, kind=PacketKind.RST)
+        )
+        assert update is not None and update.delta == -1
+
+    def test_reopened_connection_emits_again(self):
+        exporter = FlowExporter()
+        assert exporter.observe(syn(1, 2, 0.0)).delta == +1
+        assert exporter.observe(ack(1, 2, 1.0)).delta == -1
+        assert exporter.observe(syn(1, 2, 2.0)).delta == +1
+
+    def test_updates_emitted_counter(self):
+        exporter = FlowExporter()
+        exporter.observe(syn(1, 2))
+        exporter.observe(ack(1, 2))
+        assert exporter.updates_emitted == 2
+
+
+class TestBoundedTable:
+    def test_cap_drops_new_syns(self):
+        exporter = FlowExporter(max_connections=2)
+        exporter.observe(syn(1, 9))
+        exporter.observe(syn(2, 9))
+        assert exporter.observe(syn(3, 9)) is None
+        assert exporter.dropped_connections == 1
+
+    def test_capacity_frees_after_completion(self):
+        exporter = FlowExporter(max_connections=1)
+        exporter.observe(syn(1, 9))
+        exporter.observe(ack(1, 9))
+        assert exporter.observe(syn(2, 9)) is not None
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ParameterError):
+            FlowExporter(max_connections=0)

@@ -1,0 +1,97 @@
+"""Tests for the TCP handshake state machine."""
+
+from __future__ import annotations
+
+from repro.netsim import ConnectionState, Packet, PacketKind, TcpConnection
+
+
+def machine():
+    return TcpConnection(source=1, dest=2)
+
+
+class TestHandshakeTransitions:
+    def test_syn_opens_half_open(self):
+        connection = machine()
+        assert connection.observe(PacketKind.SYN) == +1
+        assert connection.state is ConnectionState.HALF_OPEN
+        assert connection.is_half_open
+
+    def test_ack_completes(self):
+        connection = machine()
+        connection.observe(PacketKind.SYN)
+        assert connection.observe(PacketKind.ACK) == -1
+        assert connection.state is ConnectionState.ESTABLISHED
+
+    def test_full_lifecycle_nets_zero(self):
+        connection = machine()
+        total = 0
+        for kind in (PacketKind.SYN, PacketKind.SYN_ACK, PacketKind.ACK,
+                     PacketKind.DATA, PacketKind.FIN):
+            total += connection.observe(kind)
+        assert total == 0
+        assert connection.state is ConnectionState.CLOSED
+
+    def test_retransmitted_syn_emits_nothing(self):
+        connection = machine()
+        connection.observe(PacketKind.SYN)
+        assert connection.observe(PacketKind.SYN) == 0
+        assert connection.is_half_open
+
+    def test_rst_on_half_open_emits_delete(self):
+        connection = machine()
+        connection.observe(PacketKind.SYN)
+        assert connection.observe(PacketKind.RST) == -1
+        assert connection.state is ConnectionState.CLOSED
+
+    def test_rst_on_established_emits_nothing(self):
+        connection = machine()
+        connection.observe(PacketKind.SYN)
+        connection.observe(PacketKind.ACK)
+        assert connection.observe(PacketKind.RST) == 0
+
+    def test_ack_without_syn_emits_nothing(self):
+        connection = machine()
+        assert connection.observe(PacketKind.ACK) == 0
+        assert connection.state is ConnectionState.CLOSED
+
+    def test_syn_ack_is_transparent(self):
+        connection = machine()
+        connection.observe(PacketKind.SYN)
+        assert connection.observe(PacketKind.SYN_ACK) == 0
+        assert connection.is_half_open
+
+    def test_reopen_after_close(self):
+        connection = machine()
+        connection.observe(PacketKind.SYN)
+        connection.observe(PacketKind.ACK)
+        connection.observe(PacketKind.FIN)
+        assert connection.observe(PacketKind.SYN) == +1
+        assert connection.is_half_open
+
+    def test_emitted_deltas_always_balanced(self):
+        # Over any packet sequence, the running sum stays in {0, 1}.
+        import itertools
+        kinds = [PacketKind.SYN, PacketKind.ACK, PacketKind.RST,
+                 PacketKind.FIN]
+        for sequence in itertools.product(kinds, repeat=4):
+            connection = machine()
+            running = 0
+            for kind in sequence:
+                running += connection.observe(kind)
+                assert running in (0, 1), sequence
+
+
+class TestPacketOrdering:
+    def test_packets_sort_by_time(self):
+        early = Packet(time=1.0, source=1, dest=2, kind=PacketKind.ACK)
+        late = Packet(time=2.0, source=1, dest=2, kind=PacketKind.SYN)
+        assert sorted([late, early]) == [early, late]
+
+    def test_packet_is_frozen(self):
+        packet = Packet(time=0.0, source=1, dest=2)
+        try:
+            packet.time = 5.0  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -1,0 +1,79 @@
+"""Tests for the reflector-attack generator and its detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.monitor import PortScanDetector
+from repro.netsim import FlowExporter, PacketKind, ReflectorAttack
+from repro.streams import true_frequencies
+from repro.types import AddressDomain
+
+
+class TestGenerator:
+    def test_forged_source_is_the_victim(self):
+        attack = ReflectorAttack(victim=77, reflectors=100, seed=1)
+        assert all(p.source == 77 for p in attack.packets())
+
+    def test_reflectors_are_distinct(self):
+        attack = ReflectorAttack(victim=77, reflectors=250, seed=2)
+        dests = {p.dest for p in attack.packets()}
+        assert len(dests) == 250
+
+    def test_rst_fraction_controls_teardowns(self):
+        none = ReflectorAttack(victim=7, reflectors=200,
+                               rst_fraction=0.0, seed=3)
+        some = ReflectorAttack(victim=7, reflectors=200,
+                               rst_fraction=0.5, seed=3)
+        rsts = lambda attack: sum(  # noqa: E731
+            1 for p in attack.packets() if p.kind is PacketKind.RST
+        )
+        assert rsts(none) == 0
+        assert 50 <= rsts(some) <= 150
+
+    def test_time_ordering(self):
+        attack = ReflectorAttack(victim=7, reflectors=50, start=5.0,
+                                 duration=2.0, seed=4)
+        times = [p.time for p in attack.packets()]
+        assert times == sorted(times)
+        assert min(times) >= 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(reflectors=0),
+            dict(reflectors=5, requests_per_reflector=0),
+            dict(reflectors=5, duration=0),
+            dict(reflectors=5, rst_fraction=1.5),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            ReflectorAttack(victim=1, **kwargs)
+
+
+class TestDetectionViaRoleSwap:
+    def test_victim_surfaces_as_top_scanner(self):
+        # The reflector attack's signature: the forged victim address
+        # holds half-open state toward a huge number of destinations —
+        # exactly what the footnote-1 role swap detects.
+        domain = AddressDomain(2 ** 32)
+        attack = ReflectorAttack(victim=0x08080808, reflectors=800,
+                                 rst_fraction=0.2, seed=5)
+        updates = FlowExporter().export_all(attack.packets())
+        detector = PortScanDetector(domain, seed=6)
+        detector.observe_stream(updates)
+        top = detector.top_scanners(1)
+        assert top.destinations == [0x08080808]
+        # ~80% of the reflector states survive (rst_fraction = 0.2).
+        assert top.entries[0].estimate >= 300
+
+    def test_per_destination_view_sees_nothing_big(self):
+        # The standard (destination-keyed) monitor sees each reflector
+        # with frequency 1 — no single destination looks attacked.
+        attack = ReflectorAttack(victim=0x08080808, reflectors=500,
+                                 rst_fraction=0.0, seed=7)
+        updates = FlowExporter().export_all(attack.packets())
+        frequencies = true_frequencies(updates)
+        assert max(frequencies.values()) == 1

@@ -1,0 +1,72 @@
+"""Tests for edge routers and the ISP topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.netsim import (
+    FlowExporter,
+    IspNetwork,
+    Packet,
+    PacketKind,
+    SynFloodAttack,
+)
+from repro.streams import true_frequencies
+
+
+def make_network():
+    return IspNetwork(["east", "west", "core"], seed=1)
+
+
+class TestRouting:
+    def test_destination_routing_is_stable(self):
+        network = make_network()
+        router_a = network.router_for(12345)
+        router_b = network.router_for(12345)
+        assert router_a is router_b
+
+    def test_all_flow_packets_hit_one_router(self):
+        network = make_network()
+        attack = SynFloodAttack(victim=777, flood_size=200, seed=2)
+        network.carry(attack.packets())
+        streams = network.update_streams()
+        non_empty = [name for name, ups in streams.items() if ups]
+        assert len(non_empty) == 1
+
+    def test_traffic_spreads_across_routers(self):
+        network = make_network()
+        packets = [
+            Packet(time=float(i), source=i, dest=i, kind=PacketKind.SYN)
+            for i in range(300)
+        ]
+        network.carry(packets)
+        streams = network.update_streams()
+        assert all(len(ups) > 50 for ups in streams.values())
+
+    def test_rejects_empty_router_list(self):
+        with pytest.raises(ParameterError):
+            IspNetwork([])
+
+
+class TestStreamEquivalence:
+    def test_merged_equals_single_exporter(self):
+        # Because routing is per-destination, the union of per-router
+        # update streams equals (as a multiset) the stream a single
+        # exporter would emit.
+        attack = SynFloodAttack(victim=42, flood_size=150, seed=3)
+        packets = attack.packets()
+        network = make_network()
+        network.carry(packets)
+        merged = network.merged_updates()
+        single = FlowExporter().export_all(packets)
+        assert sorted(u.as_tuple() for u in merged) == sorted(
+            u.as_tuple() for u in single
+        )
+
+    def test_frequencies_preserved(self):
+        attack = SynFloodAttack(victim=42, flood_size=100, seed=4)
+        network = make_network()
+        network.carry(attack.packets())
+        frequencies = true_frequencies(network.merged_updates())
+        assert frequencies.get(42, 0) >= 99

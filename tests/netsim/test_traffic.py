@@ -1,0 +1,146 @@
+"""Tests for traffic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.netsim import (
+    BackgroundTraffic,
+    FlashCrowd,
+    FlowExporter,
+    PacketKind,
+    Scenario,
+    SynFloodAttack,
+)
+from repro.streams import true_frequencies
+
+
+class TestSynFloodAttack:
+    def test_emits_flood_size_syns(self):
+        attack = SynFloodAttack(victim=99, flood_size=500, seed=1)
+        packets = attack.packets()
+        assert len(packets) == 500
+        assert all(p.kind is PacketKind.SYN for p in packets)
+        assert all(p.dest == 99 for p in packets)
+
+    def test_spoofed_sources_mostly_distinct(self):
+        attack = SynFloodAttack(victim=99, flood_size=1000, seed=2)
+        sources = {p.source for p in attack.packets()}
+        # Random 32-bit draws: collisions essentially impossible.
+        assert len(sources) > 990
+
+    def test_no_acks_means_all_half_open(self):
+        attack = SynFloodAttack(victim=99, flood_size=300, seed=3)
+        updates = FlowExporter().export_all(attack.packets())
+        frequencies = true_frequencies(updates)
+        assert frequencies[99] >= 295  # minus rare source collisions
+
+    def test_times_within_window(self):
+        attack = SynFloodAttack(victim=1, flood_size=100, start=50.0,
+                                duration=5.0, seed=4)
+        times = [p.time for p in attack.packets()]
+        assert min(times) >= 50.0
+        assert max(times) <= 55.1
+        assert times == sorted(times)
+
+    def test_partial_acking(self):
+        attack = SynFloodAttack(victim=1, flood_size=1000, seed=5,
+                                ack_fraction=0.5)
+        updates = FlowExporter().export_all(attack.packets())
+        remaining = true_frequencies(updates).get(1, 0)
+        assert 350 <= remaining <= 650
+
+    def test_deterministic(self):
+        a = SynFloodAttack(victim=1, flood_size=50, seed=6).packets()
+        b = SynFloodAttack(victim=1, flood_size=50, seed=6).packets()
+        assert a == b
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(flood_size=0),
+            dict(flood_size=10, duration=0),
+            dict(flood_size=10, ack_fraction=1.5),
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ParameterError):
+            SynFloodAttack(victim=1, **kwargs)
+
+
+class TestFlashCrowd:
+    def test_every_session_completes(self):
+        crowd = FlashCrowd(destination=5, crowd_size=200, seed=1)
+        updates = FlowExporter().export_all(crowd.packets())
+        assert true_frequencies(updates) == {}
+
+    def test_packet_count_is_two_per_client(self):
+        crowd = FlashCrowd(destination=5, crowd_size=100, seed=2)
+        assert len(crowd.packets()) == 200
+
+    def test_clients_distinct(self):
+        crowd = FlashCrowd(destination=5, crowd_size=300, seed=3)
+        syn_sources = {
+            p.source for p in crowd.packets() if p.kind is PacketKind.SYN
+        }
+        assert len(syn_sources) == 300
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            FlashCrowd(destination=1, crowd_size=0)
+        with pytest.raises(ParameterError):
+            FlashCrowd(destination=1, crowd_size=10, rtt=0)
+
+
+class TestBackgroundTraffic:
+    def test_abandon_fraction_leaves_residue(self):
+        background = BackgroundTraffic(
+            destinations=[1, 2, 3], sessions=1000,
+            abandon_fraction=0.1, seed=1,
+        )
+        updates = FlowExporter().export_all(background.packets())
+        residue = sum(true_frequencies(updates).values())
+        assert 50 <= residue <= 200
+
+    def test_zero_abandon_fully_clears(self):
+        background = BackgroundTraffic(
+            destinations=[1], sessions=100, abandon_fraction=0.0, seed=2,
+        )
+        updates = FlowExporter().export_all(background.packets())
+        assert true_frequencies(updates) == {}
+
+    def test_spreads_over_destinations(self):
+        background = BackgroundTraffic(
+            destinations=list(range(10)), sessions=500,
+            abandon_fraction=1.0, seed=3,
+        )
+        updates = FlowExporter().export_all(background.packets())
+        assert len(true_frequencies(updates)) == 10
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            BackgroundTraffic(destinations=[], sessions=10)
+        with pytest.raises(ParameterError):
+            BackgroundTraffic(destinations=[1], sessions=0)
+        with pytest.raises(ParameterError):
+            BackgroundTraffic(destinations=[1], sessions=1,
+                              abandon_fraction=2.0)
+
+
+class TestScenario:
+    def test_merges_in_time_order(self):
+        scenario = Scenario(
+            SynFloodAttack(victim=1, flood_size=50, start=10, seed=1),
+            FlashCrowd(destination=2, crowd_size=50, start=0, seed=2),
+        )
+        times = [p.time for p in scenario.packets()]
+        assert times == sorted(times)
+
+    def test_add_chains(self):
+        scenario = Scenario()
+        scenario.add(
+            SynFloodAttack(victim=1, flood_size=10, seed=1)
+        ).add(FlashCrowd(destination=2, crowd_size=10, seed=2))
+        assert len(scenario) == 2
+        assert len(scenario.packets()) == 10 + 20

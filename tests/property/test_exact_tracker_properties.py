@@ -1,0 +1,76 @@
+"""Property-based tests: the exact tracker against brute-force recount."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import ExactDistinctTracker
+from repro.streams import true_frequencies
+from repro.types import FlowUpdate
+
+addresses = st.integers(min_value=0, max_value=20)
+
+
+@st.composite
+def well_formed_streams(draw):
+    """Streams where every deletion follows a matching insertion."""
+    inserts = draw(
+        st.lists(st.tuples(addresses, addresses), max_size=60)
+    )
+    updates = [FlowUpdate(s, d, +1) for s, d in inserts]
+    # Delete a random subset of inserted pairs (one deletion per insert).
+    delete_flags = draw(
+        st.lists(st.booleans(), min_size=len(inserts),
+                 max_size=len(inserts))
+    )
+    for (source, dest), flag in zip(inserts, delete_flags):
+        if flag:
+            updates.append(FlowUpdate(source, dest, -1))
+    return updates
+
+
+@given(well_formed_streams())
+@settings(max_examples=200)
+def test_tracker_matches_batch_recount(updates):
+    """Incremental tracker == batch true_frequencies on any stream."""
+    tracker = ExactDistinctTracker()
+    tracker.process_stream(updates)
+    assert tracker.frequencies() == true_frequencies(updates)
+
+
+@given(well_formed_streams())
+@settings(max_examples=150)
+def test_total_pairs_equals_frequency_sum(updates):
+    tracker = ExactDistinctTracker()
+    tracker.process_stream(updates)
+    assert tracker.total_distinct_pairs == sum(
+        tracker.frequencies().values()
+    )
+
+
+@given(well_formed_streams(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=150)
+def test_top_k_is_sorted_prefix(updates, k):
+    tracker = ExactDistinctTracker()
+    tracker.process_stream(updates)
+    top = tracker.top_k(k)
+    frequencies = [frequency for _, frequency in top]
+    assert frequencies == sorted(frequencies, reverse=True)
+    ranked_all = tracker.top_k(10 ** 6)
+    assert top == ranked_all[:k]
+
+
+@given(well_formed_streams(), st.integers(min_value=1, max_value=10))
+@settings(max_examples=150)
+def test_threshold_consistent_with_frequencies(updates, tau):
+    tracker = ExactDistinctTracker()
+    tracker.process_stream(updates)
+    reported = dict(tracker.threshold(tau))
+    for dest, frequency in tracker.frequencies().items():
+        if frequency >= tau:
+            assert reported[dest] == frequency
+        else:
+            assert dest not in reported

@@ -1,0 +1,60 @@
+"""Property-based tests for the hashing substrate (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    CarterWegmanHash,
+    GeometricLevelHash,
+    TabulationHash,
+    derive_seed,
+)
+
+values = st.integers(min_value=0, max_value=2 ** 61 - 2)
+seeds = st.integers(min_value=0, max_value=2 ** 32)
+ranges = st.integers(min_value=1, max_value=10_000)
+
+
+@given(values, seeds, ranges)
+@settings(max_examples=300)
+def test_carter_wegman_in_range_and_deterministic(value, seed, range_size):
+    first = CarterWegmanHash(range_size=range_size, seed=seed)
+    second = CarterWegmanHash(range_size=range_size, seed=seed)
+    result = first(value)
+    assert 0 <= result < range_size
+    assert result == second(value)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1), seeds, ranges)
+@settings(max_examples=300)
+def test_tabulation_in_range_and_deterministic(value, seed, range_size):
+    first = TabulationHash(range_size=range_size, seed=seed)
+    second = TabulationHash(range_size=range_size, seed=seed)
+    result = first(value)
+    assert 0 <= result < range_size
+    assert result == second(value)
+
+
+@given(st.integers(min_value=0, max_value=2 ** 64 - 1), seeds,
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=300)
+def test_geometric_level_in_bounds(value, seed, max_level):
+    hash_function = GeometricLevelHash(max_level=max_level, seed=seed)
+    assert 0 <= hash_function(value) <= max_level
+
+
+@given(seeds, st.lists(st.text(max_size=10), max_size=4))
+@settings(max_examples=300)
+def test_derive_seed_stable_and_bounded(seed, labels):
+    first = derive_seed(seed, *labels)
+    second = derive_seed(seed, *labels)
+    assert first == second
+    assert 0 <= first < 2 ** 64
+
+
+@given(seeds)
+@settings(max_examples=100)
+def test_derived_children_differ_from_parent_label(seed):
+    assert derive_seed(seed, "a") != derive_seed(seed, "b")

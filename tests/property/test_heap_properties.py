@@ -1,0 +1,67 @@
+"""Property-based tests for the indexed max-heap (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import IndexedMaxHeap
+
+keys = st.integers(min_value=0, max_value=30)
+priorities = st.integers(min_value=-100, max_value=100)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add_to"), keys, st.sampled_from([-1, 1])),
+        st.tuples(st.just("update"), keys, priorities),
+        st.tuples(st.just("remove"), keys, st.just(0)),
+    ),
+    max_size=120,
+)
+
+
+def apply_operations(op_list):
+    heap = IndexedMaxHeap()
+    shadow = {}
+    for name, key, value in op_list:
+        if name == "add_to":
+            shadow[key] = shadow.get(key, 0) + value
+            heap.add_to(key, value)
+        elif name == "update":
+            if key in shadow:
+                shadow[key] = value
+                heap.update(key, value)
+        elif name == "remove":
+            if key in shadow:
+                del shadow[key]
+                heap.remove(key)
+    return heap, shadow
+
+
+@given(operations)
+@settings(max_examples=300)
+def test_heap_matches_shadow_dict(op_list):
+    """After any operation sequence, contents match a model dict."""
+    heap, shadow = apply_operations(op_list)
+    heap.check_invariants()
+    assert dict(heap.items()) == shadow
+
+
+@given(operations)
+@settings(max_examples=200)
+def test_drain_yields_sorted_priorities(op_list):
+    """Popping everything yields non-increasing priorities."""
+    heap, shadow = apply_operations(op_list)
+    drained = [heap.pop()[1] for _ in range(len(heap))]
+    assert drained == sorted(drained, reverse=True)
+
+
+@given(operations, st.integers(min_value=1, max_value=10))
+@settings(max_examples=200)
+def test_top_k_agrees_with_sorting(op_list, k):
+    """top_k equals sorting the model dict, and does not mutate."""
+    heap, shadow = apply_operations(op_list)
+    expected = sorted(shadow.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+    assert heap.top_k(k) == expected
+    heap.check_invariants()
+    assert dict(heap.items()) == shadow

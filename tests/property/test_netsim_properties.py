@@ -1,0 +1,109 @@
+"""Property-based tests for the network-simulation substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import FlowExporter, Packet, PacketKind, TcpConnection
+from repro.netsim.records import RecordExporter, records_to_updates
+from repro.streams import true_frequencies
+
+kinds = st.sampled_from(list(PacketKind))
+small_addresses = st.integers(min_value=0, max_value=5)
+
+
+@given(st.lists(kinds, max_size=30))
+@settings(max_examples=300)
+def test_connection_deltas_stay_balanced(kind_sequence):
+    """Over any packet sequence, emitted deltas net to 0 or +1.
+
+    +1 exactly when the machine ends half-open: the monitor's tracked
+    state equals the machine's state by construction.
+    """
+    connection = TcpConnection(1, 2)
+    running = 0
+    for kind in kind_sequence:
+        running += connection.observe(kind)
+        assert running in (0, 1)
+    assert running == (1 if connection.is_half_open else 0)
+
+
+@st.composite
+def packet_streams(draw):
+    count = draw(st.integers(min_value=0, max_value=60))
+    packets = []
+    time = 0.0
+    for _ in range(count):
+        time += draw(st.floats(min_value=0.01, max_value=2.0))
+        packets.append(
+            Packet(
+                time=time,
+                source=draw(small_addresses),
+                dest=draw(small_addresses),
+                kind=draw(kinds),
+            )
+        )
+    return packets
+
+
+@given(packet_streams())
+@settings(max_examples=200, deadline=None)
+def test_exporter_output_is_well_formed(packets):
+    """Every prefix of the exporter's output has per-pair net in {0, 1}.
+
+    A well-formed exporter never emits a deletion before its insertion
+    and never double-inserts a live pair.
+    """
+    exporter = FlowExporter()
+    running = {}
+    for packet in packets:
+        update = exporter.observe(packet)
+        if update is None:
+            continue
+        key = (update.source, update.dest)
+        running[key] = running.get(key, 0) + update.delta
+        assert running[key] in (0, 1), key
+
+
+@given(packet_streams())
+@settings(max_examples=200, deadline=None)
+def test_exporter_frequencies_match_half_open_machines(packets):
+    """Final frequencies equal the half-open connections of an oracle.
+
+    The oracle mirrors the exporter's eviction rule: once a connection
+    leaves the half-open state it is forgotten, so a later SYN for the
+    same pair starts a *new* connection attempt (real exporters cannot
+    distinguish a retransmit from a fresh attempt once state is gone).
+    """
+    exporter = FlowExporter()
+    updates = exporter.export_all(packets)
+    machines = {}
+    for packet in packets:
+        key = (packet.source, packet.dest)
+        machine = machines.get(key)
+        if machine is None:
+            machine = TcpConnection(*key)
+            machines[key] = machine
+        machine.observe(packet.kind)
+        if not machine.is_half_open:
+            del machines[key]
+    expected = {}
+    for (source, dest) in machines:
+        expected[dest] = expected.get(dest, 0) + 1
+    assert true_frequencies(updates) == expected
+
+
+@given(packet_streams())
+@settings(max_examples=150, deadline=None)
+def test_record_pipeline_is_well_formed(packets):
+    """The record path also yields per-pair nets in {0, 1} at the end."""
+    records = RecordExporter(
+        inactive_timeout=1.0, active_timeout=10.0
+    ).export_all(packets)
+    updates = list(records_to_updates(records))
+    net = {}
+    for update in updates:
+        key = (update.source, update.dest)
+        net[key] = net.get(key, 0) + update.delta
+        assert net[key] in (0, 1)

@@ -1,0 +1,104 @@
+"""Property-based tests for count signatures (hypothesis)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketch import CountSignature
+
+PAIR_BITS = 12
+codes = st.integers(min_value=0, max_value=2 ** PAIR_BITS - 1)
+
+
+@given(st.lists(codes, max_size=60))
+@settings(max_examples=200)
+def test_insert_then_delete_everything_is_zero(code_list):
+    """Deleting exactly what was inserted zeroes the signature."""
+    signature = CountSignature(PAIR_BITS)
+    for code in code_list:
+        signature.update(code, +1)
+    for code in code_list:
+        signature.update(code, -1)
+    assert signature.is_zero
+
+
+@given(st.lists(codes, max_size=60), st.lists(codes, max_size=60))
+@settings(max_examples=200)
+def test_churn_leaves_signature_of_survivors(persistent, transient):
+    """A signature that saw churn equals one that never did."""
+    churned = CountSignature(PAIR_BITS)
+    clean = CountSignature(PAIR_BITS)
+    for code in persistent:
+        churned.update(code, +1)
+        clean.update(code, +1)
+    for code in transient:
+        churned.update(code, +1)
+    for code in transient:
+        churned.update(code, -1)
+    assert churned == clean
+
+
+@given(codes, st.integers(min_value=1, max_value=20))
+@settings(max_examples=200)
+def test_single_distinct_code_always_recoverable(code, multiplicity):
+    """Any lone code, at any multiplicity, decodes exactly."""
+    signature = CountSignature(PAIR_BITS)
+    for _ in range(multiplicity):
+        signature.update(code, +1)
+    assert signature.recover_singleton() == code
+
+
+@given(st.sets(codes, min_size=2, max_size=10))
+@settings(max_examples=200)
+def test_multiple_distinct_codes_never_decode(code_set):
+    """Two or more distinct codes always register as a collision."""
+    signature = CountSignature(PAIR_BITS)
+    for code in code_set:
+        signature.update(code, +1)
+    assert signature.recover_singleton() is None
+
+
+@given(st.lists(codes, max_size=40), st.lists(codes, max_size=40))
+@settings(max_examples=150)
+def test_merge_is_equivalent_to_concatenation(left_codes, right_codes):
+    """merge(a, b) == signature of the concatenated streams."""
+    left = CountSignature(PAIR_BITS)
+    right = CountSignature(PAIR_BITS)
+    direct = CountSignature(PAIR_BITS)
+    for code in left_codes:
+        left.update(code, +1)
+        direct.update(code, +1)
+    for code in right_codes:
+        right.update(code, +1)
+        direct.update(code, +1)
+    left.merge(right)
+    assert left == direct
+
+
+@given(st.lists(st.tuples(codes, st.sampled_from([1, -1])), max_size=80))
+@settings(max_examples=200)
+def test_order_invariance(updates):
+    """Signatures are linear: any permutation gives the same state."""
+    forward = CountSignature(PAIR_BITS)
+    backward = CountSignature(PAIR_BITS)
+    for code, delta in updates:
+        forward.update(code, delta)
+    for code, delta in reversed(updates):
+        backward.update(code, delta)
+    assert forward == backward
+
+
+@given(st.lists(codes, min_size=1, max_size=50))
+@settings(max_examples=200)
+def test_total_matches_multiset_size(code_list):
+    """The total counter equals the number of (net) insertions."""
+    signature = CountSignature(PAIR_BITS)
+    for code in code_list:
+        signature.update(code, +1)
+    assert signature.total == len(code_list)
+    counts = Counter(code_list)
+    if len(counts) == 1:
+        assert signature.recover_singleton() == code_list[0]

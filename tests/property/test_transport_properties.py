@@ -1,0 +1,81 @@
+"""Property-based tests for transport channels."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.streams import (
+    Channel,
+    DuplicatingChannel,
+    LossyChannel,
+    ReorderingChannel,
+)
+from repro.types import FlowUpdate
+
+updates = st.lists(
+    st.builds(
+        FlowUpdate,
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=10),
+        st.sampled_from([1, -1]),
+    ),
+    max_size=60,
+)
+seeds = st.integers(min_value=0, max_value=1000)
+
+
+@given(updates, seeds)
+@settings(max_examples=200)
+def test_loss_only_removes(stream, seed):
+    """Lost streams are sub-multisets of the original."""
+    channel = LossyChannel(0.4, seed=seed)
+    survived = Counter(
+        update.as_tuple() for update in channel.transmit(stream)
+    )
+    original = Counter(update.as_tuple() for update in stream)
+    assert all(survived[key] <= original[key] for key in survived)
+    assert sum(survived.values()) + channel.dropped == len(stream)
+
+
+@given(updates, seeds)
+@settings(max_examples=200)
+def test_duplication_only_adds_copies(stream, seed):
+    """Duplicated streams are super-multisets with no new elements."""
+    channel = DuplicatingChannel(0.4, seed=seed)
+    delivered = Counter(
+        update.as_tuple() for update in channel.transmit(stream)
+    )
+    original = Counter(update.as_tuple() for update in stream)
+    assert all(delivered[key] >= count
+               for key, count in original.items())
+    assert set(delivered) == set(original)
+    assert sum(delivered.values()) == len(stream) + channel.duplicated
+
+
+@given(updates, seeds, st.integers(min_value=0, max_value=20))
+@settings(max_examples=200)
+def test_reordering_preserves_multiset(stream, seed, window):
+    channel = ReorderingChannel(window, seed=seed)
+    delivered = channel.transmit(stream)
+    assert Counter(u.as_tuple() for u in delivered) == Counter(
+        u.as_tuple() for u in stream
+    )
+
+
+@given(updates, seeds)
+@settings(max_examples=150)
+def test_clean_composite_channel_is_identity(stream, seed):
+    assert Channel(seed=seed).transmit(stream) == stream
+
+
+@given(updates, seeds)
+@settings(max_examples=150)
+def test_composite_counters_consistent(stream, seed):
+    channel = Channel(loss_rate=0.3, duplicate_rate=0.3, seed=seed)
+    delivered = channel.transmit(stream)
+    assert len(delivered) == (
+        len(stream) + channel.duplicated - channel.dropped
+    )

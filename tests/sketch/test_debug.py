@@ -1,0 +1,83 @@
+"""Tests for sketch introspection utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketch import DistinctCountSketch, SketchParams
+from repro.sketch.debug import bucket_report, describe, level_occupancy
+from repro.types import AddressDomain
+
+
+@pytest.fixture
+def loaded():
+    domain = AddressDomain(2 ** 16)
+    sketch = DistinctCountSketch(SketchParams(domain, r=2, s=16), seed=3)
+    for source in range(300):
+        sketch.insert(source, source % 10)
+    return sketch
+
+
+class TestLevelOccupancy:
+    def test_only_nonempty_levels_reported(self, loaded):
+        stats = level_occupancy(loaded)
+        assert stats
+        assert all(entry.occupied_buckets > 0 for entry in stats)
+
+    def test_occupancy_sums_match_sketch(self, loaded):
+        stats = level_occupancy(loaded)
+        assert sum(s.occupied_buckets for s in stats) == (
+            loaded.occupied_buckets()
+        )
+
+    def test_singleton_plus_collision_equals_occupied(self, loaded):
+        for entry in level_occupancy(loaded):
+            assert (entry.singletons + entry.collisions
+                    == entry.occupied_buckets)
+
+    def test_total_counts_sum_to_r_times_net(self, loaded):
+        # Every update touches r buckets, so per-level totals sum to
+        # r * net_total across the sketch.
+        stats = level_occupancy(loaded)
+        assert sum(s.total_count for s in stats) == (
+            loaded.params.r * loaded.net_total
+        )
+
+    def test_empty_sketch_has_no_levels(self):
+        domain = AddressDomain(2 ** 16)
+        sketch = DistinctCountSketch(domain, seed=1)
+        assert level_occupancy(sketch) == []
+
+
+class TestBucketReport:
+    def test_capacity_accounting(self, loaded):
+        report = bucket_report(loaded)
+        params = loaded.params
+        assert report["capacity"] == (
+            params.num_levels * params.r * params.s
+        )
+        assert report["occupied"] + report["empty"] == report["capacity"]
+        assert (report["singletons"] + report["collisions"]
+                == report["occupied"])
+
+    def test_fresh_sketch_all_empty(self):
+        domain = AddressDomain(2 ** 16)
+        sketch = DistinctCountSketch(domain, seed=2)
+        report = bucket_report(sketch)
+        assert report["occupied"] == 0
+        assert report["empty"] == report["capacity"]
+
+
+class TestDescribe:
+    def test_contains_key_lines(self, loaded):
+        text = describe(loaded)
+        assert "DistinctCountSketch" in text
+        assert "buckets:" in text
+        assert "model space:" in text
+        assert "level" in text
+
+    def test_describe_empty_sketch(self):
+        domain = AddressDomain(2 ** 16)
+        sketch = DistinctCountSketch(domain, seed=4)
+        text = describe(sketch)
+        assert "0/" in text

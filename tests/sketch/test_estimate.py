@@ -1,0 +1,73 @@
+"""Tests for the TopKResult/TopKEntry result objects."""
+
+from __future__ import annotations
+
+from repro.sketch import TopKEntry, TopKResult
+from repro.sketch.estimate import build_result
+
+
+def make_result():
+    return build_result(
+        ranked=[(7, 10), (9, 4), (3, 1)],
+        stop_level=3,
+        sample_size=15,
+        target_size=10.0,
+    )
+
+
+class TestBuildResult:
+    def test_estimates_scaled(self):
+        result = make_result()
+        assert result.entries[0] == TopKEntry(
+            dest=7, estimate=80, sample_frequency=10
+        )
+        assert result.entries[2].estimate == 8
+
+    def test_scale_property(self):
+        assert make_result().scale == 8
+
+    def test_metadata_carried(self):
+        result = make_result()
+        assert result.stop_level == 3
+        assert result.sample_size == 15
+        assert result.target_size == 10.0
+
+
+class TestAccessors:
+    def test_destinations_order(self):
+        assert make_result().destinations == [7, 9, 3]
+
+    def test_estimate_for_present(self):
+        assert make_result().estimate_for(9) == 32
+
+    def test_estimate_for_absent(self):
+        assert make_result().estimate_for(999) is None
+
+    def test_as_dict(self):
+        assert make_result().as_dict() == {7: 80, 9: 32, 3: 8}
+
+    def test_iteration_and_len(self):
+        result = make_result()
+        assert len(result) == 3
+        assert [entry.dest for entry in result] == [7, 9, 3]
+
+    def test_empty_result(self):
+        result = build_result([], stop_level=0, sample_size=0,
+                              target_size=5.0)
+        assert len(result) == 0
+        assert result.destinations == []
+        assert result.as_dict() == {}
+
+    def test_frozen(self):
+        result = make_result()
+        try:
+            result.stop_level = 9  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_stop_level_zero_scale_one(self):
+        result = build_result([(1, 5)], stop_level=0, sample_size=5,
+                              target_size=2.0)
+        assert result.entries[0].estimate == 5

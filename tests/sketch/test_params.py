@@ -1,0 +1,156 @@
+"""Tests for sketch parameterization and the Theorem 4.4 formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketch import SketchParams
+from repro.sketch.params import (
+    DEFAULT_TARGET_FACTOR,
+    PSEUDOCODE_TARGET_FACTOR,
+    validate_epsilon,
+)
+from repro.types import AddressDomain
+
+
+@pytest.fixture
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 16)
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self, domain):
+        params = SketchParams(domain)
+        assert params.r == 3
+        assert params.s == 128
+
+    def test_num_levels_derived_from_domain(self, domain):
+        params = SketchParams(domain)
+        # 2 * log2(m) + 1 levels cover the pair domain.
+        assert params.num_levels == domain.pair_bits + 1 == 33
+
+    def test_explicit_num_levels(self, domain):
+        assert SketchParams(domain, num_levels=10).num_levels == 10
+
+    @pytest.mark.parametrize("field,value", [("r", 0), ("s", 1)])
+    def test_rejects_bad_shape(self, domain, field, value):
+        with pytest.raises(ParameterError):
+            SketchParams(domain, **{field: value})
+
+    def test_rejects_bad_target_factor(self, domain):
+        with pytest.raises(ParameterError):
+            SketchParams(domain, sample_target_factor=0)
+
+    def test_counters_per_bucket(self, domain):
+        # Total count + 2 log m bit counts (Section 3).
+        assert SketchParams(domain).counters_per_bucket == 33
+
+
+class TestSampleTarget:
+    def test_default_factor_is_calibrated(self, domain):
+        params = SketchParams(domain)
+        assert params.sample_target_factor == DEFAULT_TARGET_FACTOR == 1.0
+
+    def test_pseudocode_faithful_factor(self, domain):
+        params = SketchParams.pseudocode_faithful(domain)
+        assert params.sample_target_factor == PSEUDOCODE_TARGET_FACTOR
+        # (1 + 0.25) * 128 / 16 = 10
+        assert params.sample_target(0.25) == pytest.approx(10.0)
+
+    def test_target_scales_with_s(self, domain):
+        small = SketchParams(domain, s=64).sample_target(0.25)
+        large = SketchParams(domain, s=256).sample_target(0.25)
+        assert large == pytest.approx(4 * small)
+
+    def test_target_validates_epsilon(self, domain):
+        params = SketchParams(domain)
+        with pytest.raises(ParameterError):
+            params.sample_target(0.5)  # must be < 1/3
+        with pytest.raises(ParameterError):
+            params.sample_target(0.0)
+
+
+class TestSpaceAccounting:
+    def test_signature_bytes(self, domain):
+        params = SketchParams(domain)
+        # 33 counters * 4 bytes.
+        assert params.signature_bytes() == 132
+
+    def test_level_bytes(self, domain):
+        params = SketchParams(domain, r=3, s=128)
+        assert params.level_bytes() == 3 * 128 * 132
+
+    def test_paper_section_61_number(self):
+        # The paper: 23 levels x 3 x 128 x 65 counters x 4 bytes ~ 2.3 MB.
+        domain = AddressDomain(2 ** 32)
+        params = SketchParams(domain, r=3, s=128)
+        assert params.counters_per_bucket == 65
+        total = params.allocated_bytes(active_levels=23)
+        assert total == 23 * 3 * 128 * 65 * 4
+        assert 2.2e6 < total < 2.4e6
+
+    def test_allocated_defaults_to_all_levels(self, domain):
+        params = SketchParams(domain)
+        assert params.allocated_bytes() == (
+            params.num_levels * params.level_bytes()
+        )
+
+
+class TestFromGuarantees:
+    def test_r_grows_with_stream_length(self, domain):
+        small = SketchParams.from_guarantees(
+            domain, epsilon=0.1, delta=0.05, stream_length=10 ** 3,
+            distinct_pairs=500, kth_frequency=50)
+        large = SketchParams.from_guarantees(
+            domain, epsilon=0.1, delta=0.05, stream_length=10 ** 9,
+            distinct_pairs=500, kth_frequency=50)
+        assert large.r > small.r
+
+    def test_s_shrinks_with_kth_frequency(self, domain):
+        rare = SketchParams.from_guarantees(
+            domain, epsilon=0.1, delta=0.05, stream_length=10 ** 4,
+            distinct_pairs=10 ** 4, kth_frequency=10)
+        common = SketchParams.from_guarantees(
+            domain, epsilon=0.1, delta=0.05, stream_length=10 ** 4,
+            distinct_pairs=10 ** 4, kth_frequency=1000)
+        assert rare.s > common.s
+
+    def test_s_grows_with_precision(self, domain):
+        loose = SketchParams.from_guarantees(
+            domain, epsilon=0.3, delta=0.05, stream_length=10 ** 4,
+            distinct_pairs=10 ** 4, kth_frequency=100)
+        tight = SketchParams.from_guarantees(
+            domain, epsilon=0.05, delta=0.05, stream_length=10 ** 4,
+            distinct_pairs=10 ** 4, kth_frequency=100)
+        assert tight.s > loose.s
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(epsilon=0.4, delta=0.1, stream_length=10,
+                 distinct_pairs=10, kth_frequency=1),
+            dict(epsilon=0.1, delta=1.5, stream_length=10,
+                 distinct_pairs=10, kth_frequency=1),
+            dict(epsilon=0.1, delta=0.1, stream_length=0,
+                 distinct_pairs=10, kth_frequency=1),
+            dict(epsilon=0.1, delta=0.1, stream_length=10,
+                 distinct_pairs=0, kth_frequency=1),
+            dict(epsilon=0.1, delta=0.1, stream_length=10,
+                 distinct_pairs=10, kth_frequency=0),
+        ],
+    )
+    def test_rejects_invalid_inputs(self, domain, kwargs):
+        with pytest.raises(ParameterError):
+            SketchParams.from_guarantees(domain, **kwargs)
+
+
+class TestValidateEpsilon:
+    @pytest.mark.parametrize("good", [0.01, 0.1, 0.25, 0.33])
+    def test_accepts_valid(self, good):
+        validate_epsilon(good)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1 / 3, 0.5, 1.0])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ParameterError):
+            validate_epsilon(bad)

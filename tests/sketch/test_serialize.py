@@ -1,0 +1,127 @@
+"""Tests for sketch serialization."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketch import (
+    DistinctCountSketch,
+    SketchParams,
+    TrackingDistinctCountSketch,
+    serialize,
+)
+from repro.types import AddressDomain
+
+
+@pytest.fixture
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 16)
+
+
+def loaded_sketch(domain, tracking=False, seed=3, updates=200):
+    cls = TrackingDistinctCountSketch if tracking else DistinctCountSketch
+    sketch = cls(domain, seed=seed)
+    rng = random.Random(seed)
+    for _ in range(updates):
+        sketch.insert(rng.randrange(2 ** 16), rng.randrange(40))
+    return sketch
+
+
+class TestRoundTrip:
+    def test_basic_sketch_roundtrips(self, domain):
+        original = loaded_sketch(domain)
+        restored = serialize.loads(serialize.dumps(original))
+        assert isinstance(restored, DistinctCountSketch)
+        assert restored.structurally_equal(original)
+        assert restored.updates_processed == original.updates_processed
+        assert restored.net_total == original.net_total
+
+    def test_tracking_sketch_roundtrips(self, domain):
+        original = loaded_sketch(domain, tracking=True)
+        restored = serialize.loads(serialize.dumps(original))
+        assert isinstance(restored, TrackingDistinctCountSketch)
+        assert restored.structurally_equal(original)
+        restored.check_invariants()
+        assert restored.track_topk(5).as_dict() == (
+            original.track_topk(5).as_dict()
+        )
+
+    def test_empty_sketch_roundtrips(self, domain):
+        original = DistinctCountSketch(domain, seed=1)
+        restored = serialize.loads(serialize.dumps(original))
+        assert restored.is_empty
+
+    def test_restored_sketch_keeps_processing(self, domain):
+        original = loaded_sketch(domain, tracking=True)
+        restored = serialize.loads(serialize.dumps(original))
+        for source in range(50):
+            original.insert(source, 99)
+            restored.insert(source, 99)
+        assert restored.structurally_equal(original)
+        restored.check_invariants()
+
+    def test_restored_sketch_merges_with_original_lineage(self, domain):
+        left = loaded_sketch(domain, seed=7, updates=100)
+        right = DistinctCountSketch(domain, seed=7)
+        for source in range(80):
+            right.insert(source, 5)
+        restored = serialize.loads(serialize.dumps(right))
+        left.merge(restored)
+        direct = loaded_sketch(domain, seed=7, updates=100)
+        for source in range(80):
+            direct.insert(source, 5)
+        assert left.structurally_equal(direct)
+
+    def test_nondefault_params_preserved(self, domain):
+        params = SketchParams(domain, r=2, s=32,
+                              sample_target_factor=0.25)
+        original = DistinctCountSketch(params, seed=9)
+        original.insert(1, 2)
+        restored = serialize.loads(serialize.dumps(original))
+        assert restored.params == params
+
+    def test_payload_is_compact_json(self, domain):
+        sketch = loaded_sketch(domain, updates=50)
+        payload = serialize.dumps(sketch)
+        decoded = json.loads(payload)
+        assert decoded["kind"] == "basic"
+        # Sparse: only occupied buckets are shipped.
+        assert len(decoded["buckets"]) <= 50 * sketch.params.r
+
+
+class TestValidation:
+    def test_rejects_bad_version(self, domain):
+        payload = serialize.sketch_to_dict(loaded_sketch(domain))
+        payload["format_version"] = 999
+        with pytest.raises(ParameterError):
+            serialize.sketch_from_dict(payload)
+
+    def test_rejects_unknown_kind(self, domain):
+        payload = serialize.sketch_to_dict(loaded_sketch(domain))
+        payload["kind"] = "mystery"
+        with pytest.raises(ParameterError):
+            serialize.sketch_from_dict(payload)
+
+    def test_rejects_out_of_range_bucket(self, domain):
+        payload = serialize.sketch_to_dict(loaded_sketch(domain))
+        payload["buckets"].append([9999, 0, 0, [0] * 33])
+        with pytest.raises(ParameterError):
+            serialize.sketch_from_dict(payload)
+
+    def test_rejects_wrong_signature_width(self, domain):
+        payload = serialize.sketch_to_dict(loaded_sketch(domain))
+        payload["buckets"].append([0, 0, 0, [1, 2, 3]])
+        with pytest.raises(ParameterError):
+            serialize.sketch_from_dict(payload)
+
+    def test_rejects_malformed_bytes(self):
+        with pytest.raises(ParameterError):
+            serialize.loads(b"not json at all {{{")
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(ParameterError):
+            serialize.loads(b"[1, 2, 3]")

@@ -1,0 +1,99 @@
+"""Tests for sharded ingestion."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketch import ShardedSketch, TrackingDistinctCountSketch
+from repro.types import AddressDomain, FlowUpdate
+
+
+@pytest.fixture
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 16)
+
+
+def random_stream(count, seed=0, dests=30):
+    rng = random.Random(seed)
+    return [
+        FlowUpdate(rng.randrange(2 ** 16), rng.randrange(dests), +1)
+        for _ in range(count)
+    ]
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("policy", ["round-robin", "by-destination"])
+    def test_combined_equals_single_sketch(self, domain, policy):
+        stream = random_stream(600, seed=1)
+        sharded = ShardedSketch(domain, shards=4, policy=policy, seed=9)
+        sharded.process_stream(stream)
+        single = TrackingDistinctCountSketch(sharded.params, seed=9)
+        single.process_stream(stream)
+        combined = sharded.combined()
+        assert combined.structurally_equal(single)
+        assert combined.track_topk(5).as_dict() == (
+            single.track_topk(5).as_dict()
+        )
+
+    def test_equivalence_with_deletions(self, domain):
+        stream = random_stream(300, seed=2)
+        stream += [update.inverted() for update in stream[:150]]
+        sharded = ShardedSketch(domain, shards=3, seed=10)
+        sharded.process_stream(stream)
+        single = TrackingDistinctCountSketch(sharded.params, seed=10)
+        single.process_stream(stream)
+        assert sharded.combined().structurally_equal(single)
+
+    def test_single_shard_degenerates_gracefully(self, domain):
+        stream = random_stream(100, seed=3)
+        sharded = ShardedSketch(domain, shards=1, seed=11)
+        sharded.process_stream(stream)
+        assert sharded.combined().updates_processed == 100
+
+
+class TestPartitioning:
+    def test_round_robin_balances_exactly(self, domain):
+        sharded = ShardedSketch(domain, shards=4, policy="round-robin",
+                                seed=12)
+        sharded.process_stream(random_stream(400, seed=4))
+        assert sharded.shard_update_counts() == [100, 100, 100, 100]
+
+    def test_by_destination_is_sticky(self, domain):
+        sharded = ShardedSketch(domain, shards=4,
+                                policy="by-destination", seed=13)
+        update = FlowUpdate(1, 7, +1)
+        first = sharded.shard_for(update)
+        assert all(
+            sharded.shard_for(FlowUpdate(source, 7, +1)) == first
+            for source in range(50)
+        )
+
+    def test_by_destination_shard_answers_locally(self, domain):
+        sharded = ShardedSketch(domain, shards=2,
+                                policy="by-destination", seed=14)
+        for source in range(200):
+            sharded.process(FlowUpdate(source, 7, +1))
+        index = sharded.shard_for(FlowUpdate(0, 7, +1))
+        local = sharded.shard(index).track_topk(1)
+        assert local.destinations == [7]
+
+    def test_topk_from_sharded_view(self, domain):
+        sharded = ShardedSketch(domain, shards=4, seed=15)
+        for source in range(300):
+            sharded.process(FlowUpdate(source, 9, +1))
+        for source in range(20):
+            sharded.process(FlowUpdate(source, 8, +1))
+        assert sharded.track_topk(1).destinations == [9]
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self, domain):
+        with pytest.raises(ParameterError):
+            ShardedSketch(domain, shards=0)
+
+    def test_rejects_unknown_policy(self, domain):
+        with pytest.raises(ParameterError):
+            ShardedSketch(domain, policy="random")

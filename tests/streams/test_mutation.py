@@ -1,0 +1,102 @@
+"""Tests for churn injection helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.streams import (
+    interleave,
+    shuffled,
+    true_frequencies,
+    with_duplicates,
+    with_matched_deletions,
+)
+from repro.types import FlowUpdate
+
+
+def inserts(count, dest=7):
+    return [FlowUpdate(source, dest, +1) for source in range(count)]
+
+
+class TestShuffled:
+    def test_preserves_multiset(self):
+        original = inserts(50)
+        result = shuffled(original, seed=1)
+        assert sorted(u.source for u in result) == list(range(50))
+
+    def test_deterministic(self):
+        assert shuffled(inserts(30), seed=2) == shuffled(inserts(30), seed=2)
+
+    def test_actually_shuffles(self):
+        assert shuffled(inserts(100), seed=3) != inserts(100)
+
+
+class TestWithDuplicates:
+    def test_adds_expected_count(self):
+        result = with_duplicates(inserts(100), rate=0.2, seed=1)
+        assert len(result) == 120
+
+    def test_distinct_frequencies_unchanged(self):
+        original = inserts(100)
+        result = with_duplicates(original, rate=0.5, seed=2)
+        assert true_frequencies(result) == true_frequencies(original)
+
+    def test_zero_rate_is_noop_multiset(self):
+        result = with_duplicates(inserts(10), rate=0.0, seed=3)
+        assert sorted(u.source for u in result) == list(range(10))
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            with_duplicates(inserts(5), rate=1.5)
+
+
+class TestWithMatchedDeletions:
+    def test_deleted_pairs_vanish(self):
+        result = with_matched_deletions(inserts(100), rate=0.3, seed=1)
+        frequencies = true_frequencies(result)
+        assert frequencies[7] == 70
+
+    def test_full_deletion_empties(self):
+        result = with_matched_deletions(inserts(40), rate=1.0, seed=2)
+        assert true_frequencies(result) == {}
+
+    def test_stream_stays_well_formed(self):
+        # Every prefix of the stream has non-negative net counts.
+        result = with_matched_deletions(inserts(60), rate=0.5, seed=3)
+        running = {}
+        for update in result:
+            key = (update.source, update.dest)
+            running[key] = running.get(key, 0) + update.delta
+            assert running[key] >= 0
+
+    def test_zero_rate_is_noop(self):
+        original = inserts(10)
+        assert with_matched_deletions(original, rate=0.0) == original
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            with_matched_deletions(inserts(5), rate=-0.1)
+
+
+class TestInterleave:
+    def test_preserves_per_stream_order(self):
+        a = [FlowUpdate(1, 1, +1), FlowUpdate(1, 1, -1)]
+        b = inserts(5, dest=9)
+        merged = interleave(a, b, seed=4)
+        positions = [merged.index(update) for update in a]
+        assert positions == sorted(positions)
+
+    def test_preserves_multiset(self):
+        a = inserts(10, dest=1)
+        b = inserts(20, dest=2)
+        merged = interleave(a, b, seed=5)
+        assert len(merged) == 30
+        assert true_frequencies(merged) == {1: 10, 2: 20}
+
+    def test_deterministic(self):
+        a, b = inserts(5, 1), inserts(5, 2)
+        assert interleave(a, b, seed=6) == interleave(a, b, seed=6)
+
+    def test_empty_streams(self):
+        assert interleave([], [], seed=1) == []

@@ -1,0 +1,77 @@
+"""Tests for stream source composition."""
+
+from __future__ import annotations
+
+from repro.streams import ChainSource, ListSource, RoundRobinMerge
+from repro.types import FlowUpdate
+
+
+def updates(*pairs):
+    return [FlowUpdate(source, dest, +1) for source, dest in pairs]
+
+
+class TestListSource:
+    def test_iterates_in_order(self):
+        source = ListSource(updates((1, 2), (3, 4)))
+        assert list(source) == updates((1, 2), (3, 4))
+
+    def test_len(self):
+        assert len(ListSource(updates((1, 2)))) == 1
+
+    def test_replayable(self):
+        source = ListSource(updates((1, 2)))
+        assert list(source) == list(source)
+
+    def test_append_and_extend(self):
+        source = ListSource([])
+        source.append(FlowUpdate(1, 2))
+        source.extend(updates((3, 4), (5, 6)))
+        assert len(source) == 3
+
+    def test_materialize_returns_copy(self):
+        source = ListSource(updates((1, 2)))
+        materialized = source.materialize()
+        materialized.append(FlowUpdate(9, 9))
+        assert len(source) == 1
+
+
+class TestChainSource:
+    def test_concatenates(self):
+        chain = ChainSource(
+            ListSource(updates((1, 2))), ListSource(updates((3, 4)))
+        )
+        assert list(chain) == updates((1, 2), (3, 4))
+        assert len(chain) == 2
+
+    def test_empty_chain(self):
+        assert list(ChainSource()) == []
+
+
+class TestRoundRobinMerge:
+    def test_interleaves_one_each(self):
+        merge = RoundRobinMerge(
+            ListSource(updates((1, 1), (2, 2))),
+            ListSource(updates((3, 3), (4, 4))),
+        )
+        assert list(merge) == updates((1, 1), (3, 3), (2, 2), (4, 4))
+
+    def test_uneven_sources_drain(self):
+        merge = RoundRobinMerge(
+            ListSource(updates((1, 1))),
+            ListSource(updates((2, 2), (3, 3), (4, 4))),
+        )
+        result = list(merge)
+        assert len(result) == 4
+        assert set(u.source for u in result) == {1, 2, 3, 4}
+
+    def test_len_sums(self):
+        merge = RoundRobinMerge(
+            ListSource(updates((1, 1))), ListSource(updates((2, 2)))
+        )
+        assert len(merge) == 2
+
+    def test_preserves_multiset(self):
+        a = updates((1, 1), (2, 2), (3, 3))
+        b = updates((4, 4), (5, 5))
+        merged = list(RoundRobinMerge(ListSource(a), ListSource(b)))
+        assert sorted(u.source for u in merged) == [1, 2, 3, 4, 5]

@@ -1,0 +1,67 @@
+"""Tests for exact stream accounting."""
+
+from __future__ import annotations
+
+from repro.streams import net_pair_counts, total_distinct_pairs, true_frequencies
+from repro.types import FlowUpdate
+
+
+def stream(*triples):
+    return [FlowUpdate(s, d, delta) for s, d, delta in triples]
+
+
+class TestNetPairCounts:
+    def test_counts_multiplicity(self):
+        counts = net_pair_counts(stream((1, 2, 1), (1, 2, 1), (3, 2, 1)))
+        assert counts == {(1, 2): 2, (3, 2): 1}
+
+    def test_cancelled_pairs_dropped(self):
+        counts = net_pair_counts(stream((1, 2, 1), (1, 2, -1)))
+        assert counts == {}
+
+    def test_negative_net_retained(self):
+        counts = net_pair_counts(stream((1, 2, -1)))
+        assert counts == {(1, 2): -1}
+
+    def test_empty_stream(self):
+        assert net_pair_counts([]) == {}
+
+
+class TestTrueFrequencies:
+    def test_distinct_sources_per_destination(self):
+        frequencies = true_frequencies(
+            stream((1, 9, 1), (2, 9, 1), (1, 9, 1), (5, 8, 1))
+        )
+        assert frequencies == {9: 2, 8: 1}
+
+    def test_deletion_semantics(self):
+        frequencies = true_frequencies(
+            stream((1, 9, 1), (2, 9, 1), (1, 9, -1))
+        )
+        assert frequencies == {9: 1}
+
+    def test_negative_net_does_not_count(self):
+        frequencies = true_frequencies(stream((1, 9, -1), (2, 9, 1)))
+        assert frequencies == {9: 1}
+
+    def test_multiplicity_protects_against_one_deletion(self):
+        frequencies = true_frequencies(
+            stream((1, 9, 1), (1, 9, 1), (1, 9, -1))
+        )
+        assert frequencies == {9: 1}
+
+
+class TestTotalDistinctPairs:
+    def test_counts_positive_net_only(self):
+        count = total_distinct_pairs(
+            stream((1, 2, 1), (3, 4, 1), (3, 4, -1), (5, 6, -1))
+        )
+        assert count == 1
+
+    def test_matches_sum_of_frequencies(self):
+        updates = stream(
+            (1, 2, 1), (2, 2, 1), (3, 4, 1), (1, 2, 1), (2, 2, -1)
+        )
+        assert total_distinct_pairs(updates) == sum(
+            true_frequencies(updates).values()
+        )

@@ -1,0 +1,140 @@
+"""Tests for transport-channel models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.sketch import TrackingDistinctCountSketch
+from repro.streams import (
+    Channel,
+    DuplicatingChannel,
+    LossyChannel,
+    ReorderingChannel,
+)
+from repro.types import AddressDomain, FlowUpdate
+
+
+def inserts(count, dest=7):
+    return [FlowUpdate(source, dest, +1) for source in range(count)]
+
+
+class TestLossyChannel:
+    def test_zero_loss_is_identity(self):
+        channel = LossyChannel(0.0, seed=1)
+        stream = inserts(100)
+        assert list(channel.transmit(stream)) == stream
+        assert channel.dropped == 0
+
+    def test_loss_rate_approximated(self):
+        channel = LossyChannel(0.3, seed=2)
+        survived = list(channel.transmit(inserts(10_000)))
+        assert 6_300 <= len(survived) <= 7_700
+        assert channel.dropped == 10_000 - len(survived)
+
+    def test_deterministic(self):
+        a = list(LossyChannel(0.5, seed=3).transmit(inserts(200)))
+        b = list(LossyChannel(0.5, seed=3).transmit(inserts(200)))
+        assert a == b
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            LossyChannel(1.0)
+        with pytest.raises(ParameterError):
+            LossyChannel(-0.1)
+
+
+class TestDuplicatingChannel:
+    def test_zero_rate_is_identity(self):
+        channel = DuplicatingChannel(0.0, seed=1)
+        stream = inserts(50)
+        assert list(channel.transmit(stream)) == stream
+
+    def test_duplicates_follow_originals(self):
+        channel = DuplicatingChannel(0.5, seed=2)
+        delivered = list(channel.transmit(inserts(3)))
+        # Every duplicate equals its predecessor.
+        for earlier, later in zip(delivered, delivered[1:]):
+            if later == earlier:
+                continue
+            # Consecutive distinct items must be in source order.
+            assert later.source > earlier.source
+
+    def test_duplication_rate_approximated(self):
+        channel = DuplicatingChannel(0.25, seed=3)
+        delivered = list(channel.transmit(inserts(8_000)))
+        # Expected extras ~ n * p / (1 - p) = 8000 / 3.
+        extras = len(delivered) - 8_000
+        assert 2_100 <= extras <= 3_300
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            DuplicatingChannel(1.0)
+
+
+class TestReorderingChannel:
+    def test_zero_window_is_identity(self):
+        channel = ReorderingChannel(0, seed=1)
+        stream = inserts(30)
+        assert channel.transmit(stream) == stream
+
+    def test_multiset_preserved(self):
+        channel = ReorderingChannel(10, seed=2)
+        stream = inserts(500)
+        delivered = channel.transmit(stream)
+        assert sorted(u.source for u in delivered) == list(range(500))
+
+    def test_displacement_bounded(self):
+        window = 5
+        channel = ReorderingChannel(window, seed=3)
+        stream = inserts(300)
+        delivered = channel.transmit(stream)
+        for position, update in enumerate(delivered):
+            # An item can appear at most `window` slots late and, by
+            # displacement symmetry, at most `window` slots early.
+            assert abs(position - update.source) <= window
+
+    def test_reordering_does_not_change_the_sketch(self):
+        domain = AddressDomain(2 ** 16)
+        stream = inserts(400) + [u.inverted() for u in inserts(100)]
+        jittered = ReorderingChannel(20, seed=4).transmit(stream)
+        direct = TrackingDistinctCountSketch(domain, seed=5)
+        direct.process_stream(stream)
+        shuffled = TrackingDistinctCountSketch(domain, seed=5)
+        shuffled.process_stream(jittered)
+        assert direct.structurally_equal(shuffled)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ParameterError):
+            ReorderingChannel(-1)
+
+
+class TestCompositeChannel:
+    def test_clean_channel_is_identity(self):
+        channel = Channel()
+        stream = inserts(100)
+        assert channel.transmit(stream) == stream
+
+    def test_counters_reported(self):
+        channel = Channel(loss_rate=0.2, duplicate_rate=0.2, seed=1)
+        channel.transmit(inserts(5_000))
+        assert channel.dropped > 0
+        assert channel.duplicated > 0
+
+    def test_losing_deletions_leaves_phantoms(self):
+        # The operationally dangerous case: a flow completed (delete
+        # sent) but the delete was lost -> the monitor still counts it.
+        domain = AddressDomain(2 ** 16)
+        stream = inserts(200)
+        stream += [u.inverted() for u in inserts(200)]  # all complete
+        # A channel that only drops deletions (adversarial worst case).
+        survived = [
+            update for update in stream
+            if update.is_insert or update.source % 4 != 0
+        ]
+        sketch = TrackingDistinctCountSketch(domain, seed=6)
+        sketch.process_stream(survived)
+        top = sketch.track_topk(1)
+        # 50 phantom half-open flows remain.
+        assert top.entries and top.entries[0].dest == 7
+        assert top.entries[0].estimate >= 25

@@ -1,0 +1,115 @@
+"""Tests for the Zipf workload generator (the paper's Section 6.1 data)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.streams import ZipfWorkload, true_frequencies
+from repro.types import AddressDomain
+
+
+@pytest.fixture
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 32)
+
+
+class TestShape:
+    def test_counts_sum_to_u(self, domain):
+        workload = ZipfWorkload(domain, distinct_pairs=10_000,
+                                destinations=100, skew=1.2, seed=1)
+        assert sum(workload.frequencies().values()) == 10_000
+
+    def test_every_destination_gets_a_source(self, domain):
+        workload = ZipfWorkload(domain, distinct_pairs=500,
+                                destinations=400, skew=2.5, seed=2)
+        frequencies = workload.frequencies()
+        assert len(frequencies) == 400
+        assert all(count >= 1 for count in frequencies.values())
+
+    def test_skew_concentrates_mass(self, domain):
+        def head_share(skew):
+            workload = ZipfWorkload(domain, distinct_pairs=50_000,
+                                    destinations=1000, skew=skew, seed=3)
+            counts = sorted(workload.frequencies().values(), reverse=True)
+            return sum(counts[:5]) / 50_000
+
+        assert head_share(2.5) > head_share(1.5) > head_share(1.0)
+
+    def test_extreme_skew_mass_in_top5(self, domain):
+        # The paper: at z = 2.5, "more than 95% of the ... mass is
+        # concentrated in the top-5 destinations".
+        workload = ZipfWorkload(domain, distinct_pairs=100_000,
+                                destinations=5000, skew=2.5, seed=4)
+        counts = sorted(workload.frequencies().values(), reverse=True)
+        assert sum(counts[:5]) / 100_000 > 0.90
+
+    def test_zero_skew_is_uniform(self, domain):
+        workload = ZipfWorkload(domain, distinct_pairs=1000,
+                                destinations=10, skew=0.0, seed=5)
+        counts = list(workload.frequencies().values())
+        assert max(counts) - min(counts) <= 1
+
+
+class TestStream:
+    def test_stream_matches_declared_frequencies(self, domain):
+        workload = ZipfWorkload(domain, distinct_pairs=2000,
+                                destinations=50, skew=1.5, seed=6)
+        assert true_frequencies(workload.updates()) == (
+            workload.frequencies()
+        )
+
+    def test_sources_globally_distinct(self, domain):
+        workload = ZipfWorkload(domain, distinct_pairs=3000,
+                                destinations=30, skew=1.0, seed=7)
+        sources = [update.source for update in workload]
+        assert len(set(sources)) == 3000
+
+    def test_len_and_total_updates(self, domain):
+        workload = ZipfWorkload(domain, distinct_pairs=123,
+                                destinations=10, skew=1.0, seed=8)
+        assert len(workload) == workload.total_updates == 123
+
+    def test_deterministic_given_seed(self, domain):
+        a = ZipfWorkload(domain, 500, 20, 1.1, seed=9).updates()
+        b = ZipfWorkload(domain, 500, 20, 1.1, seed=9).updates()
+        assert a == b
+
+    def test_different_seeds_differ(self, domain):
+        a = ZipfWorkload(domain, 500, 20, 1.1, seed=1).updates()
+        b = ZipfWorkload(domain, 500, 20, 1.1, seed=2).updates()
+        assert a != b
+
+    def test_shuffle_off_groups_by_destination(self, domain):
+        workload = ZipfWorkload(domain, 100, 5, 1.0, seed=3,
+                                shuffle=False)
+        dests = [update.dest for update in workload]
+        # Unshuffled: destinations appear in contiguous runs.
+        runs = 1 + sum(
+            1 for a, b in zip(dests, dests[1:]) if a != b
+        )
+        assert runs == 5
+
+    def test_all_updates_are_insertions(self, domain):
+        workload = ZipfWorkload(domain, 200, 10, 1.0, seed=4)
+        assert all(update.is_insert for update in workload)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(distinct_pairs=0, destinations=1, skew=1.0),
+            dict(distinct_pairs=10, destinations=0, skew=1.0),
+            dict(distinct_pairs=10, destinations=20, skew=1.0),
+            dict(distinct_pairs=10, destinations=5, skew=-1.0),
+        ],
+    )
+    def test_rejects_bad_parameters(self, domain, kwargs):
+        with pytest.raises(ParameterError):
+            ZipfWorkload(domain, seed=0, **kwargs)
+
+    def test_rejects_pairs_exceeding_half_domain(self):
+        small = AddressDomain(16)
+        with pytest.raises(ParameterError):
+            ZipfWorkload(small, distinct_pairs=9, destinations=2, skew=1.0)

@@ -1,0 +1,202 @@
+"""Tests for the analysis package: bounds, planner, validators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    chernoff_bound,
+    expected_level_population,
+    measure_level_populations,
+    measure_recovery_rate,
+    plan_capacity,
+    recovery_probability,
+    singleton_probability,
+)
+from repro.analysis.bounds import (
+    estimate_standard_error,
+    expected_recovered,
+    stopping_level,
+)
+from repro.exceptions import ParameterError
+from repro.sketch import DistinctCountSketch
+from repro.types import AddressDomain
+
+
+class TestChernoffBound:
+    def test_decreases_with_expectation(self):
+        assert chernoff_bound(1000, 0.1) < chernoff_bound(10, 0.1)
+
+    def test_decreases_with_epsilon(self):
+        assert chernoff_bound(100, 0.5) < chernoff_bound(100, 0.1)
+
+    def test_capped_at_one(self):
+        assert chernoff_bound(1, 0.01) == 1.0
+
+    def test_matches_formula(self):
+        assert chernoff_bound(200, 0.2) == pytest.approx(
+            2 * math.exp(-0.04 * 200 / 2)
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            chernoff_bound(-1, 0.1)
+        with pytest.raises(ParameterError):
+            chernoff_bound(10, 0)
+
+
+class TestLevelPopulation:
+    def test_halves_per_level(self):
+        assert expected_level_population(1024, 0) == 1024
+        assert expected_level_population(1024, 3) == 128
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            expected_level_population(-1, 0)
+        with pytest.raises(ParameterError):
+            expected_level_population(10, -1)
+
+
+class TestSingletonAndRecovery:
+    def test_lone_pair_always_singleton(self):
+        assert singleton_probability(1, 128) == 1.0
+
+    def test_decreases_with_population(self):
+        assert (singleton_probability(100, 128)
+                > singleton_probability(200, 128))
+
+    def test_recovery_improves_with_tables(self):
+        assert (recovery_probability(128, 128, 3)
+                > recovery_probability(128, 128, 1))
+
+    def test_lemma_41_regime(self):
+        # At population <= s/2, per-table singleton probability is
+        # >= ~0.6, so 3 tables recover with probability >= ~0.94.
+        assert singleton_probability(64, 128) > 0.6
+        assert recovery_probability(64, 128, 3) > 0.9
+
+    def test_expected_recovered_bounds(self):
+        assert expected_recovered(0, 128, 3) == 0.0
+        assert 0 < expected_recovered(256, 128, 3) < 256
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            singleton_probability(0, 128)
+        with pytest.raises(ParameterError):
+            recovery_probability(1, 128, 0)
+
+
+class TestStoppingLevelAndError:
+    def test_stopping_level_halving(self):
+        # U / 2^b >= target: U=1024, target=128 -> b = 3.
+        assert stopping_level(1024, 128) == 3
+
+    def test_small_stream_stops_at_zero(self):
+        assert stopping_level(10, 100) == 0
+
+    def test_error_shrinks_with_frequency(self):
+        assert (estimate_standard_error(1000, 100_000, 128)
+                < estimate_standard_error(10, 100_000, 128))
+
+    def test_error_shrinks_with_sample(self):
+        assert (estimate_standard_error(100, 100_000, 512)
+                < estimate_standard_error(100, 100_000, 64))
+
+    def test_full_sampling_is_exact(self):
+        assert estimate_standard_error(5, 10, 100) == 0.0
+
+
+class TestPlanner:
+    def test_calibrated_plan_meets_target(self):
+        domain = AddressDomain(2 ** 32)
+        plan = plan_capacity(domain, distinct_pairs=1_000_000,
+                             kth_frequency=5000, epsilon=0.2)
+        assert plan.flavor == "calibrated"
+        assert plan.predicted_relative_error <= 0.25
+        assert plan.params.s >= 32
+
+    def test_theorem_plan_is_larger(self):
+        domain = AddressDomain(2 ** 32)
+        calibrated = plan_capacity(domain, 100_000, 1000, flavor="calibrated")
+        theorem = plan_capacity(domain, 100_000, 1000,
+                                flavor="theorem-4.4")
+        assert theorem.params.s > calibrated.params.s
+
+    def test_harder_targets_need_bigger_sketches(self):
+        domain = AddressDomain(2 ** 32)
+        easy = plan_capacity(domain, 100_000, 10_000, epsilon=0.3)
+        hard = plan_capacity(domain, 100_000, 100, epsilon=0.1)
+        assert hard.params.s > easy.params.s
+
+    def test_rejects_bad_inputs(self):
+        domain = AddressDomain(2 ** 32)
+        with pytest.raises(ParameterError):
+            plan_capacity(domain, 0, 1)
+        with pytest.raises(ParameterError):
+            plan_capacity(domain, 10, 100)
+        with pytest.raises(ParameterError):
+            plan_capacity(domain, 10, 1, flavor="vibes")
+
+
+class TestStoppingLevelValidator:
+    def test_observed_close_to_ideal(self):
+        from repro.analysis import validate_stopping_level
+
+        domain = AddressDomain(2 ** 32)
+        sketch = DistinctCountSketch(domain, seed=9)
+        pairs = 20_000
+        for source in range(pairs):
+            sketch.insert(source, source % 100)
+        observed, ideal, sample_size = validate_stopping_level(
+            sketch, pairs
+        )
+        assert abs(observed - ideal) <= 3
+        assert sample_size >= sketch.params.sample_target(0.25)
+
+    def test_tiny_stream_stops_at_zero(self):
+        from repro.analysis import validate_stopping_level
+
+        domain = AddressDomain(2 ** 32)
+        sketch = DistinctCountSketch(domain, seed=10)
+        for source in range(20):
+            sketch.insert(source, 1)
+        observed, ideal, sample_size = validate_stopping_level(sketch, 20)
+        assert observed == ideal == 0
+        assert sample_size == 20
+
+
+class TestValidators:
+    @pytest.fixture
+    def loaded(self):
+        domain = AddressDomain(2 ** 16)
+        sketch = DistinctCountSketch(domain, seed=5)
+        pairs = []
+        for source in range(3000):
+            dest = source % 50
+            sketch.insert(source, dest)
+            pairs.append(domain.encode_pair(source, dest))
+        return sketch, pairs
+
+    def test_level_populations_sum_to_u(self, loaded):
+        sketch, pairs = loaded
+        populations = measure_level_populations(sketch, pairs)
+        assert sum(populations.values()) == len(pairs)
+
+    def test_level_populations_follow_geometric_decay(self, loaded):
+        sketch, pairs = loaded
+        populations = measure_level_populations(sketch, pairs)
+        # Level 0 should hold roughly half of all pairs.
+        assert abs(populations[0] - len(pairs) / 2) < 0.15 * len(pairs)
+
+    def test_recovery_rate_matches_prediction(self, loaded):
+        sketch, pairs = loaded
+        report = measure_recovery_rate(sketch, pairs)
+        for level, population, recovered, predicted in report:
+            if population < 20:
+                continue  # too few pairs for a stable rate
+            observed = recovered / population
+            assert abs(observed - predicted) < 0.25, (
+                level, population, observed, predicted
+            )

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSpaceCommand:
+    def test_prints_paper_numbers(self, capsys):
+        assert main(["space", "--pairs", "8000000"]) == 0
+        output = capsys.readouterr().out
+        assert "8,000,000" in output
+        assert "basic DCS space" in output
+        assert "brute-force space" in output
+
+    def test_custom_shape(self, capsys):
+        assert main(["space", "--pairs", "1000000", "--r", "4",
+                     "--s", "64"]) == 0
+        assert "gain" in capsys.readouterr().out
+
+
+class TestTopkCommand:
+    def test_runs_small_workload(self, capsys):
+        assert main([
+            "topk", "--pairs", "5000", "--destinations", "100",
+            "--skew", "1.5", "--k", "5", "--seed", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "top-5 recall" in output
+        assert "avg relative error" in output
+
+
+class TestSynfloodCommand:
+    def test_detects_victim(self, capsys):
+        assert main([
+            "synflood", "--flood-size", "1500", "--crowd-size", "1000",
+            "--background-sessions", "500", "--seed", "2",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "ALARM" in output
+        assert "198.51.100.10" in output
+        assert "correctly NOT alarmed" in output
+
+
+class TestTraceCommands:
+    def test_generate_and_replay(self, tmp_path, capsys):
+        path = str(tmp_path / "demo.trace")
+        assert main([
+            "trace", "generate", path, "--pairs", "2000",
+            "--destinations", "40", "--skew", "2.0", "--seed", "3",
+        ]) == 0
+        assert "wrote 2000 updates" in capsys.readouterr().out
+        assert main(["trace", "replay", path, "--k", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "replayed 2000 updates" in output
+        assert "rank" in output
+
+    def test_generate_with_deletions(self, tmp_path, capsys):
+        path = str(tmp_path / "churn.trace")
+        assert main([
+            "trace", "generate", path, "--pairs", "1000",
+            "--destinations", "20", "--deletion-rate", "0.5",
+            "--seed", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 1500 updates" in out
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
+class TestPlanCommand:
+    def test_prints_both_flavors(self, capsys):
+        assert main([
+            "plan", "--pairs", "1000000", "--kth-frequency", "10000",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "[calibrated]" in output
+        assert "[theorem-4.4]" in output
+        assert "predicted space" in output
+
+    def test_requires_workload_arguments(self):
+        with pytest.raises(SystemExit):
+            main(["plan"])
+
+
+class TestDescribeCommand:
+    def test_describes_a_trace_built_sketch(self, tmp_path, capsys):
+        path = str(tmp_path / "d.trace")
+        assert main([
+            "trace", "generate", path, "--pairs", "1000",
+            "--destinations", "30", "--seed", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["describe", path]) == 0
+        output = capsys.readouterr().out
+        assert "TrackingDistinctCountSketch" in output
+        assert "buckets:" in output
+        assert "estimated distinct active pairs" in output
+        assert "actual Python memory" in output
+
+
+class TestExperimentCommand:
+    def test_fig8_prints_grid(self, capsys):
+        assert main([
+            "experiment", "fig8", "--pairs", "5000", "--runs", "1",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 8 grid" in output
+        assert "z=1.0" in output
+
+    def test_fig9_prints_sweep(self, capsys):
+        assert main(["experiment", "fig9", "--pairs", "2000"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 9 sweep" in output
+        assert "tracking" in output
+
+    def test_latency_reports_detection(self, capsys):
+        assert main([
+            "experiment", "latency", "--pairs", "30000", "--seed", "2",
+        ]) == 0
+        assert "detected" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestArgumentHandling:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])

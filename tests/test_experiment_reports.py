@@ -1,0 +1,89 @@
+"""Tests for markdown rendering of experiment results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    accuracy_grid_markdown,
+    latency_markdown,
+    run_accuracy_grid,
+    timing_sweep_markdown,
+)
+from repro.experiments.latency import DetectionLatencyResult
+from repro.experiments.timing import TimingSweepPoint
+from repro.types import AddressDomain
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return run_accuracy_grid(
+        AddressDomain(2 ** 32),
+        distinct_pairs=5_000,
+        skews=(1.0, 2.0),
+        k_values=(1, 5),
+        runs=1,
+        seed=1,
+    )
+
+
+class TestAccuracyMarkdown:
+    def test_recall_table_structure(self, grid):
+        text = accuracy_grid_markdown(grid, metric="recall")
+        assert "top-k recall" in text
+        assert "| k | z=1.0 | z=2.0 |" in text
+        # header + separator + one row per k
+        assert text.count("\n|") >= 3
+
+    def test_error_table(self, grid):
+        import re
+
+        text = accuracy_grid_markdown(grid, metric="error")
+        assert "average relative error" in text
+        # errors use three decimals
+        assert re.search(r"\| \d+\.\d{3} \|", text)
+
+    def test_parameters_in_caption(self, grid):
+        text = accuracy_grid_markdown(grid)
+        assert "U=5,000" in text
+        assert "r=3" in text
+
+
+class TestTimingMarkdown:
+    def test_renders_both_variants(self):
+        points = [
+            TimingSweepPoint("basic", 0.0, 20.0, 100, 0),
+            TimingSweepPoint("tracking", 0.0, 22.0, 100, 0),
+            TimingSweepPoint("basic", 0.01, 40.0, 100, 1),
+            TimingSweepPoint("tracking", 0.01, 23.0, 100, 1),
+        ]
+        text = timing_sweep_markdown(points)
+        assert "Basic DCS" in text
+        assert "20.0" in text and "23.0" in text
+
+    def test_missing_variant_dashes(self):
+        points = [TimingSweepPoint("basic", 0.0, 20.0, 100, 0)]
+        text = timing_sweep_markdown(points)
+        assert "| - |" in text.replace("  ", " ")
+
+
+class TestLatencyMarkdown:
+    def test_detected_and_undetected_rows(self):
+        results = [
+            DetectionLatencyResult(
+                detected=True, updates_until_alarm=500,
+                attack_updates_until_alarm=100,
+                attack_fraction_seen=0.05,
+                flood_size=2000, check_interval=250,
+            ),
+            DetectionLatencyResult(
+                detected=False, updates_until_alarm=None,
+                attack_updates_until_alarm=None,
+                attack_fraction_seen=None,
+                flood_size=50, check_interval=250,
+            ),
+        ]
+        text = latency_markdown(results)
+        assert "500" in text
+        assert "not detected" in text
+        assert "0.050" in text

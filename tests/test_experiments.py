@@ -1,0 +1,128 @@
+"""Tests for the programmatic experiment runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.experiments import (
+    run_accuracy_grid,
+    run_detection_latency,
+    run_timing_sweep,
+)
+from repro.types import AddressDomain
+
+
+@pytest.fixture(scope="module")
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 32)
+
+
+class TestAccuracyGrid:
+    @pytest.fixture(scope="class")
+    def grid(self, domain):
+        return run_accuracy_grid(
+            domain,
+            distinct_pairs=20_000,
+            skews=(1.0, 2.0),
+            k_values=(1, 5, 10),
+            runs=2,
+            seed=3,
+        )
+
+    def test_grid_shape(self, grid):
+        assert len(grid.cells) == 2 * 3
+        assert grid.destinations == 20_000 // 160
+
+    def test_cell_lookup(self, grid):
+        cell = grid.cell(1.0, 5)
+        assert cell.runs == 2
+        assert 0.0 <= cell.recall <= 1.0
+        assert cell.relative_error >= 0.0
+
+    def test_missing_cell_raises(self, grid):
+        with pytest.raises(ParameterError):
+            grid.cell(9.9, 5)
+
+    def test_series_are_sorted_by_k(self, grid):
+        series = grid.recall_series(2.0)
+        assert [k for k, _ in series] == [1, 5, 10]
+        error_series = grid.error_series(2.0)
+        assert [k for k, _ in error_series] == [1, 5, 10]
+
+    def test_top1_recall_is_high(self, grid):
+        assert grid.cell(2.0, 1).recall >= 0.5
+
+    def test_rejects_zero_runs(self, domain):
+        with pytest.raises(ParameterError):
+            run_accuracy_grid(domain, distinct_pairs=1000, runs=0)
+
+
+class TestTimingSweep:
+    def test_sweep_covers_all_points(self, domain):
+        points = run_timing_sweep(
+            domain,
+            distinct_pairs=4_000,
+            query_frequencies=(0.0, 0.01),
+            repeats=1,
+            seed=4,
+        )
+        variants = {(p.variant, p.query_frequency) for p in points}
+        assert variants == {
+            ("basic", 0.0), ("basic", 0.01),
+            ("tracking", 0.0), ("tracking", 0.01),
+        }
+        assert all(p.microseconds_per_update > 0 for p in points)
+
+    def test_query_counts_recorded(self, domain):
+        points = run_timing_sweep(
+            domain,
+            distinct_pairs=2_000,
+            query_frequencies=(0.01,),
+            repeats=1,
+            seed=5,
+        )
+        assert all(p.queries == p.updates // 100 for p in points)
+
+    def test_rejects_zero_repeats(self, domain):
+        with pytest.raises(ParameterError):
+            run_timing_sweep(domain, repeats=0)
+
+
+class TestDetectionLatency:
+    def test_attack_is_detected_early(self, domain):
+        result = run_detection_latency(
+            domain,
+            flood_size=3_000,
+            background_sessions=3_000,
+            check_interval=250,
+            seed=6,
+        )
+        assert result.detected
+        assert result.updates_until_alarm is not None
+        # Detection before the attack is half-consumed.
+        assert result.attack_fraction_seen < 0.5
+
+    def test_latency_shrinks_with_check_interval(self, domain):
+        fast = run_detection_latency(domain, flood_size=3_000,
+                                     check_interval=100, seed=7)
+        slow = run_detection_latency(domain, flood_size=3_000,
+                                     check_interval=2_000, seed=7)
+        assert fast.detected and slow.detected
+        assert fast.updates_until_alarm <= slow.updates_until_alarm
+
+    def test_tiny_attack_below_floor_goes_undetected(self, domain):
+        result = run_detection_latency(
+            domain,
+            flood_size=30,
+            background_sessions=3_000,
+            check_interval=250,
+            alarm_floor=200,
+            seed=8,
+        )
+        assert not result.detected
+        assert result.updates_until_alarm is None
+
+    def test_rejects_bad_flood_size(self, domain):
+        with pytest.raises(ParameterError):
+            run_detection_latency(domain, flood_size=0)

@@ -1,0 +1,143 @@
+"""Tests for evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.metrics import (
+    UpdateTimer,
+    average_relative_error,
+    precision_at_k,
+    rank_destinations,
+    relative_errors_by_destination,
+    top_k_recall,
+)
+from repro.types import FlowUpdate
+
+TRUTH = {1: 100, 2: 80, 3: 60, 4: 40, 5: 20}
+
+
+class TestRankDestinations:
+    def test_orders_by_frequency(self):
+        assert rank_destinations(TRUTH) == [1, 2, 3, 4, 5]
+
+    def test_ties_break_by_address(self):
+        assert rank_destinations({9: 5, 3: 5, 6: 5}) == [3, 6, 9]
+
+    def test_empty(self):
+        assert rank_destinations({}) == []
+
+
+class TestRecall:
+    def test_perfect_recall(self):
+        assert top_k_recall(TRUTH, [1, 2, 3], 3) == 1.0
+
+    def test_partial_recall(self):
+        assert top_k_recall(TRUTH, [1, 2, 99], 3) == pytest.approx(2 / 3)
+
+    def test_order_irrelevant(self):
+        assert top_k_recall(TRUTH, [3, 1, 2], 3) == 1.0
+
+    def test_extra_reports_do_not_hurt_recall(self):
+        assert top_k_recall(TRUTH, [1, 2, 3, 99, 98], 3) == 1.0
+
+    def test_empty_truth_is_perfect(self):
+        assert top_k_recall({}, [1, 2], 5) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            top_k_recall(TRUTH, [1], 0)
+
+
+class TestPrecision:
+    def test_perfect_precision(self):
+        assert precision_at_k(TRUTH, [1, 2], 3) == 1.0
+
+    def test_partial_precision(self):
+        assert precision_at_k(TRUTH, [1, 99], 3) == 0.5
+
+    def test_empty_report_is_vacuous(self):
+        assert precision_at_k(TRUTH, [], 3) == 1.0
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            precision_at_k(TRUTH, [1], 0)
+
+
+class TestAverageRelativeError:
+    def test_exact_estimates_zero_error(self):
+        estimates = {1: 100, 2: 80, 3: 60}
+        assert average_relative_error(TRUTH, estimates, 3) == 0.0
+
+    def test_single_error_averaged(self):
+        estimates = {1: 110, 2: 80}
+        # errors: 0.1 and 0.0 over the recall set {1, 2}.
+        assert average_relative_error(TRUTH, estimates, 2) == (
+            pytest.approx(0.05)
+        )
+
+    def test_missing_destination_excluded(self):
+        estimates = {1: 100}  # dest 2 missing from the answer
+        assert average_relative_error(TRUTH, estimates, 2) == 0.0
+
+    def test_empty_recall_set(self):
+        assert average_relative_error(TRUTH, {99: 5}, 3) == 0.0
+
+    def test_overestimate_and_underestimate_symmetric(self):
+        over = average_relative_error(TRUTH, {1: 120}, 1)
+        under = average_relative_error(TRUTH, {1: 80}, 1)
+        assert over == under == pytest.approx(0.2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            average_relative_error(TRUTH, {}, 0)
+
+
+class TestRelativeErrorsByDestination:
+    def test_per_destination_errors(self):
+        errors = relative_errors_by_destination(TRUTH, {1: 90, 2: 80})
+        assert errors[1] == pytest.approx(0.1)
+        assert errors[2] == 0.0
+
+    def test_phantom_destination_is_infinite(self):
+        errors = relative_errors_by_destination(TRUTH, {999: 10})
+        assert errors[999] == float("inf")
+
+
+class TestUpdateTimer:
+    def test_counts_updates_and_queries(self):
+        processed = []
+        queries = []
+        timer = UpdateTimer(
+            update=processed.append,
+            query=lambda: queries.append(1),
+            query_frequency=0.1,  # one query per 10 updates
+        )
+        report = timer.run(
+            [FlowUpdate(i, 0, +1) for i in range(100)]
+        )
+        assert report.updates == 100
+        assert report.queries == 10
+        assert len(processed) == 100
+        assert report.total_seconds > 0
+        assert report.microseconds_per_update > 0
+
+    def test_zero_frequency_never_queries(self):
+        timer = UpdateTimer(update=lambda u: None)
+        report = timer.run([FlowUpdate(1, 0, +1)] * 10)
+        assert report.queries == 0
+
+    def test_empty_stream(self):
+        timer = UpdateTimer(update=lambda u: None)
+        report = timer.run([])
+        assert report.updates == 0
+        assert report.microseconds_per_update == 0.0
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ParameterError):
+            UpdateTimer(update=lambda u: None, query_frequency=-1)
+
+    def test_requires_query_when_frequency_positive(self):
+        with pytest.raises(ParameterError):
+            UpdateTimer(update=lambda u: None, query_frequency=0.5)

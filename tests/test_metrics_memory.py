@@ -1,0 +1,56 @@
+"""Tests for actual-memory measurement."""
+
+from __future__ import annotations
+
+from repro.metrics import deep_size_bytes, overhead_ratio
+from repro.sketch import DistinctCountSketch, SketchParams
+from repro.types import AddressDomain
+
+
+class TestDeepSize:
+    def test_bigger_structures_measure_bigger(self):
+        small = [0] * 10
+        large = [0] * 10_000
+        assert deep_size_bytes(large) > deep_size_bytes(small)
+
+    def test_shared_objects_counted_once(self):
+        shared = list(range(1000))
+        doubled = [shared, shared]
+        single = [shared]
+        # The second reference adds only the outer list slot, not
+        # another copy of the contents.
+        assert (deep_size_bytes(doubled) - deep_size_bytes(single)
+                < deep_size_bytes(shared) / 2)
+
+    def test_walks_slots_objects(self):
+        from repro.sketch import CountSignature
+
+        signature = CountSignature(64)
+        # Must include the bit_counts list (64 ints), far above the
+        # bare object header.
+        assert deep_size_bytes(signature) > 64 * 8
+
+    def test_sketch_deep_size_grows_with_data(self):
+        domain = AddressDomain(2 ** 16)
+        empty = DistinctCountSketch(SketchParams(domain, r=2, s=16),
+                                    seed=1)
+        loaded = DistinctCountSketch(SketchParams(domain, r=2, s=16),
+                                     seed=1)
+        for source in range(500):
+            loaded.insert(source, source % 7)
+        assert deep_size_bytes(loaded) > deep_size_bytes(empty)
+
+
+class TestOverheadRatio:
+    def test_python_overhead_is_substantial(self):
+        domain = AddressDomain(2 ** 16)
+        sketch = DistinctCountSketch(SketchParams(domain, r=2, s=16),
+                                     seed=2)
+        for source in range(300):
+            sketch.insert(source, source % 5)
+        ratio = overhead_ratio(sketch, sketch.space_bytes())
+        # Boxed ints and dicts cost real multiples of the 4-byte model.
+        assert ratio > 1.0
+
+    def test_zero_model_bytes_is_infinite(self):
+        assert overhead_ratio([], 0) == float("inf")

@@ -1,0 +1,73 @@
+"""Tests for statistical summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.metrics import RunSummary, percentile, summarize, summarize_many
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 0.5) == 2.0
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 0.5) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 9.0
+
+    def test_single_value(self):
+        assert percentile([7], 0.3) == 7.0
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.25) == 2.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            percentile([], 0.5)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ParameterError):
+            percentile([1], 1.5)
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.median == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.std == pytest.approx(1.0)
+
+    def test_single_run_has_zero_std(self):
+        summary = summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.mean == 5.0
+
+    def test_constant_sample(self):
+        summary = summarize([4.0] * 10)
+        assert summary.std == 0.0
+        assert summary.minimum == summary.maximum == 4.0
+
+    def test_format(self):
+        text = summarize([1.0, 3.0]).format(digits=1)
+        assert text == "2.0 +/- 1.4 [1.0, 3.0]"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            summarize([])
+
+
+class TestSummarizeMany:
+    def test_keyed_summaries(self):
+        summaries = summarize_many({"recall": [0.8, 1.0],
+                                    "error": [0.1, 0.3]})
+        assert isinstance(summaries["recall"], RunSummary)
+        assert summaries["recall"].mean == pytest.approx(0.9)
+        assert summaries["error"].mean == pytest.approx(0.2)

@@ -1,0 +1,117 @@
+"""Tests for the Figure 8 prediction model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    appearance_probability,
+    predicted_recall_curve,
+    predicted_recall_upper_bound,
+    zipf_frequencies,
+)
+from repro.exceptions import ParameterError
+from repro.metrics import top_k_recall
+from repro.sketch import TrackingDistinctCountSketch
+from repro.streams import ZipfWorkload
+from repro.types import AddressDomain
+
+
+class TestZipfFrequencies:
+    def test_matches_workload_allocation_shape(self):
+        domain = AddressDomain(2 ** 32)
+        workload = ZipfWorkload(domain, distinct_pairs=10_000,
+                                destinations=100, skew=1.5, seed=1)
+        predicted = sorted(zipf_frequencies(10_000, 100, 1.5),
+                           reverse=True)
+        actual = sorted(workload.frequencies().values(), reverse=True)
+        # The top counts agree within rounding (the workload applies
+        # largest-remainder correction; the predictor does not).
+        for p, a in zip(predicted[:10], actual[:10]):
+            assert abs(p - a) <= max(3, 0.02 * a)
+
+    def test_floor_of_one(self):
+        counts = zipf_frequencies(200, 150, 2.5)
+        assert min(counts) >= 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            zipf_frequencies(0, 1, 1.0)
+        with pytest.raises(ParameterError):
+            zipf_frequencies(10, 20, 1.0)
+
+
+class TestAppearanceProbability:
+    def test_heavy_destinations_almost_certain(self):
+        assert appearance_probability(5000, 100_000, 200) > 0.99
+
+    def test_rare_destinations_unlikely(self):
+        assert appearance_probability(1, 100_000, 200) < 0.01
+
+    def test_monotone_in_frequency(self):
+        values = [
+            appearance_probability(f, 10_000, 100)
+            for f in (1, 10, 100, 1000)
+        ]
+        assert values == sorted(values)
+
+    def test_full_sampling_is_certain(self):
+        assert appearance_probability(1, 100, 100) == 1.0
+
+    def test_zero_sample(self):
+        assert appearance_probability(10, 100, 0) == 0.0
+
+
+class TestPredictedRecall:
+    def test_decreasing_in_k(self):
+        curve = predicted_recall_curve(
+            100_000, 1000, 1.0, sample_size=160,
+            k_values=[1, 5, 10, 25],
+        )
+        values = [curve[k] for k in (1, 5, 10, 25)]
+        assert values == sorted(values, reverse=True)
+
+    def test_top1_is_certain_for_skewed_workloads(self):
+        assert predicted_recall_upper_bound(
+            100_000, 1000, 2.0, sample_size=160, k=1
+        ) > 0.999
+
+    def test_extreme_skew_collapses_at_large_k(self):
+        moderate = predicted_recall_upper_bound(
+            100_000, 1000, 1.0, sample_size=160, k=25
+        )
+        extreme = predicted_recall_upper_bound(
+            100_000, 1000, 2.5, sample_size=160, k=25
+        )
+        assert extreme < moderate
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            predicted_recall_upper_bound(100, 10, 1.0, 10, k=0)
+
+
+class TestPredictionAgainstMeasurement:
+    @pytest.mark.parametrize("skew", [1.0, 2.0])
+    def test_measured_recall_below_prediction(self, skew):
+        """The bound really is an upper bound (with small-sample slack)."""
+        domain = AddressDomain(2 ** 32)
+        pairs, dests = 40_000, 250
+        workload = ZipfWorkload(domain, distinct_pairs=pairs,
+                                destinations=dests, skew=skew,
+                                seed=int(skew * 7))
+        sketch = TrackingDistinctCountSketch(domain, seed=3)
+        sketch.process_stream(workload)
+        result = sketch.track_topk(10)
+        measured = top_k_recall(workload.frequencies(),
+                                result.destinations, 10)
+        predicted = predicted_recall_upper_bound(
+            pairs, dests, skew, sample_size=result.sample_size, k=10
+        )
+        assert measured <= predicted + 0.15
+
+    def test_prediction_is_not_vacuous(self):
+        """For mid ranks at moderate sampling, the bound bites (<1)."""
+        value = predicted_recall_upper_bound(
+            100_000, 1000, 1.0, sample_size=160, k=25
+        )
+        assert value < 0.995

@@ -1,0 +1,119 @@
+"""Tests for repro.types: domains, pair encoding, flow updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DomainError, StreamError
+from repro.types import DELETE, INSERT, AddressDomain, FlowUpdate, iter_updates
+
+
+class TestAddressDomain:
+    def test_valid_power_of_two(self):
+        domain = AddressDomain(16)
+        assert domain.m == 16
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 5, 6, 7, 100, -8])
+    def test_rejects_non_power_of_two(self, bad):
+        with pytest.raises(DomainError):
+            AddressDomain(bad)
+
+    def test_address_bits(self):
+        assert AddressDomain(2 ** 8).address_bits == 8
+        assert AddressDomain(2 ** 32).address_bits == 32
+
+    def test_pair_bits_is_double(self):
+        assert AddressDomain(2 ** 16).pair_bits == 32
+
+    def test_pair_domain_size(self):
+        assert AddressDomain(4).pair_domain == 16
+
+    def test_encode_decode_roundtrip(self):
+        domain = AddressDomain(2 ** 8)
+        for source in (0, 1, 17, 255):
+            for dest in (0, 3, 254, 255):
+                pair = domain.encode_pair(source, dest)
+                assert domain.decode_pair(pair) == (source, dest)
+
+    def test_encode_is_injective_over_small_domain(self):
+        domain = AddressDomain(8)
+        codes = {
+            domain.encode_pair(source, dest)
+            for source in range(8)
+            for dest in range(8)
+        }
+        assert len(codes) == 64
+
+    def test_encode_source_in_high_bits(self):
+        domain = AddressDomain(2 ** 8)
+        assert domain.encode_pair(1, 0) == 1 << 8
+        assert domain.encode_pair(0, 1) == 1
+
+    def test_validate_address_rejects_out_of_range(self):
+        domain = AddressDomain(16)
+        with pytest.raises(DomainError):
+            domain.validate_address(16)
+        with pytest.raises(DomainError):
+            domain.validate_address(-1)
+
+    def test_encode_rejects_out_of_domain(self):
+        domain = AddressDomain(16)
+        with pytest.raises(DomainError):
+            domain.encode_pair(16, 0)
+        with pytest.raises(DomainError):
+            domain.encode_pair(0, 99)
+
+    def test_decode_rejects_out_of_domain(self):
+        domain = AddressDomain(4)
+        with pytest.raises(DomainError):
+            domain.decode_pair(16)
+        with pytest.raises(DomainError):
+            domain.decode_pair(-1)
+
+
+class TestFlowUpdate:
+    def test_insert_constant(self):
+        update = FlowUpdate(1, 2, INSERT)
+        assert update.is_insert and not update.is_delete
+
+    def test_delete_constant(self):
+        update = FlowUpdate(1, 2, DELETE)
+        assert update.is_delete and not update.is_insert
+
+    def test_default_delta_is_insert(self):
+        assert FlowUpdate(1, 2).delta == INSERT
+
+    @pytest.mark.parametrize("bad", [0, 2, -2, 10])
+    def test_rejects_bad_delta(self, bad):
+        with pytest.raises(StreamError):
+            FlowUpdate(1, 2, bad)
+
+    def test_inverted_cancels(self):
+        update = FlowUpdate(3, 4, INSERT)
+        inverse = update.inverted()
+        assert inverse.source == 3 and inverse.dest == 4
+        assert inverse.delta == DELETE
+        assert inverse.inverted() == update
+
+    def test_as_tuple(self):
+        assert FlowUpdate(1, 2, -1).as_tuple() == (1, 2, -1)
+
+    def test_frozen(self):
+        update = FlowUpdate(1, 2)
+        with pytest.raises(AttributeError):
+            update.source = 9  # type: ignore[misc]
+
+    def test_equality_and_hash(self):
+        assert FlowUpdate(1, 2, 1) == FlowUpdate(1, 2, 1)
+        assert hash(FlowUpdate(1, 2, 1)) == hash(FlowUpdate(1, 2, 1))
+        assert FlowUpdate(1, 2, 1) != FlowUpdate(1, 2, -1)
+
+
+def test_iter_updates_wraps_triples():
+    updates = list(iter_updates(iter([(1, 2, 1), (3, 4, -1)])))
+    assert updates == [FlowUpdate(1, 2, 1), FlowUpdate(3, 4, -1)]
+
+
+def test_iter_updates_validates():
+    with pytest.raises(StreamError):
+        list(iter_updates(iter([(1, 2, 5)])))
