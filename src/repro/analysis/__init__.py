@@ -38,14 +38,14 @@ __all__ = [
     "CapacityPlan",
     "appearance_probability",
     "chernoff_bound",
-    "predicted_recall_curve",
-    "predicted_recall_upper_bound",
-    "zipf_frequencies",
     "expected_level_population",
     "measure_level_populations",
     "measure_recovery_rate",
     "plan_capacity",
+    "predicted_recall_curve",
+    "predicted_recall_upper_bound",
     "recovery_probability",
     "singleton_probability",
     "validate_stopping_level",
+    "zipf_frequencies",
 ]

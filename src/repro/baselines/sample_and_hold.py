@@ -22,6 +22,7 @@ import random
 from typing import Dict, Iterable, List, Tuple
 
 from ..exceptions import ParameterError
+from ..hashing import derive_seed
 from ..types import FlowUpdate
 
 
@@ -58,7 +59,7 @@ class SampleAndHold:
         self.sample_probability = sample_probability
         self.report_threshold = report_threshold
         self.by_destination = by_destination
-        self._rng = random.Random(seed)
+        self._rng = random.Random(derive_seed(seed, "sample-and-hold"))
         self._held: Dict[object, int] = {}
         self.packets_seen = 0
 

@@ -108,6 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--epsilon", type=float, default=0.25)
     plan.add_argument("--delta", type=float, default=0.05)
 
+    lint = sub.add_parser(
+        "lint", help="run the reprolint invariant checks over a source tree"
+    )
+    from .lint.cli import build_parser as build_lint_parser
+
+    build_lint_parser(lint)
+
     describe = sub.add_parser(
         "describe", help="build a sketch from a trace and inspect it"
     )
@@ -375,6 +382,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_trace(args)
     if args.command == "plan":
         return _run_plan(args)
+    if args.command == "lint":
+        from .lint.cli import run as run_lint
+
+        return run_lint(args)
     if args.command == "describe":
         return _run_describe(args)
     if args.command == "experiment":

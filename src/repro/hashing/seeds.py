@@ -15,7 +15,7 @@ SHA-256.  This gives us:
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator
+from typing import Iterator, List
 
 _MASK_64 = (1 << 64) - 1
 
@@ -56,7 +56,7 @@ class SeedStream:
         self._index += 1
         return value
 
-    def take(self, count: int) -> list:
+    def take(self, count: int) -> List[int]:
         """Return the next ``count`` seeds as a list."""
         return [self.next() for _ in range(count)]
 

@@ -1,0 +1,54 @@
+"""reprolint: AST-based invariant linting for the repro library.
+
+The Distinct-Count Sketch reproduction rests on invariants the paper
+proves but Python cannot enforce at runtime:
+
+* **delete-resistance** needs exact integer counter arithmetic in the
+  count-signature hot path (Section 3 — a matched insert/delete must
+  leave the sketch bit-identical, which float rounding would break);
+* **reproducibility** needs every random draw to flow through an
+  explicitly-seeded generator derived via
+  :func:`repro.hashing.seeds.derive_seed` (merges rely on bit-identical
+  hash structure across machines);
+* **epoch semantics** forbid wall-clock reads inside algorithm code —
+  stream position, not time-of-day, drives every decision.
+
+This package turns those invariants into machine-checked rules.  It is
+a small, dependency-free rule engine: each rule is an AST visitor
+registered under an ``RLxxx`` identifier with a severity, and the
+runner applies every selected rule to every file, honouring inline
+``# reprolint: disable=RLxxx`` pragmas.
+
+Run it as ``python -m repro.lint src/repro`` or ``repro-ddos lint``;
+see :mod:`repro.lint.rules` for the rule catalogue and ``docs/dev.md``
+for the invariant each rule protects.
+"""
+
+from .engine import (
+    LintContext,
+    LintRunner,
+    ModuleIndex,
+    Rule,
+    Severity,
+    Violation,
+    all_rules,
+    get_rule,
+    register,
+)
+from .reporters import JsonReporter, Reporter, TextReporter
+from . import rules as _rules  # noqa: F401  (imports register the rules)
+
+__all__ = [
+    "JsonReporter",
+    "LintContext",
+    "LintRunner",
+    "ModuleIndex",
+    "Reporter",
+    "Rule",
+    "Severity",
+    "TextReporter",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "register",
+]

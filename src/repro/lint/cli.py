@@ -1,0 +1,79 @@
+"""Command-line front end for reprolint.
+
+Invoked either as ``python -m repro.lint`` or through the library CLI
+as ``repro-ddos lint``.  Exit status: 0 when no error-severity
+violation fired, 1 otherwise, 2 on usage errors — so the command slots
+directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .engine import LintRunner
+from .reporters import JsonReporter, TextReporter, rule_catalogue
+
+
+def build_parser(
+    parser: Optional[argparse.ArgumentParser] = None,
+) -> argparse.ArgumentParser:
+    """Create (or extend) the argument parser for the lint command."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="repro.lint",
+            description=(
+                "AST-based invariant linter for the repro library "
+                "(reproducibility, integer-counter, and API hygiene rules)"
+            ),
+        )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="RLxxx",
+        help="run only these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="RLxxx",
+        help="skip these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute the lint command for parsed ``args``; returns exit status."""
+    if args.list_rules:
+        for rule in rule_catalogue():
+            print(
+                f"{rule['id']} [{rule['severity']}] {rule['title']}\n"
+                f"    protects: {rule['invariant']}"
+            )
+        return 0
+    try:
+        runner = LintRunner(select=args.select, ignore=args.ignore)
+    except KeyError as error:
+        print(f"reprolint: {error.args[0]}")
+        return 2
+    try:
+        violations = runner.run_paths(args.paths)
+    except FileNotFoundError as error:
+        print(f"reprolint: {error}")
+        return 2
+    reporter = JsonReporter() if args.format == "json" else TextReporter()
+    print(reporter.render(violations))
+    return 1 if LintRunner.error_count(violations) else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    return run(build_parser().parse_args(argv))

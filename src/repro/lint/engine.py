@@ -1,0 +1,328 @@
+"""The reprolint rule engine: contexts, registry, pragmas, and runner.
+
+Design:
+
+* a :class:`Rule` inspects one module's AST and yields
+  :class:`Violation` objects; rules never mutate anything;
+* rules are registered in a global registry keyed by their ``RLxxx``
+  identifier (:func:`register`), so reporters and the CLI can enumerate
+  them;
+* the :class:`LintRunner` walks the requested paths, parses every
+  ``*.py`` file once, builds a :class:`ModuleIndex` (rules that check
+  cross-module facts, like the public-API rule, resolve re-exports
+  through it), applies the selected rules, and filters out violations
+  suppressed by inline pragmas.
+
+Pragmas: a line containing ``# reprolint: disable=RL001`` (or a
+comma-separated list) suppresses those rules' violations on that line;
+``# reprolint: disable-file=RL001`` anywhere in a file suppresses them
+for the whole file.  Allowlisting is deliberately *visible in the
+source* rather than hidden in a config file.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+_PRAGMA_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Z0-9,\s]+)"
+)
+
+
+class Severity(enum.Enum):
+    """How seriously a violation is taken.
+
+    ``ERROR`` violations fail the gate (non-zero exit); ``WARNING``
+    violations are reported but do not affect the exit code.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    severity: Severity
+    path: str
+    line: int
+    column: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        """Stable ordering: by file, then position, then rule."""
+        return (self.path, self.line, self.column, self.rule_id)
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module known to the runner."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+
+
+class ModuleIndex:
+    """Dotted-module-name -> :class:`ModuleInfo` lookup for a lint run.
+
+    Rules that resolve re-exports (``from .dcs import DistinctCountSketch``
+    in an ``__init__.py``) use this to find the definition site.
+    """
+
+    def __init__(self) -> None:
+        self._modules: Dict[str, ModuleInfo] = {}
+
+    def add(self, info: ModuleInfo) -> None:
+        """Register a parsed module."""
+        self._modules[info.module] = info
+
+    def get(self, module: str) -> Optional[ModuleInfo]:
+        """The module's info, or ``None`` if it was not part of the run."""
+        return self._modules.get(module)
+
+    def __contains__(self, module: str) -> bool:
+        return module in self._modules
+
+    def modules(self) -> List[str]:
+        """All dotted module names in the index, sorted."""
+        return sorted(self._modules)
+
+
+@dataclass
+class LintContext:
+    """Everything a rule gets to see about one module."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    index: ModuleIndex = field(default_factory=ModuleIndex)
+
+    @property
+    def is_package_init(self) -> bool:
+        """True when this module is a package ``__init__.py``."""
+        return Path(self.path).name == "__init__.py"
+
+    def in_module(self, *prefixes: str) -> bool:
+        """True when the module equals or lives under any given prefix."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`title`, :attr:`invariant`
+    (the paper-level property the rule protects) and implement
+    :meth:`check`.
+    """
+
+    rule_id: str = "RL000"
+    title: str = ""
+    invariant: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``context``'s module."""
+        raise NotImplementedError
+
+    def violation(
+        self,
+        context: LintContext,
+        node: ast.AST,
+        message: str,
+        severity: Optional[Severity] = None,
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule_id=self.rule_id,
+            severity=severity or self.severity,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_class.rule_id
+    if not re.fullmatch(r"RL\d{3}", rule_id):
+        raise ValueError(f"rule id must match RLxxx, got {rule_id!r}")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Every registered rule class, ordered by rule id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    """Look up one rule class by id; raises ``KeyError`` if unknown."""
+    return _REGISTRY[rule_id]
+
+
+def module_name_for(path: Path) -> str:
+    """Derive a dotted module name from a file path.
+
+    Uses the path components from the last ``repro`` directory onward
+    (the layout this linter ships with); falls back to the file stem
+    for paths outside a ``repro`` tree (e.g. test fixtures).
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "repro":
+            return ".".join(parts[anchor:])
+    return parts[-1] if parts else str(path)
+
+
+def _file_pragmas(source: str) -> Tuple[Dict[int, List[str]], List[str]]:
+    """Extract line-scoped and file-scoped pragma rule ids."""
+    per_line: Dict[int, List[str]] = {}
+    whole_file: List[str] = []
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if not match:
+            continue
+        scope, id_list = match.groups()
+        rule_ids = [part.strip() for part in id_list.split(",") if part.strip()]
+        if scope == "disable-file":
+            whole_file.extend(rule_ids)
+        else:
+            per_line.setdefault(line_number, []).extend(rule_ids)
+    return per_line, whole_file
+
+
+def _suppressed(
+    violation: Violation,
+    per_line: Dict[int, List[str]],
+    whole_file: List[str],
+) -> bool:
+    if violation.rule_id in whole_file:
+        return True
+    return violation.rule_id in per_line.get(violation.line, [])
+
+
+class LintRunner:
+    """Applies a set of rules to a set of files.
+
+    Args:
+        select: rule ids to run (default: all registered rules).
+        ignore: rule ids to skip.
+    """
+
+    def __init__(
+        self,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> None:
+        chosen = list(select) if select else [r.rule_id for r in all_rules()]
+        unknown = [rid for rid in chosen if rid not in _REGISTRY]
+        unknown += [rid for rid in (ignore or []) if rid not in _REGISTRY]
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        skip = set(ignore or [])
+        self.rules: List[Rule] = [
+            get_rule(rid)() for rid in sorted(chosen) if rid not in skip
+        ]
+
+    # -- input collection ---------------------------------------------------
+
+    @staticmethod
+    def collect_files(paths: Iterable[str]) -> List[Path]:
+        """Expand files/directories into a sorted list of ``*.py`` files."""
+        files: List[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(sorted(path.rglob("*.py")))
+            elif path.suffix == ".py":
+                files.append(path)
+            else:
+                raise FileNotFoundError(
+                    f"not a Python file or directory: {raw}"
+                )
+        return files
+
+    # -- running ------------------------------------------------------------
+
+    def run_paths(self, paths: Iterable[str]) -> List[Violation]:
+        """Lint every ``*.py`` file under ``paths``."""
+        files = self.collect_files(paths)
+        sources = []
+        for file_path in files:
+            sources.append((str(file_path), file_path.read_text()))
+        return self.run_sources(sources)
+
+    def run_sources(
+        self, sources: Sequence[Tuple[str, str]]
+    ) -> List[Violation]:
+        """Lint ``(path, source_text)`` pairs (the testable core)."""
+        index = ModuleIndex()
+        contexts: List[LintContext] = []
+        violations: List[Violation] = []
+        for path, source in sources:
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError as error:
+                violations.append(
+                    Violation(
+                        rule_id="RL000",
+                        severity=Severity.ERROR,
+                        path=path,
+                        line=error.lineno or 1,
+                        column=(error.offset or 1) - 1,
+                        message=f"syntax error: {error.msg}",
+                    )
+                )
+                continue
+            info = ModuleInfo(
+                path=path,
+                module=module_name_for(Path(path)),
+                source=source,
+                tree=tree,
+            )
+            index.add(info)
+            contexts.append(
+                LintContext(
+                    path=path,
+                    module=info.module,
+                    source=source,
+                    tree=tree,
+                    index=index,
+                )
+            )
+        for context in contexts:
+            per_line, whole_file = _file_pragmas(context.source)
+            for rule in self.rules:
+                for violation in rule.check(context):
+                    if not _suppressed(violation, per_line, whole_file):
+                        violations.append(violation)
+        violations.sort(key=Violation.sort_key)
+        return violations
+
+    @staticmethod
+    def error_count(violations: Sequence[Violation]) -> int:
+        """Number of gate-failing (``ERROR`` severity) violations."""
+        return sum(
+            1 for v in violations if v.severity is Severity.ERROR
+        )

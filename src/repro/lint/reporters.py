@@ -1,0 +1,93 @@
+"""Violation reporters: human-readable text and machine-readable JSON.
+
+The text reporter is what developers read locally; the JSON reporter is
+what CI and editor integrations consume (``repro-ddos lint --format
+json``).  Both render the same :class:`~repro.lint.engine.Violation`
+stream, so the two outputs can never disagree about what fired.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .engine import Severity, Violation, all_rules
+
+
+class Reporter:
+    """Base reporter: renders a violation list to a string."""
+
+    def render(self, violations: Sequence[Violation]) -> str:
+        """Return the full report for ``violations``."""
+        raise NotImplementedError
+
+
+class TextReporter(Reporter):
+    """One ``path:line:col: RLxxx severity: message`` line per violation."""
+
+    def render(self, violations: Sequence[Violation]) -> str:
+        """Render violations plus a one-line summary."""
+        lines = [
+            f"{v.path}:{v.line}:{v.column + 1}: "
+            f"{v.rule_id} {v.severity.value}: {v.message}"
+            for v in violations
+        ]
+        errors = sum(1 for v in violations if v.severity is Severity.ERROR)
+        warnings = len(violations) - errors
+        if violations:
+            lines.append("")
+        lines.append(
+            f"reprolint: {errors} error(s), {warnings} warning(s) "
+            f"across {len(set(v.path for v in violations))} file(s)"
+            if violations
+            else "reprolint: all checks passed"
+        )
+        return "\n".join(lines)
+
+
+class JsonReporter(Reporter):
+    """A JSON document with violations, per-rule counts, and the catalogue."""
+
+    def render(self, violations: Sequence[Violation]) -> str:
+        """Render the JSON payload (stable key order, indented)."""
+        by_rule: Dict[str, int] = {}
+        for violation in violations:
+            by_rule[violation.rule_id] = by_rule.get(violation.rule_id, 0) + 1
+        payload: Dict[str, Any] = {
+            "violations": [
+                {
+                    "rule": v.rule_id,
+                    "severity": v.severity.value,
+                    "path": v.path,
+                    "line": v.line,
+                    "column": v.column + 1,
+                    "message": v.message,
+                }
+                for v in violations
+            ],
+            "counts": {
+                "total": len(violations),
+                "errors": sum(
+                    1 for v in violations if v.severity is Severity.ERROR
+                ),
+                "warnings": sum(
+                    1 for v in violations if v.severity is Severity.WARNING
+                ),
+                "by_rule": by_rule,
+            },
+            "rules": rule_catalogue(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """The registered rules as ``{id, title, invariant, severity}`` dicts."""
+    return [
+        {
+            "id": rule.rule_id,
+            "title": rule.title,
+            "invariant": rule.invariant,
+            "severity": rule.severity.value,
+        }
+        for rule in all_rules()
+    ]

@@ -22,16 +22,16 @@ from .timing import TimingReport, UpdateTimer
 
 __all__ = [
     "RunSummary",
-    "deep_size_bytes",
-    "overhead_ratio",
     "TimingReport",
     "UpdateTimer",
-    "percentile",
-    "summarize",
-    "summarize_many",
     "average_relative_error",
+    "deep_size_bytes",
+    "overhead_ratio",
+    "percentile",
     "precision_at_k",
     "rank_destinations",
     "relative_errors_by_destination",
+    "summarize",
+    "summarize_many",
     "top_k_recall",
 ]

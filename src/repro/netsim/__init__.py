@@ -44,17 +44,17 @@ __all__ = [
     "FlowExporter",
     "FlowRecord",
     "IspNetwork",
-    "RecordExporter",
-    "TcpFlag",
-    "records_to_updates",
     "Packet",
     "PacketKind",
     "Prefix",
+    "RecordExporter",
     "ReflectorAttack",
     "Scenario",
     "SynFloodAttack",
     "SynProxy",
     "TcpConnection",
+    "TcpFlag",
     "format_ip",
     "parse_ip",
+    "records_to_updates",
 ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Set
 
 from ..exceptions import DomainError, ParameterError
+from ..hashing import derive_seed
 
 #: The full IPv4 space.
 IPV4_SPACE = 1 << 32
@@ -114,7 +115,7 @@ class AddressPool:
 
     def __init__(self, prefix: Prefix, seed: int = 0) -> None:
         self.prefix = prefix
-        self._rng = random.Random(seed)
+        self._rng = random.Random(derive_seed(seed, "address-pool"))
         self._handed_out: Set[int] = set()
 
     def draw(self) -> int:

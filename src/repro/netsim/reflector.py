@@ -21,6 +21,7 @@ import random
 from typing import List
 
 from ..exceptions import ParameterError
+from ..hashing import derive_seed
 from .addresses import AddressPool, Prefix
 from .packets import Packet, PacketKind
 from .traffic import TrafficGenerator
@@ -80,7 +81,7 @@ class ReflectorAttack(TrafficGenerator):
 
     def packets(self) -> List[Packet]:
         """Forged SYNs toward each reflector; occasional victim RSTs."""
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "reflector-attack"))
         pool = AddressPool(self.reflector_prefix, seed=self.seed + 1)
         reflector_addresses = pool.draw_many(self.reflectors)
         result: List[Packet] = []

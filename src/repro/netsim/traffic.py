@@ -22,6 +22,7 @@ import random
 from typing import List, Sequence
 
 from ..exceptions import ParameterError
+from ..hashing import derive_seed
 from .addresses import FULL_SPACE, AddressPool, Prefix
 from .packets import Packet, PacketKind
 
@@ -78,7 +79,7 @@ class SynFloodAttack(TrafficGenerator):
 
     def packets(self) -> List[Packet]:
         """SYNs at uniform times; spoofed sources never answer."""
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "syn-flood"))
         pool = AddressPool(self.spoof_prefix, seed=self.seed + 1)
         result: List[Packet] = []
         for _ in range(self.flood_size):
@@ -133,7 +134,7 @@ class FlashCrowd(TrafficGenerator):
 
     def packets(self) -> List[Packet]:
         """SYN + completing ACK per client, arrival times uniform."""
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "flash-crowd"))
         pool = AddressPool(self.client_prefix, seed=self.seed + 1)
         clients = pool.draw_many(self.crowd_size)
         result: List[Packet] = []
@@ -195,7 +196,7 @@ class BackgroundTraffic(TrafficGenerator):
 
     def packets(self) -> List[Packet]:
         """Each session: SYN, then (usually) the completing ACK."""
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "background-traffic"))
         pool = AddressPool(self.client_prefix, seed=self.seed + 1)
         result: List[Packet] = []
         for _ in range(self.sessions):

@@ -6,23 +6,46 @@ destination v and adjust its frequency by +/-1" (Figure 6, steps 11 and
 21).  The standard-library ``heapq`` cannot do that in ``O(log n)``, so
 we implement a classic binary heap with a key -> position index.
 
-Keys are arbitrary hashables (destination addresses here); priorities
-are integers (sample frequencies).  Ties are broken by key order so the
-heap's pop order — and therefore every top-k answer built on it — is
-deterministic for a given state.
+Keys must be hashable (for the position index) and totally ordered
+(ties are broken by key order so the heap's pop order — and therefore
+every top-k answer built on it — is deterministic for a given state);
+priorities are integers (sample frequencies).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, List, Tuple, TypeVar
+from typing import Any, Dict, Generic, List, Protocol, Tuple, TypeVar
 
 from ..exceptions import ReproError
 
-K = TypeVar("K", bound=Hashable)
+
+class OrderedHashable(Protocol):
+    """A key usable in the heap: hashable and totally ordered."""
+
+    def __hash__(self) -> int:
+        """Hash support (keys index the position table)."""
+        ...
+
+    def __lt__(self, other: Any) -> bool:
+        """Strict less-than ordering (used for deterministic tiebreaks)."""
+        ...
+
+
+K = TypeVar("K", bound=OrderedHashable)
 
 
 class HeapKeyError(ReproError, KeyError):
     """Raised when an operation references a key absent from the heap."""
+
+
+class _Entry(Generic[K]):
+    """One heap slot: a mutable priority attached to a fixed key."""
+
+    __slots__ = ("priority", "key")
+
+    def __init__(self, priority: int, key: K) -> None:
+        self.priority = priority
+        self.key = key
 
 
 class IndexedMaxHeap(Generic[K]):
@@ -31,8 +54,7 @@ class IndexedMaxHeap(Generic[K]):
     __slots__ = ("_entries", "_positions")
 
     def __init__(self) -> None:
-        # Each entry is [priority, key]; lists so priorities mutate in place.
-        self._entries: List[List] = []
+        self._entries: List[_Entry[K]] = []
         self._positions: Dict[K, int] = {}
 
     def __len__(self) -> int:
@@ -50,13 +72,13 @@ class IndexedMaxHeap(Generic[K]):
             position = self._positions[key]
         except KeyError:
             raise HeapKeyError(f"key {key!r} not in heap") from None
-        return self._entries[position][0]
+        return self._entries[position].priority
 
     def insert(self, key: K, priority: int) -> None:
         """Insert a new key; raises if the key is already present."""
         if key in self._positions:
             raise HeapKeyError(f"key {key!r} already in heap")
-        self._entries.append([priority, key])
+        self._entries.append(_Entry(priority, key))
         position = len(self._entries) - 1
         self._positions[key] = position
         self._sift_up(position)
@@ -67,8 +89,8 @@ class IndexedMaxHeap(Generic[K]):
             position = self._positions[key]
         except KeyError:
             raise HeapKeyError(f"key {key!r} not in heap") from None
-        old_priority = self._entries[position][0]
-        self._entries[position][0] = priority
+        old_priority = self._entries[position].priority
+        self._entries[position].priority = priority
         if priority > old_priority:
             self._sift_up(position)
         elif priority < old_priority:
@@ -100,7 +122,7 @@ class IndexedMaxHeap(Generic[K]):
             position = self._positions[key]
         except KeyError:
             raise HeapKeyError(f"key {key!r} not in heap") from None
-        priority = self._entries[position][0]
+        priority = self._entries[position].priority
         self._swap_with_last_and_pop(position)
         return priority
 
@@ -108,14 +130,15 @@ class IndexedMaxHeap(Generic[K]):
         """Return ``(key, priority)`` of the maximum without removing it."""
         if not self._entries:
             raise HeapKeyError("peek on empty heap")
-        priority, key = self._entries[0]
-        return key, priority
+        top = self._entries[0]
+        return top.key, top.priority
 
     def pop(self) -> Tuple[K, int]:
         """Remove and return the maximum ``(key, priority)`` (deleteMax)."""
         if not self._entries:
             raise HeapKeyError("pop on empty heap")
-        priority, key = self._entries[0]
+        top = self._entries[0]
+        key, priority = top.key, top.priority
         self._swap_with_last_and_pop(0)
         return key, priority
 
@@ -134,14 +157,14 @@ class IndexedMaxHeap(Generic[K]):
 
     def items(self) -> List[Tuple[K, int]]:
         """All ``(key, priority)`` pairs in arbitrary (heap) order."""
-        return [(key, priority) for priority, key in self._entries]
+        return [(entry.key, entry.priority) for entry in self._entries]
 
     def check_invariants(self) -> None:
         """Assert heap order and index consistency (used by tests)."""
-        for position, (priority, key) in enumerate(self._entries):
-            if self._positions[key] != position:
+        for position, entry in enumerate(self._entries):
+            if self._positions[entry.key] != position:
                 raise AssertionError(
-                    f"position index stale for key {key!r}"
+                    f"position index stale for key {entry.key!r}"
                 )
             parent = (position - 1) // 2
             if position > 0 and self._less(
@@ -156,25 +179,25 @@ class IndexedMaxHeap(Generic[K]):
     # -- internals ---------------------------------------------------------
 
     @staticmethod
-    def _less(a: List, b: List) -> bool:
+    def _less(a: "_Entry[K]", b: "_Entry[K]") -> bool:
         """Max-heap ordering: priority first, key as deterministic tiebreak."""
-        if a[0] != b[0]:
-            return a[0] < b[0]
+        if a.priority != b.priority:
+            return a.priority < b.priority
         # Invert key order so smaller keys win ties at the top.
-        return a[1] > b[1]
+        return b.key < a.key
 
     def _swap(self, i: int, j: int) -> None:
         entries = self._entries
         entries[i], entries[j] = entries[j], entries[i]
-        self._positions[entries[i][1]] = i
-        self._positions[entries[j][1]] = j
+        self._positions[entries[i].key] = i
+        self._positions[entries[j].key] = j
 
     def _swap_with_last_and_pop(self, position: int) -> None:
         last = len(self._entries) - 1
         if position != last:
             self._swap(position, last)
         removed = self._entries.pop()
-        del self._positions[removed[1]]
+        del self._positions[removed.key]
         if position <= last - 1 and self._entries:
             position = min(position, len(self._entries) - 1)
             self._sift_down(position)

@@ -29,12 +29,14 @@ singleton -> empty — plus the no-op transitions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..exceptions import ParameterError
+from ..types import AddressDomain
 from .dcs import DEFAULT_EPSILON, DistinctCountSketch
 from .estimate import TopKResult, build_result
 from .heap import IndexedMaxHeap
+from .params import SketchParams
 from .signature import CountSignature
 
 
@@ -109,7 +111,7 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
 
     def __init__(
         self,
-        params,
+        params: Union[SketchParams, AddressDomain],
         *,
         r: int = 3,
         s: int = 128,
@@ -124,7 +126,7 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         #: numSingletons(b) counters.
         self._num_singletons: List[int] = [0] * levels
         #: topDestHeap(b): destination -> frequency in sample from levels >= b.
-        self._dest_heaps: List[IndexedMaxHeap] = [
+        self._dest_heaps: List[IndexedMaxHeap[int]] = [
             IndexedMaxHeap() for _ in range(levels)
         ]
 
@@ -320,7 +322,9 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         levels = self.params.num_levels
         self._singletons = [SingletonSet() for _ in range(levels)]
         self._num_singletons = [0] * levels
-        self._dest_heaps = [IndexedMaxHeap() for _ in range(levels)]
+        self._dest_heaps = [
+            IndexedMaxHeap() for _ in range(levels)
+        ]
         for level in range(levels):
             for table in self._tables[level]:
                 for signature in table.values():

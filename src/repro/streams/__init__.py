@@ -47,11 +47,11 @@ __all__ = [
     "DuplicatingChannel",
     "ListSource",
     "LossyChannel",
-    "ReorderingChannel",
     "RankFlipper",
+    "ReorderingChannel",
+    "RoundRobinMerge",
     "SingleVictimStorm",
     "UniformSpray",
-    "RoundRobinMerge",
     "UpdateSource",
     "ZipfWorkload",
     "interleave",

@@ -27,6 +27,7 @@ import random
 from typing import Dict, Iterator, List
 
 from ..exceptions import ParameterError
+from ..hashing import derive_seed
 from ..types import FlowUpdate
 from .source import UpdateSource
 
@@ -45,7 +46,7 @@ class SingleVictimStorm(UpdateSource):
         return self.sources
 
     def __iter__(self) -> Iterator[FlowUpdate]:
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "single-victim-storm"))
         seen = set()
         while len(seen) < self.sources:
             source = rng.randrange(2 ** 32)
@@ -72,7 +73,7 @@ class UniformSpray(UpdateSource):
         return self.pairs
 
     def __iter__(self) -> Iterator[FlowUpdate]:
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "uniform-spray"))
         dests = set()
         while len(dests) < self.pairs:
             dest = rng.randrange(2 ** 32)
@@ -114,7 +115,7 @@ class ChurnStorm(UpdateSource):
         self.seed = seed
 
     def _churn_set(self) -> List[FlowUpdate]:
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "churn-storm"))
         return [
             FlowUpdate(rng.randrange(2 ** 32), rng.randrange(2 ** 16), +1)
             for _ in range(self.churn_pairs)

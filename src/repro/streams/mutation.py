@@ -20,6 +20,7 @@ import random
 from typing import Iterable, List, Sequence
 
 from ..exceptions import ParameterError
+from ..hashing import derive_seed
 from ..types import FlowUpdate
 
 
@@ -33,7 +34,7 @@ def shuffled(
 ) -> List[FlowUpdate]:
     """Return the updates in a deterministic random order."""
     result = list(updates)
-    random.Random(seed).shuffle(result)
+    random.Random(derive_seed(seed, "shuffled")).shuffle(result)
     return result
 
 
@@ -47,7 +48,7 @@ def with_duplicates(
     preserve.
     """
     _validate_rate(rate)
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(seed, "with-duplicates"))
     inserts = [update for update in updates if update.is_insert]
     duplicate_count = int(rate * len(inserts))
     duplicates = rng.sample(inserts, duplicate_count) if duplicate_count else []
@@ -70,7 +71,7 @@ def with_matched_deletions(
     zero and must vanish from every tracked frequency.
     """
     _validate_rate(rate)
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(seed, "matched-deletions"))
     inserts = [update for update in updates if update.is_insert]
     chosen = (
         rng.sample(inserts, int(rate * len(inserts)))
@@ -92,7 +93,7 @@ def interleave(
     deletion jumps ahead of its insertion) while the merge order is
     random, modeling asynchronous arrival from multiple routers.
     """
-    rng = random.Random(seed)
+    rng = random.Random(derive_seed(seed, "interleave"))
     cursors = [list(stream) for stream in streams]
     positions = [0] * len(cursors)
     result: List[FlowUpdate] = []

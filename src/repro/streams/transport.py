@@ -24,6 +24,7 @@ import random
 from typing import Iterable, Iterator, List, Sequence
 
 from ..exceptions import ParameterError
+from ..hashing import derive_seed
 from ..types import FlowUpdate
 
 
@@ -44,7 +45,7 @@ class LossyChannel:
         self, updates: Iterable[FlowUpdate]
     ) -> Iterator[FlowUpdate]:
         """Yield the updates that survive the channel."""
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "lossy-channel"))
         self.dropped = 0
         for update in updates:
             if rng.random() < self.loss_rate:
@@ -75,7 +76,7 @@ class DuplicatingChannel:
         self, updates: Iterable[FlowUpdate]
     ) -> Iterator[FlowUpdate]:
         """Yield updates, occasionally more than once."""
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "duplicating-channel"))
         self.duplicated = 0
         for update in updates:
             yield update
@@ -102,7 +103,7 @@ class ReorderingChannel:
         self, updates: Sequence[FlowUpdate]
     ) -> List[FlowUpdate]:
         """Return the updates in jittered order."""
-        rng = random.Random(self.seed)
+        rng = random.Random(derive_seed(self.seed, "reordering-channel"))
         keyed = [
             (index + rng.randint(0, self.window), index, update)
             for index, update in enumerate(updates)
@@ -128,12 +129,12 @@ class Channel:
         reorder_window: int = 0,
         seed: int = 0,
     ) -> None:
-        self.lossy = LossyChannel(loss_rate, seed=seed * 3 + 1)
+        self.lossy = LossyChannel(loss_rate, seed=derive_seed(seed, "loss"))
         self.duplicating = DuplicatingChannel(
-            duplicate_rate, seed=seed * 3 + 2
+            duplicate_rate, seed=derive_seed(seed, "duplicate")
         )
         self.reordering = ReorderingChannel(
-            reorder_window, seed=seed * 3 + 3
+            reorder_window, seed=derive_seed(seed, "reorder")
         )
 
     def transmit(

@@ -20,6 +20,7 @@ from typing import Dict, Iterator, List
 import numpy as np
 
 from ..exceptions import ParameterError
+from ..hashing import derive_seed
 from ..types import AddressDomain, FlowUpdate
 from .source import UpdateSource
 
@@ -102,7 +103,7 @@ class ZipfWorkload(UpdateSource):
         self.skew = skew
         self.seed = seed
         self.shuffle = shuffle
-        self._rng = np.random.default_rng(seed)
+        self._rng = np.random.default_rng(derive_seed(seed, "zipf-dests"))
         self._dest_addresses = self._draw_destination_addresses()
         self._counts = self._allocate_counts()
 
@@ -178,7 +179,7 @@ class ZipfWorkload(UpdateSource):
         fresh address per pair), matching the paper's spoofed-source
         attack model where every pair is unique.
         """
-        rng = np.random.default_rng(self.seed + 1)
+        rng = np.random.default_rng(derive_seed(self.seed, "zipf-sources"))
         drawn = _draw_distinct(rng, self.domain.m, self.distinct_pairs)
         result = []
         cursor = 0
@@ -187,9 +188,9 @@ class ZipfWorkload(UpdateSource):
                 result.append((source, int(dest)))
             cursor += int(count)
         if self.shuffle:
-            order = np.random.default_rng(self.seed + 2).permutation(
-                len(result)
-            )
+            order = np.random.default_rng(
+                derive_seed(self.seed, "zipf-order")
+            ).permutation(len(result))
             result = [result[i] for i in order]
         return result
 

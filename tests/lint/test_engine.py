@@ -1,0 +1,160 @@
+"""Engine behaviour: registry, module naming, pragmas, selection, and
+the self-gate (the shipped tree must lint clean).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    LintRunner,
+    Severity,
+    all_rules,
+    get_rule,
+)
+from repro.lint.engine import module_name_for
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRegistry:
+    def test_at_least_seven_rules_registered(self):
+        assert len(all_rules()) >= 7
+
+    def test_rule_ids_are_unique_and_well_formed(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert len(ids) == len(set(ids))
+        assert all(
+            len(rid) == 5 and rid.startswith("RL") for rid in ids
+        )
+
+    def test_every_rule_documents_its_invariant(self):
+        for rule in all_rules():
+            assert rule.title, rule.rule_id
+            assert rule.invariant, rule.rule_id
+
+    def test_get_rule_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("RL999")
+
+
+class TestModuleNaming:
+    def test_anchors_at_repro_directory(self):
+        path = Path("src/repro/sketch/dcs.py")
+        assert module_name_for(path) == "repro.sketch.dcs"
+
+    def test_init_maps_to_package(self):
+        path = Path("src/repro/sketch/__init__.py")
+        assert module_name_for(path) == "repro.sketch"
+
+    def test_non_repro_path_falls_back_to_stem(self):
+        assert module_name_for(Path("scripts/helper.py")) == "helper"
+
+
+class TestRunnerSelection:
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            LintRunner(select=["RL998"])
+
+    def test_unknown_ignore_raises(self):
+        with pytest.raises(KeyError):
+            LintRunner(ignore=["RL998"])
+
+    def test_ignore_removes_rule(self):
+        source = (
+            "src/repro/streams/demo.py",
+            "import random\n\n\ndef f():\n    return random.random()\n",
+        )
+        assert LintRunner(select=["RL001"]).run_sources([source])
+        assert not LintRunner(ignore=["RL001"]).run_sources([source])
+
+
+class TestPragmas:
+    BAD_LINE = "import random\n\n\ndef f():\n    return random.random()"
+
+    def test_line_pragma_suppresses(self):
+        source = self.BAD_LINE.replace(
+            "random.random()",
+            "random.random()  # reprolint: disable=RL001",
+        )
+        violations = LintRunner(select=["RL001"]).run_sources(
+            [("src/repro/streams/demo.py", source)]
+        )
+        assert violations == []
+
+    def test_file_pragma_suppresses(self):
+        source = "# reprolint: disable-file=RL001\n" + self.BAD_LINE
+        violations = LintRunner(select=["RL001"]).run_sources(
+            [("src/repro/streams/demo.py", source)]
+        )
+        assert violations == []
+
+    def test_pragma_for_other_rule_does_not_suppress(self):
+        source = self.BAD_LINE.replace(
+            "random.random()",
+            "random.random()  # reprolint: disable=RL004",
+        )
+        violations = LintRunner(select=["RL001"]).run_sources(
+            [("src/repro/streams/demo.py", source)]
+        )
+        assert len(violations) == 1
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_reports_rl000_error(self):
+        violations = LintRunner().run_sources(
+            [("src/repro/streams/broken.py", "def f(:\n    pass\n")]
+        )
+        assert len(violations) == 1
+        assert violations[0].rule_id == "RL000"
+        assert violations[0].severity is Severity.ERROR
+
+
+class TestOrdering:
+    def test_violations_sorted_by_path_then_line(self):
+        bad = textwrap.dedent(
+            """
+            import random
+
+
+            def f():
+                return random.random()
+
+
+            def g(xs=[]):
+                return xs
+            """
+        )
+        violations = LintRunner().run_sources(
+            [
+                ("src/repro/streams/zzz.py", bad),
+                ("src/repro/streams/aaa.py", bad),
+            ]
+        )
+        keys = [v.sort_key() for v in violations]
+        assert keys == sorted(keys)
+
+
+class TestSelfGate:
+    """The acceptance criterion: the shipped tree must pass its own gate."""
+
+    def test_src_repro_lints_clean_in_process(self):
+        violations = LintRunner().run_paths([str(REPO_ROOT / "src" / "repro")])
+        assert violations == []
+
+    def test_module_entry_point_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src/repro"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "all checks passed" in result.stdout

@@ -137,3 +137,31 @@ class TestArgumentHandling:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["nope"])
+
+
+class TestLintCommand:
+    def test_src_repro_passes(self, capsys):
+        assert main(["lint", "src/repro"]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json
+
+        assert main(["lint", "--format", "json", "src/repro"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["errors"] == 0
+        assert len(payload["rules"]) >= 7
+
+    def test_reports_violations_in_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "streams" / "demo.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import random\n\n\ndef f():\n    return random.random()\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        output = capsys.readouterr().out
+        assert "RL001" in output
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "RL007" in capsys.readouterr().out
