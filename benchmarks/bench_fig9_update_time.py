@@ -141,6 +141,45 @@ def test_update_throughput_tracking(benchmark, ipv4_domain, update_stream):
     benchmark.pedantic(run, rounds=3, iterations=1)
 
 
+def test_obs_instrumentation_overhead(benchmark, ipv4_domain,
+                                      update_stream):
+    """Instrumented update path stays within 5% of the no-op path.
+
+    The hot path pays one pre-bound ``Counter.inc`` (an integer add)
+    when a registry is attached, versus one empty ``NullCounter.inc``
+    call when not.  Best-of-5, interleaved to damp scheduler drift.
+    """
+    from repro.obs import Registry
+
+    chunk = update_stream[:4000]
+
+    def time_once(obs):
+        sketch = TrackingDistinctCountSketch(ipv4_domain, seed=11,
+                                             obs=obs)
+        timer = UpdateTimer(
+            update=sketch.process,
+            query=lambda: None,
+            query_frequency=0.0,
+        )
+        return timer.run(chunk).microseconds_per_update
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    plain_runs = []
+    instrumented_runs = []
+    for _ in range(5):
+        plain_runs.append(time_once(None))
+        instrumented_runs.append(time_once(Registry()))
+    plain = min(plain_runs)
+    instrumented = min(instrumented_runs)
+    print_table(
+        "Observability overhead (us/update, best of 5)",
+        ["variant", "us/update"],
+        [["no-op (obs=None)", f"{plain:.2f}"],
+         ["instrumented", f"{instrumented:.2f}"]],
+    )
+    assert instrumented < 1.05 * plain
+
+
 def test_query_time_tracking(benchmark, ipv4_domain, update_stream):
     """TrackTopk query latency on a loaded sketch (O(k log m))."""
     sketch = TrackingDistinctCountSketch(ipv4_domain, seed=7)

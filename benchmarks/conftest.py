@@ -43,6 +43,19 @@ def ipv4_domain() -> AddressDomain:
     return AddressDomain(2 ** 32)
 
 
+@pytest.fixture()
+def obs_registry():
+    """A fresh observability registry, one per test.
+
+    Benchmarks that want the instrumented variant of a component pass
+    this as its ``obs=`` argument; a fresh registry per test keeps
+    pull-gauge callbacks from leaking across benchmark cases.
+    """
+    from repro.obs import Registry
+
+    return Registry()
+
+
 def make_workload(
     domain: AddressDomain,
     skew: float,

@@ -32,8 +32,10 @@ Package layout:
 * :mod:`repro.netsim` — TCP/SYN-flood/flash-crowd network simulation.
 * :mod:`repro.monitor` — the DDoS MONITOR application layer.
 * :mod:`repro.metrics` — recall/error/timing metrics for experiments.
+* :mod:`repro.obs` — runtime observability (instruments + exporters).
 """
 
+from . import obs
 from .exceptions import (
     DomainError,
     EstimationError,
@@ -70,4 +72,5 @@ __all__ = [
     "TopKResult",
     "TrackingDistinctCountSketch",
     "__version__",
+    "obs",
 ]

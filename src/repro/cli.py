@@ -13,6 +13,9 @@ Subcommands:
   existing one through the monitor.
 * ``repro-ddos plan`` — capacity planning: recommend sketch shapes for
   a target workload and accuracy (Theorem 4.4 vs calibrated).
+* ``repro-ddos stats`` — run an instrumented workload and export the
+  observability registry (JSON and/or Prometheus text; see
+  ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -134,6 +137,28 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--pairs", type=int, default=50_000)
     experiment.add_argument("--runs", type=int, default=2)
     experiment.add_argument("--seed", type=int, default=0)
+
+    stats = sub.add_parser(
+        "stats",
+        help="run an instrumented workload and export runtime metrics",
+    )
+    stats.add_argument(
+        "--workload", choices=["quickstart", "zipf"], default="quickstart",
+        help="quickstart = SYN flood + legitimate handshakes through a "
+             "lossy channel; zipf = the Section 6.1 workload",
+    )
+    stats.add_argument("--updates", type=int, default=2000,
+                       help="stream length before export")
+    stats.add_argument(
+        "--format", choices=["json", "prometheus", "both"], default="both",
+        help="snapshot format(s) printed after ingestion",
+    )
+    stats.add_argument(
+        "--watch", type=int, default=0, metavar="N",
+        help="print a one-line metric summary every N delivered updates "
+             "(update-count driven: the library never reads the clock)",
+    )
+    stats.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -369,6 +394,95 @@ def _run_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_quickstart(
+    domain: AddressDomain, count: int, seed: int
+) -> List["FlowUpdate"]:
+    """A quickstart-style stream: SYN flood + legitimate handshakes."""
+    import random
+
+    from .hashing import derive_seed
+    from .types import FlowUpdate
+
+    rng = random.Random(derive_seed(seed, "stats-quickstart"))
+    victim = parse_ip("198.51.100.10")
+    updates: List[FlowUpdate] = []
+    legit_open: List[tuple] = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.6:
+            # Spoofed SYN to the victim: stays half-open forever.
+            updates.append(FlowUpdate(rng.randrange(domain.m), victim, 1))
+        elif legit_open and roll < 0.8:
+            # A legitimate handshake completes: matched deletion.
+            source, dest = legit_open.pop()
+            updates.append(FlowUpdate(source, dest, -1))
+        else:
+            source = rng.randrange(domain.m)
+            dest = parse_ip(f"203.0.113.{rng.randrange(1, 40)}")
+            legit_open.append((source, dest))
+            updates.append(FlowUpdate(source, dest, 1))
+    return updates
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    from .obs import Registry, render_json, render_prometheus
+    from .streams.transport import Channel
+
+    domain = AddressDomain(2 ** 32)
+    registry = Registry()
+    monitor = DDoSMonitor(
+        domain,
+        MonitorConfig(check_interval=500),
+        seed=args.seed,
+        obs=registry,
+    )
+    channel = Channel(
+        loss_rate=0.02,
+        duplicate_rate=0.01,
+        reorder_window=4,
+        seed=args.seed,
+        obs=registry,
+    )
+    if args.workload == "zipf":
+        workload = ZipfWorkload(
+            domain,
+            distinct_pairs=args.updates,
+            destinations=max(args.updates // 50, 10),
+            skew=1.2,
+            seed=args.seed,
+        )
+        updates = list(workload.updates())
+    else:
+        updates = _stats_quickstart(domain, args.updates, args.seed)
+    delivered = channel.transmit(updates)
+
+    def metric_value(name: str) -> int:
+        instrument = registry.get(name)
+        return getattr(instrument, "value", 0) if instrument else 0
+
+    for position, update in enumerate(delivered, start=1):
+        monitor.observe(update)
+        if args.watch and position % args.watch == 0:
+            print(
+                f"[watch] delivered={position} "
+                f"sketch_updates="
+                f"{metric_value('repro_sketch_updates_total')} "
+                f"occupied_buckets="
+                f"{metric_value('repro_sketch_occupied_buckets')} "
+                f"alarms={metric_value('repro_monitor_alarms_total')}"
+            )
+    monitor.check_now()
+    print(
+        f"# ingested {len(delivered)} of {len(updates)} updates "
+        f"(workload={args.workload}, seed={args.seed})"
+    )
+    if args.format in ("prometheus", "both"):
+        print(render_prometheus(registry), end="")
+    if args.format in ("json", "both"):
+        print(render_json(registry))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -390,6 +504,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_describe(args)
     if args.command == "experiment":
         return _run_experiment(args)
+    if args.command == "stats":
+        return _run_stats(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

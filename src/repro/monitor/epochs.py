@@ -19,10 +19,12 @@ natural deployment companion the paper leaves as engineering.
 
 from __future__ import annotations
 
-from typing import Deque, Iterable
+from typing import Deque, Iterable, Optional
 from collections import deque
 
 from ..exceptions import ParameterError
+from ..obs.catalog import MONITOR_EPOCH_LIVE_SKETCHES, MONITOR_EPOCH_ROTATIONS
+from ..obs.registry import Registry, registry_or_null
 from ..sketch import TrackingDistinctCountSketch
 from ..sketch.estimate import TopKResult
 from ..types import AddressDomain, FlowUpdate
@@ -38,6 +40,10 @@ class EpochRotator:
         seed: base seed; epoch ``i`` uses ``seed + i`` so concurrent
             sketches are independent.
         r, s: sketch shape.
+        obs: optional :class:`~repro.obs.Registry` for rotator-level
+            metrics.  The short-lived epoch sketches themselves stay
+            uninstrumented: attaching them would accumulate pull-gauge
+            callbacks from retired sketches in the registry.
 
     Example:
         >>> from repro.types import AddressDomain
@@ -57,6 +63,7 @@ class EpochRotator:
         seed: int = 0,
         r: int = 3,
         s: int = 128,
+        obs: Optional[Registry] = None,
     ) -> None:
         if epoch_length < 1:
             raise ParameterError(
@@ -75,6 +82,11 @@ class EpochRotator:
         self._epoch_index = 0
         self._updates_in_epoch = 0
         self._sketches: Deque[TrackingDistinctCountSketch] = deque()
+        self.obs: Registry = registry_or_null(obs)
+        self._obs_rotations = self.obs.counter_from(MONITOR_EPOCH_ROTATIONS)
+        self.obs.gauge_from(MONITOR_EPOCH_LIVE_SKETCHES).watch(
+            lambda: len(self._sketches)
+        )
         self._start_new_epoch()
 
     def _start_new_epoch(self) -> None:
@@ -85,6 +97,7 @@ class EpochRotator:
         )
         self._sketches.append(sketch)
         self._epoch_index += 1
+        self._obs_rotations.inc()
         while len(self._sketches) > self.window_epochs:
             self._sketches.popleft()
 

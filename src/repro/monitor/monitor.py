@@ -23,6 +23,13 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
 from ..exceptions import ParameterError
+from ..obs.catalog import (
+    MONITOR_ALARMS,
+    MONITOR_CHECK_ALARMS,
+    MONITOR_CHECKS,
+    MONITOR_UPDATES,
+)
+from ..obs.registry import Registry, registry_or_null
 from ..sketch import TrackingDistinctCountSketch
 from ..sketch.estimate import TopKResult
 from ..types import AddressDomain, FlowUpdate
@@ -79,6 +86,9 @@ class DDoSMonitor:
             is used if omitted.
         seed: sketch seed.
         r, s: sketch shape (Section 6.1 defaults).
+        obs: optional :class:`~repro.obs.Registry`, shared with the
+            inner tracking sketch — one registry then exports the whole
+            ingest/detect pipeline (see ``docs/observability.md``).
 
     Example:
         >>> from repro.types import AddressDomain
@@ -97,12 +107,22 @@ class DDoSMonitor:
         seed: int = 0,
         r: int = 3,
         s: int = 128,
+        obs: Optional[Registry] = None,
     ) -> None:
         self.config = config or MonitorConfig()
         self.profile = profile or ActivityProfile()
-        self.sketch = TrackingDistinctCountSketch(domain, r=r, s=s, seed=seed)
+        self.sketch = TrackingDistinctCountSketch(
+            domain, r=r, s=s, seed=seed, obs=obs
+        )
         self.alarms = AlarmSink()
         self._updates_seen = 0
+        self.obs: Registry = registry_or_null(obs)
+        self._obs_updates = self.obs.counter_from(MONITOR_UPDATES)
+        self._obs_checks = self.obs.counter_from(MONITOR_CHECKS)
+        alarms = self.obs.counter_from(MONITOR_ALARMS)
+        self._obs_alarms_warning = alarms.labels(severity="warning")
+        self._obs_alarms_critical = alarms.labels(severity="critical")
+        self._obs_check_alarms = self.obs.histogram_from(MONITOR_CHECK_ALARMS)
 
     # -- stream ingestion -------------------------------------------------------
 
@@ -110,6 +130,7 @@ class DDoSMonitor:
         """Feed one flow update; returns any alarms this update triggered."""
         self.sketch.process(update)
         self._updates_seen += 1
+        self._obs_updates.inc()
         if self._updates_seen % self.config.check_interval == 0:
             return self.check_now()
         return []
@@ -129,6 +150,7 @@ class DDoSMonitor:
 
     def check_now(self) -> List[Alarm]:
         """Run one detection pass immediately; returns accepted alarms."""
+        self._obs_checks.inc()
         result = self.current_top()
         accepted: List[Alarm] = []
         for entry in result:
@@ -151,6 +173,11 @@ class DDoSMonitor:
             )
             if self.alarms.offer(alarm):
                 accepted.append(alarm)
+                if severity is AlarmSeverity.CRITICAL:
+                    self._obs_alarms_critical.inc()
+                else:
+                    self._obs_alarms_warning.inc()
+        self._obs_check_alarms.observe(len(accepted))
         return accepted
 
     # -- profiling ---------------------------------------------------------------

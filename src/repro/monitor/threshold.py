@@ -12,9 +12,11 @@ threshold), which is the natural alerting interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..exceptions import ParameterError
+from ..obs.catalog import MONITOR_THRESHOLD_CROSSINGS
+from ..obs.registry import Registry, registry_or_null
 from ..sketch import TrackingDistinctCountSketch
 from ..types import AddressDomain, FlowUpdate
 
@@ -46,6 +48,9 @@ class ThresholdWatch:
         tau: the frequency threshold.
         check_interval: poll the sketch every this many updates.
         seed, r, s: sketch configuration.
+        obs: optional :class:`~repro.obs.Registry`, shared with the
+            inner tracking sketch; crossing events export as
+            ``repro_monitor_threshold_crossings_total{direction=...}``.
     """
 
     def __init__(
@@ -56,6 +61,7 @@ class ThresholdWatch:
         seed: int = 0,
         r: int = 3,
         s: int = 128,
+        obs: Optional[Registry] = None,
     ) -> None:
         if tau < 1:
             raise ParameterError(f"tau must be >= 1, got {tau}")
@@ -65,10 +71,16 @@ class ThresholdWatch:
             )
         self.tau = tau
         self.check_interval = check_interval
-        self.sketch = TrackingDistinctCountSketch(domain, r=r, s=s, seed=seed)
+        self.sketch = TrackingDistinctCountSketch(
+            domain, r=r, s=s, seed=seed, obs=obs
+        )
         self._updates_seen = 0
         self._currently_above: Set[int] = set()
         self._events: List[CrossingEvent] = []
+        self.obs: Registry = registry_or_null(obs)
+        crossings = self.obs.counter_from(MONITOR_THRESHOLD_CROSSINGS)
+        self._obs_cross_up = crossings.labels(direction="up")
+        self._obs_cross_down = crossings.labels(direction="down")
 
     def observe(self, update: FlowUpdate) -> List[CrossingEvent]:
         """Feed one update; returns crossing events from a due poll."""
@@ -114,6 +126,11 @@ class ThresholdWatch:
                 )
         self._currently_above = set(now_above)
         self._events.extend(events)
+        for event in events:
+            if event.above:
+                self._obs_cross_up.inc()
+            else:
+                self._obs_cross_down.inc()
         return events
 
     def above_threshold(self) -> List[Tuple[int, int]]:

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Tuple
 
 from ..exceptions import ParameterError
+from ..obs.catalog import MONITOR_SNAPSHOTS
+from ..obs.registry import Registry, registry_or_null
 from ..sketch import TrackingDistinctCountSketch
 from ..types import FlowUpdate
 
@@ -47,6 +49,8 @@ class MonitorTimeline:
         k: how many destinations each snapshot records.
         snapshot_interval: capture a snapshot every this many updates.
         capacity: maximum retained snapshots (oldest evicted first).
+        obs: optional :class:`~repro.obs.Registry` counting captured
+            snapshots (``repro_monitor_snapshots_total``).
     """
 
     def __init__(
@@ -55,6 +59,7 @@ class MonitorTimeline:
         k: int = 10,
         snapshot_interval: int = 1000,
         capacity: int = 1024,
+        obs: Optional[Registry] = None,
     ) -> None:
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
@@ -70,6 +75,8 @@ class MonitorTimeline:
         self.capacity = capacity
         self._snapshots: Deque[Snapshot] = deque(maxlen=capacity)
         self._position = 0
+        self.obs: Registry = registry_or_null(obs)
+        self._obs_snapshots = self.obs.counter_from(MONITOR_SNAPSHOTS)
 
     # -- ingestion ---------------------------------------------------------
 
@@ -96,6 +103,7 @@ class MonitorTimeline:
             estimates=self.sketch.track_topk(self.k).as_dict(),
         )
         self._snapshots.append(snapshot)
+        self._obs_snapshots.inc()
         return snapshot
 
     # -- retrospective queries ------------------------------------------------

@@ -1,0 +1,73 @@
+"""Runtime observability: instruments, registries, and exporters.
+
+The paper is about *continuous, real-time* tracking (§5); this package
+is how you see the tracker working.  It is a dependency-free metrics
+layer in the Prometheus mould:
+
+* :class:`Counter` / :class:`Gauge` / :class:`Histogram` — integer-only
+  instruments (histograms use integer bucket bounds, so the whole layer
+  respects the RL002 exact-arithmetic invariant);
+* :class:`Registry` — a named, get-or-create instrument namespace with
+  deterministic snapshot export;
+* :data:`NULL_REGISTRY` — the no-op default behind every ``obs=None``
+  constructor hook: uninstrumented runs pay one empty method call per
+  would-be recording and nothing is retained;
+* :func:`render_json` / :func:`render_prometheus` — snapshot exporters
+  (see :mod:`repro.obs.export`).
+
+Instrumented components (``DistinctCountSketch``,
+``TrackingDistinctCountSketch``, ``ShardedSketch``, ``DDoSMonitor``,
+the transport channels, and the monitor companions) accept an
+``obs=Registry(...)`` keyword; pass one shared registry to get a single
+exportable picture of the whole pipeline.  The instrument catalogue
+lives in :mod:`repro.obs.catalog` and is documented, name by name, in
+``docs/observability.md``.
+
+Example:
+    >>> from repro.obs import Registry
+    >>> from repro.types import AddressDomain
+    >>> from repro.sketch import TrackingDistinctCountSketch
+    >>> registry = Registry()
+    >>> sketch = TrackingDistinctCountSketch(
+    ...     AddressDomain(2 ** 16), seed=7, obs=registry)
+    >>> for source in range(40):
+    ...     sketch.insert(source, dest=9)
+    >>> registry.get("repro_sketch_updates_total").value
+    40
+    >>> _ = sketch.track_topk(1)
+    >>> registry.get("repro_sketch_queries_total").value
+    1
+"""
+
+from .catalog import CATALOG, MetricSpec
+from .export import render_json, render_prometheus
+from .instruments import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+)
+from .registry import NULL_REGISTRY, NullRegistry, Registry, registry_or_null
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "MetricSpec",
+    "NULL_REGISTRY",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+    "NullRegistry",
+    "Registry",
+    "registry_or_null",
+    "render_json",
+    "render_prometheus",
+]

@@ -1,0 +1,276 @@
+"""The instrument catalogue: every metric the library can emit.
+
+One :class:`MetricSpec` per metric, each mapping back to the paper
+quantity it observes (``paper_ref``).  Library code never registers
+ad-hoc metric names — components create instruments via
+``registry.counter_from(SPEC)`` etc., so this module is the single
+source of truth that ``tools/check_obs_docs.py`` checks
+``docs/observability.md`` against in CI.
+
+Naming follows the Prometheus conventions: ``repro_`` namespace,
+``_total`` suffix on counters, base units implied by the name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric.
+
+    Attributes:
+        name: exported metric name (``repro_*``).
+        kind: ``counter``, ``gauge``, or ``histogram``.
+        help: one-line description, exported verbatim.
+        labels: label names, if the metric is a family.
+        buckets: histogram bucket upper bounds (histograms only).
+        paper_ref: the paper quantity/section this metric observes.
+    """
+
+    name: str
+    kind: str
+    help: str
+    labels: Tuple[str, ...] = ()
+    buckets: Optional[Tuple[int, ...]] = None
+    paper_ref: str = ""
+
+
+# -- sketch core (repro.sketch.dcs) -----------------------------------------
+
+SKETCH_UPDATES = MetricSpec(
+    name="repro_sketch_updates_total",
+    kind="counter",
+    help="Flow updates applied to the sketch, by operation.",
+    labels=("op",),
+    paper_ref="§3 maintenance; the stream length n",
+)
+
+SKETCH_QUERIES = MetricSpec(
+    name="repro_sketch_queries_total",
+    kind="counter",
+    help="Estimation queries answered, by query kind.",
+    labels=("kind",),
+    paper_ref="§4 BaseTopk / §5 TrackTopk invocations",
+)
+
+SKETCH_SINGLETONS_RECOVERED = MetricSpec(
+    name="repro_sketch_singletons_recovered_total",
+    kind="counter",
+    help="Singleton buckets decoded during distinct-sample scans, "
+         "by first-level bucket.",
+    labels=("level",),
+    paper_ref="§4 Fig. 4 ReturnSingleton successes at level b",
+)
+
+SKETCH_SIGNATURE_COLLISIONS = MetricSpec(
+    name="repro_sketch_signature_collisions_total",
+    kind="counter",
+    help="Occupied buckets that failed singleton decoding (>= 2 pairs "
+         "hashed together), by first-level bucket.",
+    labels=("level",),
+    paper_ref="§4 Lemma 4.1: collision mass outside the u_b <= s/2 regime",
+)
+
+SKETCH_QUERY_SAMPLE_SIZE = MetricSpec(
+    name="repro_sketch_query_sample_size",
+    kind="histogram",
+    help="Distinct-sample size |D| at each sample-building query.",
+    buckets=(8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+    paper_ref="§4 Fig. 3 sample vs target (1+eps)*s*factor",
+)
+
+SKETCH_MERGES = MetricSpec(
+    name="repro_sketch_merges_total",
+    kind="counter",
+    help="Sketch-merge operations (per-router synopsis folding).",
+    paper_ref="§3 linearity; Fig. 1 multiple update streams",
+)
+
+SKETCH_OCCUPIED_BUCKETS = MetricSpec(
+    name="repro_sketch_occupied_buckets",
+    kind="gauge",
+    help="Second-level buckets currently holding state (pull gauge; "
+         "sums across sketches sharing the registry).",
+    paper_ref="Fig. 2 structure occupancy; §6.1 space accounting",
+)
+
+SKETCH_ACTIVE_LEVELS = MetricSpec(
+    name="repro_sketch_active_levels",
+    kind="gauge",
+    help="First-level buckets currently non-empty (pull gauge).",
+    paper_ref="§6.1 'approximately 23 non-empty buckets' at U = 8e6",
+)
+
+# -- tracking state (repro.sketch.tracking) ----------------------------------
+
+TRACKING_SINGLETON_EVENTS = MetricSpec(
+    name="repro_tracking_singleton_events_total",
+    kind="counter",
+    help="Distinct pairs entering/leaving a level's tracked sample.",
+    labels=("event",),
+    paper_ref="§5 Fig. 6 steps 8-12 (remove) and 18-22 (add)",
+)
+
+TRACKING_HEAP_OPS = MetricSpec(
+    name="repro_tracking_heap_ops_total",
+    kind="counter",
+    help="topDestHeap adjustments across levels b..0 (heap churn).",
+    labels=("op",),
+    paper_ref="§5 Fig. 6 heap adjustments; the O(r log^2 m) term",
+)
+
+TRACKING_SAMPLE_PAIRS = MetricSpec(
+    name="repro_tracking_sample_pairs",
+    kind="gauge",
+    help="Total tracked distinct sample size, summed over levels "
+         "(pull gauge).",
+    paper_ref="§5 Fig. 5: sum_b numSingletons(b)",
+)
+
+# -- sharded ingestion (repro.sketch.sharded) --------------------------------
+
+SHARDED_UPDATES = MetricSpec(
+    name="repro_sharded_updates_total",
+    kind="counter",
+    help="Updates routed to each shard (load-balance view).",
+    labels=("shard",),
+    paper_ref="§2 backbone volumes; partition validity from §3 linearity",
+)
+
+SHARDED_MERGES = MetricSpec(
+    name="repro_sharded_merges_total",
+    kind="counter",
+    help="Shard sketches folded into a combined global view.",
+    paper_ref="§3 linearity: merged answer == single-sketch answer",
+)
+
+SHARDED_SHARDS = MetricSpec(
+    name="repro_sharded_shards",
+    kind="gauge",
+    help="Configured number of shard partitions.",
+    paper_ref="Fig. 1 deployment: per-router/worker synopses",
+)
+
+# -- monitor (repro.monitor) --------------------------------------------------
+
+MONITOR_UPDATES = MetricSpec(
+    name="repro_monitor_updates_total",
+    kind="counter",
+    help="Flow updates observed by the monitor facade.",
+    paper_ref="Fig. 1 MONITOR ingest",
+)
+
+MONITOR_CHECKS = MetricSpec(
+    name="repro_monitor_checks_total",
+    kind="counter",
+    help="Detection passes (tracking query + baseline scoring).",
+    paper_ref="§5 continuous queries every check_interval updates",
+)
+
+MONITOR_ALARMS = MetricSpec(
+    name="repro_monitor_alarms_total",
+    kind="counter",
+    help="Accepted (de-duplicated) alarms, by severity.",
+    labels=("severity",),
+    paper_ref="§2 alarms against baseline profiles",
+)
+
+MONITOR_CHECK_ALARMS = MetricSpec(
+    name="repro_monitor_check_alarms",
+    kind="histogram",
+    help="Alarms accepted per detection pass.",
+    buckets=(1, 2, 4, 8, 16),
+    paper_ref="§2: attack breadth per poll (0 in quiet periods)",
+)
+
+MONITOR_EPOCH_ROTATIONS = MetricSpec(
+    name="repro_monitor_epoch_rotations_total",
+    kind="counter",
+    help="Epoch sketches opened by the sliding-window rotator "
+         "(including the initial epoch).",
+    paper_ref="bounded-age tracked state (deployment engineering of §2)",
+)
+
+MONITOR_EPOCH_LIVE_SKETCHES = MetricSpec(
+    name="repro_monitor_epoch_live_sketches",
+    kind="gauge",
+    help="Concurrent live epoch sketches (pull gauge).",
+    paper_ref="window_epochs concurrent synopses, each §5-sized",
+)
+
+MONITOR_THRESHOLD_CROSSINGS = MetricSpec(
+    name="repro_monitor_threshold_crossings_total",
+    kind="counter",
+    help="Destinations crossing tau, by direction.",
+    labels=("direction",),
+    paper_ref="§2 footnote 3: track all v with f_v >= tau",
+)
+
+MONITOR_SNAPSHOTS = MetricSpec(
+    name="repro_monitor_snapshots_total",
+    kind="counter",
+    help="Top-k snapshots captured by the timeline recorder.",
+    paper_ref="continuous tracking (§5) recorded for forensics",
+)
+
+# -- transport (repro.streams.transport) --------------------------------------
+
+TRANSPORT_UPDATES = MetricSpec(
+    name="repro_transport_updates_total",
+    kind="counter",
+    help="Updates leaving a transport channel, by outcome (delivered "
+         "/ dropped / duplicated); the ingest-throughput counter.",
+    labels=("outcome",),
+    paper_ref="§2 NetFlow-over-UDP feed imperfections",
+)
+
+TRANSPORT_REORDERED = MetricSpec(
+    name="repro_transport_reordered_total",
+    kind="counter",
+    help="Updates delivered out of their original stream position.",
+    paper_ref="§3 order-invariance makes reordering harmless",
+)
+
+#: Every metric the library can emit, in export (name) order.
+CATALOG: Tuple[MetricSpec, ...] = tuple(
+    sorted(
+        (
+            SKETCH_UPDATES,
+            SKETCH_QUERIES,
+            SKETCH_SINGLETONS_RECOVERED,
+            SKETCH_SIGNATURE_COLLISIONS,
+            SKETCH_QUERY_SAMPLE_SIZE,
+            SKETCH_MERGES,
+            SKETCH_OCCUPIED_BUCKETS,
+            SKETCH_ACTIVE_LEVELS,
+            TRACKING_SINGLETON_EVENTS,
+            TRACKING_HEAP_OPS,
+            TRACKING_SAMPLE_PAIRS,
+            SHARDED_UPDATES,
+            SHARDED_MERGES,
+            SHARDED_SHARDS,
+            MONITOR_UPDATES,
+            MONITOR_CHECKS,
+            MONITOR_ALARMS,
+            MONITOR_CHECK_ALARMS,
+            MONITOR_EPOCH_ROTATIONS,
+            MONITOR_EPOCH_LIVE_SKETCHES,
+            MONITOR_THRESHOLD_CROSSINGS,
+            MONITOR_SNAPSHOTS,
+            TRANSPORT_UPDATES,
+            TRANSPORT_REORDERED,
+        ),
+        key=lambda spec: spec.name,
+    )
+)
+
+
+def spec_for(name: str) -> MetricSpec:
+    """Look up a catalogue entry by metric name."""
+    for spec in CATALOG:
+        if spec.name == name:
+            return spec
+    raise KeyError(name)

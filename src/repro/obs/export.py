@@ -1,0 +1,140 @@
+"""Exporters: registry snapshots as JSON or Prometheus text.
+
+Two formats cover the two consumption patterns:
+
+* :func:`render_json` — a machine-readable snapshot for log shippers,
+  dashboards, and tests (deterministic key order, diff-friendly);
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (version 0.0.4), scrapeable as-is: ``# HELP`` / ``# TYPE`` headers,
+  one sample per line, histograms expanded into cumulative
+  ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+
+Both walk the registry at call time, so pull gauges (see
+:meth:`repro.obs.Gauge.watch`) are evaluated exactly once per export.
+
+Example:
+    >>> from repro.obs import Registry
+    >>> registry = Registry()
+    >>> registry.counter("jobs_total", "Jobs processed.").inc(2)
+    >>> print(render_prometheus(registry))
+    # HELP jobs_total Jobs processed.
+    # TYPE jobs_total counter
+    jobs_total 2
+    <BLANKLINE>
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from .instruments import Counter, Gauge, Histogram, Instrument
+from .registry import Registry
+
+
+def render_json(registry: Registry, indent: Optional[int] = 2) -> str:
+    """Serialize a registry snapshot as a JSON document.
+
+    Example:
+        >>> from repro.obs import Registry
+        >>> registry = Registry()
+        >>> registry.gauge("depth", "Queue depth.").set(3)
+        >>> print(render_json(registry, indent=None))
+        {"instruments": [{"name": "depth", "kind": "gauge", \
+"help": "Queue depth.", "labels": [], \
+"samples": [{"labels": {}, "value": 3}]}]}
+    """
+    return json.dumps(registry.snapshot(), indent=indent)
+
+
+def _escape_help(text: str) -> str:
+    """Escape a help string per the text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape one label value per the text exposition format."""
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _label_block(labels: Dict[str, str]) -> str:
+    """Render ``{name="value",...}`` (empty string when unlabelled)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _scalar_lines(instrument: Instrument) -> List[str]:
+    """Sample lines for a counter or gauge (family-aware)."""
+    lines: List[str] = []
+    if instrument.label_names:
+        for values, child in instrument.child_items():
+            labels = dict(zip(instrument.label_names, values))
+            assert isinstance(child, (Counter, Gauge))
+            lines.append(
+                f"{instrument.name}{_label_block(labels)} {child.value}"
+            )
+    else:
+        assert isinstance(instrument, (Counter, Gauge))
+        lines.append(f"{instrument.name} {instrument.value}")
+    return lines
+
+
+def _histogram_lines(
+    name: str, labels: Dict[str, str], histogram: Histogram
+) -> List[str]:
+    """The ``_bucket``/``_sum``/``_count`` expansion of one histogram."""
+    lines: List[str] = []
+    for bound, cumulative in histogram.cumulative_buckets():
+        le = "+Inf" if bound is None else str(bound)
+        bucket_labels = dict(labels)
+        bucket_labels["le"] = le
+        lines.append(
+            f"{name}_bucket{_label_block(bucket_labels)} {cumulative}"
+        )
+    lines.append(f"{name}_sum{_label_block(labels)} {histogram.sum}")
+    lines.append(f"{name}_count{_label_block(labels)} {histogram.count}")
+    return lines
+
+
+def render_prometheus(registry: Registry) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Example:
+        >>> from repro.obs import Registry
+        >>> registry = Registry()
+        >>> seen = registry.counter("seen_total", "Items.", labels=("kind",))
+        >>> seen.labels(kind="a").inc(5)
+        >>> print(render_prometheus(registry))
+        # HELP seen_total Items.
+        # TYPE seen_total counter
+        seen_total{kind="a"} 5
+        <BLANKLINE>
+    """
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        lines.append(
+            f"# HELP {instrument.name} {_escape_help(instrument.help)}"
+        )
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            if instrument.label_names:
+                for values, child in instrument.child_items():
+                    labels = dict(zip(instrument.label_names, values))
+                    assert isinstance(child, Histogram)
+                    lines.extend(
+                        _histogram_lines(instrument.name, labels, child)
+                    )
+            else:
+                lines.extend(
+                    _histogram_lines(instrument.name, {}, instrument)
+                )
+        else:
+            lines.extend(_scalar_lines(instrument))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,352 @@
+"""The three instrument kinds: Counter, Gauge, and Histogram.
+
+Design constraints, in order of importance:
+
+1. **Integer-only values.**  Every recorded value is an ``int`` — the
+   same invariant reprolint's RL002 enforces on the counter hot paths.
+   Rates and ratios are for the scraping side to derive; the library
+   never divides.  Histograms therefore use *integer* bucket bounds.
+2. **Near-zero cost when disabled.**  Each instrument has a null
+   subclass whose mutators are empty method bodies; the hot paths hold
+   direct references to instruments, so an uninstrumented run pays one
+   no-op method call where an instrumented run pays one integer add.
+3. **No clocks, no threads, no dependencies.**  Instruments never read
+   the wall clock (RL003: algorithm behaviour is a function of the
+   update stream); "throughput" is exported as monotone counters and
+   the scraper differentiates.
+
+Labelled instruments follow the Prometheus data model: an instrument
+declared with ``labels=("level",)`` is a family; :meth:`labels`
+materialises (and caches) one child per label-value combination, and
+the family's exported samples enumerate the children.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ParameterError
+
+#: Concrete label values, in the order of the instrument's label names.
+LabelValues = Tuple[str, ...]
+
+#: Default histogram bucket upper bounds: powers of two, the natural
+#: scale for sketch quantities (levels, sample sizes, counts).
+DEFAULT_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256,
+                                    512, 1024, 2048, 4096)
+
+
+def _check_label_call(
+    label_names: Tuple[str, ...], labelvalues: Dict[str, str]
+) -> LabelValues:
+    """Validate a ``labels(**kv)`` call against the declared names."""
+    if set(labelvalues) != set(label_names):
+        raise ParameterError(
+            f"labels() expects exactly {label_names}, "
+            f"got {tuple(sorted(labelvalues))}"
+        )
+    return tuple(str(labelvalues[name]) for name in label_names)
+
+
+class Instrument:
+    """Common shape of all instruments: identity plus label plumbing.
+
+    Args:
+        name: metric name (``snake_case``, ``repro_``-prefixed for
+            library metrics; see :mod:`repro.obs.catalog`).
+        help: one-line human description, exported verbatim.
+        labels: label *names*; non-empty makes this a family whose
+            children are obtained via :meth:`labels`.
+    """
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+        self._label_values: Optional[LabelValues] = None
+        self._children: Dict[LabelValues, "Instrument"] = {}
+
+    def labels(self, **labelvalues: str) -> "Instrument":
+        """The child instrument for one concrete label-value combination.
+
+        Children are cached: repeated calls with the same values return
+        the same object, so hot paths can pre-bind children once.
+        """
+        if not self.label_names:
+            raise ParameterError(
+                f"{self.name} declares no labels; call methods directly"
+            )
+        if self._label_values is not None:
+            raise ParameterError(
+                f"{self.name}: labels() on a child instrument"
+            )
+        values = _check_label_call(self.label_names, dict(labelvalues))
+        child = self._children.get(values)
+        if child is None:
+            child = type(self)(self.name, self.help)
+            child._label_values = values
+            self._children[values] = child
+        return child
+
+    def _require_leaf(self) -> None:
+        """Raise unless this instrument can record values directly."""
+        if self.label_names and self._label_values is None:
+            raise ParameterError(
+                f"{self.name} is a labelled family; record through "
+                "labels(...)"
+            )
+
+    def child_items(self) -> List[Tuple[LabelValues, "Instrument"]]:
+        """``(label_values, child)`` pairs, sorted for stable export."""
+        return sorted(self._children.items())
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"labels={self.label_names!r})"
+        )
+
+
+class Counter(Instrument):
+    """A monotonically increasing integer (e.g. updates processed)."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0
+
+    def labels(self, **labelvalues: str) -> "Counter":
+        """The child counter for one label-value combination."""
+        child = super().labels(**labelvalues)
+        assert isinstance(child, Counter)
+        return child
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (a non-negative int) to the counter."""
+        if amount < 0:
+            raise ParameterError(
+                f"{self.name}: counters only go up, got {amount}"
+            )
+        self._require_leaf()
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count; for a labelled family, the sum over children."""
+        if self.label_names and self._label_values is None:
+            return sum(
+                child._value
+                for child in self._children.values()
+                if isinstance(child, Counter)
+            )
+        return self._value
+
+
+class Gauge(Instrument):
+    """An integer that can go up and down (e.g. occupied buckets).
+
+    A gauge can also be *pull-based*: :meth:`watch` registers a
+    zero-argument callback evaluated at collection time.  Multiple
+    callbacks **sum** — so several sketches sharing one registry (e.g.
+    the shards of a :class:`~repro.sketch.sharded.ShardedSketch`)
+    aggregate naturally.  When any callback is registered, the manually
+    ``set`` value is ignored.
+    """
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0
+        self._callbacks: List[Callable[[], int]] = []
+
+    def labels(self, **labelvalues: str) -> "Gauge":
+        """The child gauge for one label-value combination."""
+        child = super().labels(**labelvalues)
+        assert isinstance(child, Gauge)
+        return child
+
+    def set(self, value: int) -> None:
+        """Set the gauge to ``value``."""
+        self._require_leaf()
+        self._value = int(value)
+
+    def inc(self, amount: int = 1) -> None:
+        """Adjust the gauge by ``amount`` (may be negative)."""
+        self._require_leaf()
+        self._value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        """Adjust the gauge by ``-amount``."""
+        self._require_leaf()
+        self._value -= amount
+
+    def watch(self, callback: Callable[[], int]) -> None:
+        """Register a pull callback; collected values are summed."""
+        self._require_leaf()
+        self._callbacks.append(callback)
+
+    @property
+    def value(self) -> int:
+        """Current value (callback sum if any callbacks are registered)."""
+        if self.label_names and self._label_values is None:
+            return sum(
+                child.value
+                for child in self._children.values()
+                if isinstance(child, Gauge)
+            )
+        if self._callbacks:
+            return sum(int(callback()) for callback in self._callbacks)
+        return self._value
+
+
+class Histogram(Instrument):
+    """A distribution of integer observations over integer buckets.
+
+    Args:
+        name, help, labels: as for every instrument.
+        buckets: strictly increasing integer upper bounds; an implicit
+            ``+Inf`` bucket catches the rest.  Integer bounds keep the
+            whole observability layer inside the RL002 integer-only
+            invariant.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[int] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(int(bound) for bound in buckets)
+        if not bounds:
+            raise ParameterError(f"{name}: histogram needs >= 1 bucket")
+        if any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ParameterError(
+                f"{name}: bucket bounds must be strictly increasing"
+            )
+        self.bucket_bounds: Tuple[int, ...] = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self._sum = 0
+        self._count = 0
+
+    def labels(self, **labelvalues: str) -> "Histogram":
+        """Child histogram with the same bucket bounds."""
+        if not self.label_names:
+            raise ParameterError(
+                f"{self.name} declares no labels; call methods directly"
+            )
+        if self._label_values is not None:
+            raise ParameterError(
+                f"{self.name}: labels() on a child instrument"
+            )
+        values = _check_label_call(self.label_names, dict(labelvalues))
+        child = self._children.get(values)
+        if child is None:
+            child = Histogram(
+                self.name, self.help, buckets=self.bucket_bounds
+            )
+            child._label_values = values
+            self._children[values] = child
+        return child
+
+    def observe(self, value: int) -> None:
+        """Record one integer observation."""
+        self._require_leaf()
+        value = int(value)
+        self._bucket_counts[
+            bisect.bisect_left(self.bucket_bounds, value)
+        ] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        return self._count
+
+    @property
+    def sum(self) -> int:
+        """Sum of all observed values."""
+        return self._sum
+
+    def cumulative_buckets(self) -> List[Tuple[Optional[int], int]]:
+        """``(upper_bound, cumulative_count)`` pairs; ``None`` = +Inf."""
+        pairs: List[Tuple[Optional[int], int]] = []
+        running = 0
+        for bound, count in zip(self.bucket_bounds, self._bucket_counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((None, self._count))
+        return pairs
+
+
+class NullCounter(Counter):
+    """A counter that ignores everything: the uninstrumented fast path."""
+
+    def __init__(self) -> None:
+        super().__init__("null", "discards all recordings")
+
+    def labels(self, **labelvalues: str) -> "Counter":
+        """Return self: null children are the null instrument."""
+        return self
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the increment."""
+
+
+class NullGauge(Gauge):
+    """A gauge that ignores everything (including watch callbacks)."""
+
+    def __init__(self) -> None:
+        super().__init__("null", "discards all recordings")
+
+    def labels(self, **labelvalues: str) -> "Gauge":
+        """Return self: null children are the null instrument."""
+        return self
+
+    def set(self, value: int) -> None:
+        """Discard the value."""
+
+    def inc(self, amount: int = 1) -> None:
+        """Discard the adjustment."""
+
+    def dec(self, amount: int = 1) -> None:
+        """Discard the adjustment."""
+
+    def watch(self, callback: Callable[[], int]) -> None:
+        """Discard the callback (keeps no reference: no leaks)."""
+
+
+class NullHistogram(Histogram):
+    """A histogram that ignores everything."""
+
+    def __init__(self) -> None:
+        super().__init__("null", "discards all recordings", buckets=(1,))
+
+    def labels(self, **labelvalues: str) -> "Histogram":
+        """Return self: null children are the null instrument."""
+        return self
+
+    def observe(self, value: int) -> None:
+        """Discard the observation."""
+
+
+#: Shared singletons handed out by the null registry.  Stateless by
+#: construction (every mutator is a no-op), so sharing is safe.
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()

@@ -1,0 +1,285 @@
+"""Instrument registries: the real one and the no-op default.
+
+A :class:`Registry` is a flat namespace of named instruments.  Creation
+is *get-or-create*: two components asking for the same metric name
+receive the same instrument, so counters from several sketches sharing
+one registry aggregate exactly like several processes behind one
+Prometheus job.  Kind or label mismatches on an existing name raise —
+a silent re-registration would corrupt the exported series.
+
+:class:`NullRegistry` is the library-wide default (every ``obs=None``
+constructor hook resolves to :data:`NULL_REGISTRY`): its factory
+methods hand back shared no-op instruments, it records nothing, keeps
+no references (watch callbacks are dropped, so short-lived sketches
+cannot leak), and exports empty snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..exceptions import ParameterError
+from .catalog import MetricSpec
+from .instruments import (
+    DEFAULT_BUCKETS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+)
+
+#: One JSON-able sample: labels plus value (or histogram fields).
+SampleDict = Dict[str, object]
+
+
+class Registry:
+    """A named collection of instruments with snapshot export.
+
+    Example:
+        >>> registry = Registry()
+        >>> hits = registry.counter("hits_total", "Requests served.")
+        >>> hits.inc(2)
+        >>> registry.get("hits_total").value
+        2
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    # -- factories (get-or-create) ------------------------------------------
+
+    def counter(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create the counter ``name``."""
+        instrument = self._get_or_create(Counter, name, help, labels)
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create the gauge ``name``."""
+        instrument = self._get_or_create(Gauge, name, help, labels)
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[int] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``."""
+        existing = self._instruments.get(name)
+        if existing is not None:
+            self._check_match(existing, Histogram, name, labels)
+            assert isinstance(existing, Histogram)
+            if existing.bucket_bounds != tuple(int(b) for b in buckets):
+                raise ParameterError(
+                    f"{name}: histogram re-registered with different "
+                    "buckets"
+                )
+            return existing
+        histogram = Histogram(name, help, labels=labels, buckets=buckets)
+        self._instruments[name] = histogram
+        return histogram
+
+    def from_spec(self, spec: MetricSpec) -> Instrument:
+        """Get or create the instrument described by a catalogue spec.
+
+        Library code never registers ad-hoc names: every instrument
+        inside ``src/repro`` is declared in :mod:`repro.obs.catalog`
+        and created through this method, which is what keeps the
+        docs-consistency check (``tools/check_obs_docs.py``) sound.
+        """
+        if spec.kind == "counter":
+            return self.counter(spec.name, spec.help, labels=spec.labels)
+        if spec.kind == "gauge":
+            return self.gauge(spec.name, spec.help, labels=spec.labels)
+        if spec.kind == "histogram":
+            return self.histogram(
+                spec.name,
+                spec.help,
+                labels=spec.labels,
+                buckets=spec.buckets or DEFAULT_BUCKETS,
+            )
+        raise ParameterError(f"unknown instrument kind {spec.kind!r}")
+
+    def counter_from(self, spec: MetricSpec) -> Counter:
+        """:meth:`from_spec` narrowed to counters (typing convenience)."""
+        instrument = self.from_spec(spec)
+        if not isinstance(instrument, Counter):
+            raise ParameterError(f"{spec.name} is not a counter")
+        return instrument
+
+    def gauge_from(self, spec: MetricSpec) -> Gauge:
+        """:meth:`from_spec` narrowed to gauges."""
+        instrument = self.from_spec(spec)
+        if not isinstance(instrument, Gauge):
+            raise ParameterError(f"{spec.name} is not a gauge")
+        return instrument
+
+    def histogram_from(self, spec: MetricSpec) -> Histogram:
+        """:meth:`from_spec` narrowed to histograms."""
+        instrument = self.from_spec(spec)
+        if not isinstance(instrument, Histogram):
+            raise ParameterError(f"{spec.name} is not a histogram")
+        return instrument
+
+    def _get_or_create(
+        self,
+        cls: Type[Instrument],
+        name: str,
+        help: str,
+        labels: Sequence[str],
+    ) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            self._check_match(existing, cls, name, labels)
+            return existing
+        if cls is Counter:
+            instrument: Instrument = Counter(name, help, labels=labels)
+        else:
+            instrument = Gauge(name, help, labels=labels)
+        self._instruments[name] = instrument
+        return instrument
+
+    @staticmethod
+    def _check_match(
+        existing: Instrument,
+        cls: Type[Instrument],
+        name: str,
+        labels: Sequence[str],
+    ) -> None:
+        if not isinstance(existing, cls):
+            raise ParameterError(
+                f"{name} already registered as a {existing.kind}"
+            )
+        if existing.label_names != tuple(labels):
+            raise ParameterError(
+                f"{name} already registered with labels "
+                f"{existing.label_names}, got {tuple(labels)}"
+            )
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, name: str) -> Optional[Instrument]:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def instruments(self) -> List[Instrument]:
+        """All registered instruments, sorted by name."""
+        return [self._instruments[name] for name in self.names()]
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    # -- snapshot export ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-able snapshot of every instrument.
+
+        Shape: ``{"instruments": [{"name", "kind", "help", "labels",
+        "samples": [...]}, ...]}`` with deterministic ordering (names
+        and label values sorted), so snapshots diff cleanly.
+        """
+        out: List[Dict[str, object]] = []
+        for instrument in self.instruments():
+            out.append(
+                {
+                    "name": instrument.name,
+                    "kind": instrument.kind,
+                    "help": instrument.help,
+                    "labels": list(instrument.label_names),
+                    "samples": _samples(instrument),
+                }
+            )
+        return {"instruments": out}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(instruments={len(self)})"
+
+
+def _leaves(
+    instrument: Instrument,
+) -> List[Tuple[Dict[str, str], Instrument]]:
+    """``(labels_dict, leaf_instrument)`` pairs for export."""
+    if not instrument.label_names:
+        return [({}, instrument)]
+    return [
+        (dict(zip(instrument.label_names, values)), child)
+        for values, child in instrument.child_items()
+    ]
+
+
+def _samples(instrument: Instrument) -> List[SampleDict]:
+    """Exportable samples of one instrument (family-aware)."""
+    samples: List[SampleDict] = []
+    for labels, leaf in _leaves(instrument):
+        if isinstance(leaf, Histogram):
+            samples.append(
+                {
+                    "labels": labels,
+                    "count": leaf.count,
+                    "sum": leaf.sum,
+                    "buckets": [
+                        ["+Inf" if bound is None else bound, cumulative]
+                        for bound, cumulative in leaf.cumulative_buckets()
+                    ],
+                }
+            )
+        elif isinstance(leaf, (Counter, Gauge)):
+            samples.append({"labels": labels, "value": leaf.value})
+    return samples
+
+
+class NullRegistry(Registry):
+    """The no-op registry: every factory returns a shared null instrument.
+
+    Nothing is ever registered, recorded, or referenced, so the
+    uninstrumented hot path pays exactly one empty method call per
+    would-be recording and snapshots are always empty.
+    """
+
+    def counter(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        """Return the shared no-op counter."""
+        return NULL_COUNTER
+
+    def gauge(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Gauge:
+        """Return the shared no-op gauge."""
+        return NULL_GAUGE
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[int] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Return the shared no-op histogram."""
+        return NULL_HISTOGRAM
+
+
+#: The process-wide default for every ``obs=None`` constructor hook.
+NULL_REGISTRY = NullRegistry()
+
+
+def registry_or_null(obs: Optional[Registry]) -> Registry:
+    """Resolve a constructor's ``obs`` argument to a usable registry."""
+    return obs if obs is not None else NULL_REGISTRY

@@ -31,6 +31,17 @@ from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
 from ..exceptions import MergeError, ParameterError
 from ..hashing import CarterWegmanHash, GeometricLevelHash, derive_seed
+from ..obs.catalog import (
+    SKETCH_ACTIVE_LEVELS,
+    SKETCH_MERGES,
+    SKETCH_OCCUPIED_BUCKETS,
+    SKETCH_QUERIES,
+    SKETCH_QUERY_SAMPLE_SIZE,
+    SKETCH_SIGNATURE_COLLISIONS,
+    SKETCH_SINGLETONS_RECOVERED,
+    SKETCH_UPDATES,
+)
+from ..obs.registry import Registry, registry_or_null
 from ..types import AddressDomain, FlowUpdate
 from .estimate import TopKResult, build_result
 from .params import SketchParams
@@ -52,6 +63,10 @@ class DistinctCountSketch:
         seed: root seed; all hash functions derive from it, so two
             sketches with equal params and seed are structurally
             identical (and therefore mergeable).
+        obs: optional :class:`~repro.obs.Registry` for runtime metrics
+            (see ``docs/observability.md``).  ``None`` (the default)
+            resolves to the no-op null registry, so uninstrumented
+            sketches pay one empty method call per update.
 
     Example:
         >>> from repro.types import AddressDomain
@@ -70,6 +85,7 @@ class DistinctCountSketch:
         r: int = 3,
         s: int = 128,
         seed: int = 0,
+        obs: Optional[Registry] = None,
     ) -> None:
         if isinstance(params, AddressDomain):
             params = SketchParams(domain=params, r=r, s=s)
@@ -94,6 +110,27 @@ class DistinctCountSketch:
         self.updates_processed = 0
         #: Net sum of deltas across all updates.
         self.net_total = 0
+        #: Observability registry (the null registry when ``obs=None``).
+        self.obs: Registry = registry_or_null(obs)
+        updates = self.obs.counter_from(SKETCH_UPDATES)
+        # Pre-bound children: the hot path must not pay a labels() call.
+        self._obs_inserts = updates.labels(op="insert")
+        self._obs_deletes = updates.labels(op="delete")
+        self._obs_queries = self.obs.counter_from(SKETCH_QUERIES)
+        self._obs_singletons = self.obs.counter_from(
+            SKETCH_SINGLETONS_RECOVERED
+        )
+        self._obs_collisions = self.obs.counter_from(
+            SKETCH_SIGNATURE_COLLISIONS
+        )
+        self._obs_sample_size = self.obs.histogram_from(
+            SKETCH_QUERY_SAMPLE_SIZE
+        )
+        self._obs_merges = self.obs.counter_from(SKETCH_MERGES)
+        self.obs.gauge_from(SKETCH_OCCUPIED_BUCKETS).watch(
+            self.occupied_buckets
+        )
+        self.obs.gauge_from(SKETCH_ACTIVE_LEVELS).watch(self.active_levels)
 
     # -- maintenance (Section 3) --------------------------------------------
 
@@ -145,6 +182,10 @@ class DistinctCountSketch:
                 del table[bucket]
         self.updates_processed += 1
         self.net_total += delta
+        if delta > 0:
+            self._obs_inserts.inc()
+        else:
+            self._obs_deletes.inc()
 
     # -- structural accessors -----------------------------------------------
 
@@ -180,11 +221,21 @@ class DistinctCountSketch:
         singleton in several tables) collapse in the returned set.
         """
         sample: Set[int] = set()
+        recovered = 0
+        collisions = 0
         for table in self._tables[level]:
             for signature in table.values():
                 pair = signature.recover_singleton()
                 if pair is not None:
                     sample.add(pair)
+                    recovered += 1
+                else:
+                    collisions += 1
+        # One aggregated inc per scan keeps instrumented scans cheap.
+        if recovered:
+            self._obs_singletons.labels(level=str(level)).inc(recovered)
+        if collisions:
+            self._obs_collisions.labels(level=str(level)).inc(collisions)
         return sample
 
     def active_levels(self) -> int:
@@ -220,6 +271,7 @@ class DistinctCountSketch:
             stop_level = level
             if len(sample) >= target:
                 break
+        self._obs_sample_size.observe(len(sample))
         return sample, stop_level, target
 
     def sample_destination_frequencies(
@@ -245,6 +297,7 @@ class DistinctCountSketch:
         """
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
+        self._obs_queries.labels(kind="base_topk").inc()
         sample, stop_level, target = self.collect_distinct_sample(epsilon)
         frequencies = self.sample_destination_frequencies(sample)
         ranked = sorted(
@@ -268,6 +321,7 @@ class DistinctCountSketch:
         """
         if tau < 1:
             raise ParameterError(f"tau must be >= 1, got {tau}")
+        self._obs_queries.labels(kind="threshold").inc()
         sample, stop_level, target = self.collect_distinct_sample(epsilon)
         frequencies = self.sample_destination_frequencies(sample)
         scale = 1 << stop_level
@@ -293,6 +347,7 @@ class DistinctCountSketch:
 
         Uses the same distinct sample: ``U_hat = |sample| * 2^b``.
         """
+        self._obs_queries.labels(kind="distinct_pairs").inc()
         sample, stop_level, _ = self.collect_distinct_sample(epsilon)
         return len(sample) << stop_level
 
@@ -326,9 +381,15 @@ class DistinctCountSketch:
                             del mine[bucket]
         self.updates_processed += other.updates_processed
         self.net_total += other.net_total
+        self._obs_merges.inc()
 
     def copy(self) -> "DistinctCountSketch":
-        """Return a deep, independent copy of this sketch."""
+        """Return a deep, independent copy of this sketch.
+
+        The copy is *not* attached to the original's observability
+        registry (it would double every pull gauge); instrument a copy
+        explicitly if needed.
+        """
         clone = DistinctCountSketch(self.params, seed=self.seed)
         for level in range(self.params.num_levels):
             for j in range(self.params.r):

@@ -21,10 +21,12 @@ deployment) with two partition policies:
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional
 
 from ..exceptions import ParameterError
 from ..hashing import TabulationHash, derive_seed
+from ..obs.catalog import SHARDED_MERGES, SHARDED_SHARDS, SHARDED_UPDATES
+from ..obs.registry import Registry, registry_or_null
 from ..types import AddressDomain, FlowUpdate
 from .estimate import TopKResult
 from .params import SketchParams
@@ -40,6 +42,10 @@ class ShardedSketch:
         policy: ``"round-robin"`` or ``"by-destination"``.
         seed: sketch seed — identical across shards so they merge.
         r, s: sketch shape.
+        obs: optional :class:`~repro.obs.Registry`, shared with every
+            shard sketch — per-sketch counters therefore aggregate
+            across shards, and ``repro_sharded_updates_total{shard=i}``
+            gives the per-shard load-balance breakdown.
     """
 
     def __init__(
@@ -50,6 +56,7 @@ class ShardedSketch:
         seed: int = 0,
         r: int = 3,
         s: int = 128,
+        obs: Optional[Registry] = None,
     ) -> None:
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards}")
@@ -62,14 +69,23 @@ class ShardedSketch:
         self.policy = policy
         self.seed = seed
         self.params = SketchParams(domain, r=r, s=s)
+        #: Observability registry (the null registry when ``obs=None``).
+        self.obs: Registry = registry_or_null(obs)
         self._shards: List[TrackingDistinctCountSketch] = [
-            TrackingDistinctCountSketch(self.params, seed=seed)
+            TrackingDistinctCountSketch(self.params, seed=seed, obs=obs)
             for _ in range(shards)
         ]
         self._route = TabulationHash(
             range_size=shards, seed=derive_seed(seed, "shard-route")
         )
         self._cursor = 0
+        shard_updates = self.obs.counter_from(SHARDED_UPDATES)
+        self._obs_shard_updates = [
+            shard_updates.labels(shard=str(index))
+            for index in range(shards)
+        ]
+        self._obs_merges = self.obs.counter_from(SHARDED_MERGES)
+        self.obs.gauge_from(SHARDED_SHARDS).set(shards)
 
     @property
     def num_shards(self) -> int:
@@ -86,7 +102,9 @@ class ShardedSketch:
 
     def process(self, update: FlowUpdate) -> None:
         """Route one update to its shard."""
-        self._shards[self.shard_for(update)].process(update)
+        index = self.shard_for(update)
+        self._shards[index].process(update)
+        self._obs_shard_updates[index].inc()
 
     def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
         """Route a whole stream; returns the update count."""
@@ -100,11 +118,14 @@ class ShardedSketch:
         """Merge all shards into one sketch (the global view).
 
         The result is bit-identical to a single sketch that processed
-        the whole stream — the linearity guarantee.
+        the whole stream — the linearity guarantee.  The merged sketch
+        is deliberately *not* attached to the shared registry (it is
+        ephemeral and would double every pull gauge).
         """
         merged = TrackingDistinctCountSketch(self.params, seed=self.seed)
         for shard in self._shards:
             merged.merge(shard)
+        self._obs_merges.inc(len(self._shards))
         return merged
 
     def track_topk(self, k: int) -> TopKResult:

@@ -32,6 +32,12 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..exceptions import ParameterError
+from ..obs.catalog import (
+    TRACKING_HEAP_OPS,
+    TRACKING_SAMPLE_PAIRS,
+    TRACKING_SINGLETON_EVENTS,
+)
+from ..obs.registry import Registry
 from ..types import AddressDomain
 from .dcs import DEFAULT_EPSILON, DistinctCountSketch
 from .estimate import TopKResult, build_result
@@ -116,8 +122,9 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         r: int = 3,
         s: int = 128,
         seed: int = 0,
+        obs: Optional[Registry] = None,
     ) -> None:
-        super().__init__(params, r=r, s=s, seed=seed)
+        super().__init__(params, r=r, s=s, seed=seed, obs=obs)
         levels = self.params.num_levels
         #: singletons(b) for every first-level bucket b.
         self._singletons: List[SingletonSet] = [
@@ -129,6 +136,16 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         self._dest_heaps: List[IndexedMaxHeap[int]] = [
             IndexedMaxHeap() for _ in range(levels)
         ]
+        # Tracking instruments; rebuilds (merge/copy) count as events too.
+        events = self.obs.counter_from(TRACKING_SINGLETON_EVENTS)
+        self._obs_sample_add = events.labels(event="add")
+        self._obs_sample_remove = events.labels(event="remove")
+        heap_ops = self.obs.counter_from(TRACKING_HEAP_OPS)
+        self._obs_heap_add = heap_ops.labels(op="add")
+        self._obs_heap_remove = heap_ops.labels(op="remove")
+        self.obs.gauge_from(TRACKING_SAMPLE_PAIRS).watch(
+            lambda: sum(self._num_singletons)
+        )
 
     # -- maintenance (Figure 6) ------------------------------------------------
 
@@ -162,6 +179,10 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
                 self._add_singleton_occurrence(level, after)
         self.updates_processed += 1
         self.net_total += delta
+        if delta > 0:
+            self._obs_inserts.inc()
+        else:
+            self._obs_deletes.inc()
 
     def _add_singleton_occurrence(self, level: int, pair: int) -> None:
         """A bucket at ``level`` became a singleton holding ``pair``."""
@@ -171,6 +192,8 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
             dest = self.domain.decode_pair(pair)[1]
             for l in range(level, -1, -1):
                 self._dest_heaps[l].add_to(dest, 1, remove_at_zero=True)
+            self._obs_sample_add.inc()
+            self._obs_heap_add.inc(level + 1)
 
     def _remove_singleton_occurrence(self, level: int, pair: int) -> None:
         """A bucket at ``level`` stopped being a singleton of ``pair``."""
@@ -180,6 +203,8 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
             dest = self.domain.decode_pair(pair)[1]
             for l in range(level, -1, -1):
                 self._dest_heaps[l].add_to(dest, -1, remove_at_zero=True)
+            self._obs_sample_remove.inc()
+            self._obs_heap_remove.inc(level + 1)
 
     # -- tracked-state accessors -------------------------------------------------
 
@@ -209,6 +234,7 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         """
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
+        self._obs_queries.labels(kind="track_topk").inc()
         target = self.params.sample_target(epsilon)
         sample_size = 0
         stop_level = 0
@@ -217,6 +243,7 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
             stop_level = level
             if sample_size >= target:
                 break
+        self._obs_sample_size.observe(sample_size)
         ranked = [
             (dest, freq)
             for dest, freq in self._dest_heaps[stop_level].top_k(k)
@@ -240,6 +267,7 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         """
         if tau < 1:
             raise ParameterError(f"tau must be >= 1, got {tau}")
+        self._obs_queries.labels(kind="track_threshold").inc()
         target = self.params.sample_target(epsilon)
         sample_size = 0
         stop_level = 0
@@ -248,6 +276,7 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
             stop_level = level
             if sample_size >= target:
                 break
+        self._obs_sample_size.observe(sample_size)
         scale = 1 << stop_level
         heap = self._dest_heaps[stop_level]
         popped: List[Tuple[int, int]] = []

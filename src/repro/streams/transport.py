@@ -21,17 +21,29 @@ demonstrates the combination.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from ..exceptions import ParameterError
 from ..hashing import derive_seed
+from ..obs.catalog import TRANSPORT_REORDERED, TRANSPORT_UPDATES
+from ..obs.registry import Registry, registry_or_null
 from ..types import FlowUpdate
 
 
 class LossyChannel:
-    """Drops each update independently with probability ``loss_rate``."""
+    """Drops each update independently with probability ``loss_rate``.
 
-    def __init__(self, loss_rate: float, seed: int = 0) -> None:
+    With an ``obs`` registry attached, delivered and dropped updates
+    export under ``repro_transport_updates_total{outcome=...}`` — the
+    ingest-throughput counters a scraper differentiates into a rate.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float,
+        seed: int = 0,
+        obs: Optional[Registry] = None,
+    ) -> None:
         if not 0.0 <= loss_rate < 1.0:
             raise ParameterError(
                 f"loss_rate must be in [0, 1), got {loss_rate}"
@@ -40,6 +52,10 @@ class LossyChannel:
         self.seed = seed
         #: Updates dropped by the most recent transmission.
         self.dropped = 0
+        self.obs: Registry = registry_or_null(obs)
+        updates = self.obs.counter_from(TRANSPORT_UPDATES)
+        self._obs_delivered = updates.labels(outcome="delivered")
+        self._obs_dropped = updates.labels(outcome="dropped")
 
     def transmit(
         self, updates: Iterable[FlowUpdate]
@@ -50,7 +66,9 @@ class LossyChannel:
         for update in updates:
             if rng.random() < self.loss_rate:
                 self.dropped += 1
+                self._obs_dropped.inc()
                 continue
+            self._obs_delivered.inc()
             yield update
 
 
@@ -62,7 +80,12 @@ class DuplicatingChannel:
     rate ``duplicate_rate ** 2`` and so on.
     """
 
-    def __init__(self, duplicate_rate: float, seed: int = 0) -> None:
+    def __init__(
+        self,
+        duplicate_rate: float,
+        seed: int = 0,
+        obs: Optional[Registry] = None,
+    ) -> None:
         if not 0.0 <= duplicate_rate < 1.0:
             raise ParameterError(
                 f"duplicate_rate must be in [0, 1), got {duplicate_rate}"
@@ -71,6 +94,10 @@ class DuplicatingChannel:
         self.seed = seed
         #: Extra copies injected by the most recent transmission.
         self.duplicated = 0
+        self.obs: Registry = registry_or_null(obs)
+        updates = self.obs.counter_from(TRANSPORT_UPDATES)
+        self._obs_delivered = updates.labels(outcome="delivered")
+        self._obs_duplicated = updates.labels(outcome="duplicated")
 
     def transmit(
         self, updates: Iterable[FlowUpdate]
@@ -79,9 +106,12 @@ class DuplicatingChannel:
         rng = random.Random(derive_seed(self.seed, "duplicating-channel"))
         self.duplicated = 0
         for update in updates:
+            self._obs_delivered.inc()
             yield update
             while rng.random() < self.duplicate_rate:
                 self.duplicated += 1
+                self._obs_duplicated.inc()
+                self._obs_delivered.inc()
                 yield update
 
 
@@ -93,11 +123,19 @@ class ReorderingChannel:
     jitter without unbounded displacement.
     """
 
-    def __init__(self, window: int, seed: int = 0) -> None:
+    def __init__(
+        self, window: int, seed: int = 0, obs: Optional[Registry] = None
+    ) -> None:
         if window < 0:
             raise ParameterError(f"window must be >= 0, got {window}")
         self.window = window
         self.seed = seed
+        #: Updates delivered out of position by the last transmission.
+        self.displaced = 0
+        self.obs: Registry = registry_or_null(obs)
+        updates = self.obs.counter_from(TRANSPORT_UPDATES)
+        self._obs_delivered = updates.labels(outcome="delivered")
+        self._obs_reordered = self.obs.counter_from(TRANSPORT_REORDERED)
 
     def transmit(
         self, updates: Sequence[FlowUpdate]
@@ -109,6 +147,13 @@ class ReorderingChannel:
             for index, update in enumerate(updates)
         ]
         keyed.sort(key=lambda item: (item[0], item[1]))
+        self.displaced = sum(
+            1
+            for position, (_, index, _) in enumerate(keyed)
+            if index != position
+        )
+        self._obs_delivered.inc(len(keyed))
+        self._obs_reordered.inc(self.displaced)
         return [update for _, _, update in keyed]
 
 
@@ -120,6 +165,10 @@ class Channel:
         duplicate_rate: per-update duplication probability.
         reorder_window: maximum displacement in delivery order.
         seed: shared seed (each stage derives its own).
+        obs: optional :class:`~repro.obs.Registry`.  The composite
+            counts each update exactly once per outcome (the inner
+            stages are constructed uninstrumented, so chaining does not
+            triple-count ``outcome="delivered"``).
     """
 
     def __init__(
@@ -128,6 +177,7 @@ class Channel:
         duplicate_rate: float = 0.0,
         reorder_window: int = 0,
         seed: int = 0,
+        obs: Optional[Registry] = None,
     ) -> None:
         self.lossy = LossyChannel(loss_rate, seed=derive_seed(seed, "loss"))
         self.duplicating = DuplicatingChannel(
@@ -136,6 +186,12 @@ class Channel:
         self.reordering = ReorderingChannel(
             reorder_window, seed=derive_seed(seed, "reorder")
         )
+        self.obs: Registry = registry_or_null(obs)
+        updates = self.obs.counter_from(TRANSPORT_UPDATES)
+        self._obs_delivered = updates.labels(outcome="delivered")
+        self._obs_dropped = updates.labels(outcome="dropped")
+        self._obs_duplicated = updates.labels(outcome="duplicated")
+        self._obs_reordered = self.obs.counter_from(TRANSPORT_REORDERED)
 
     def transmit(
         self, updates: Sequence[FlowUpdate]
@@ -143,7 +199,12 @@ class Channel:
         """Apply duplication, then loss, then reordering."""
         duplicated = list(self.duplicating.transmit(updates))
         survived = list(self.lossy.transmit(duplicated))
-        return self.reordering.transmit(survived)
+        delivered = self.reordering.transmit(survived)
+        self._obs_delivered.inc(len(delivered))
+        self._obs_dropped.inc(self.lossy.dropped)
+        self._obs_duplicated.inc(self.duplicating.duplicated)
+        self._obs_reordered.inc(self.reordering.displaced)
+        return delivered
 
     @property
     def dropped(self) -> int:

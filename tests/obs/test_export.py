@@ -1,0 +1,82 @@
+"""Tests for the JSON and Prometheus exporters."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Registry, render_json, render_prometheus
+
+
+def build_registry() -> Registry:
+    registry = Registry()
+    family = registry.counter("seen_total", "Items seen.", labels=("k",))
+    family.labels(k="a").inc(5)
+    family.labels(k="b").inc(2)
+    gauge = registry.gauge("depth", "Queue depth.")
+    gauge.set(3)
+    histogram = registry.histogram("size", "Sizes.", buckets=(1, 10))
+    histogram.observe(0)
+    histogram.observe(7)
+    histogram.observe(70)
+    return registry
+
+
+class TestRenderJson:
+    def test_round_trips_the_snapshot(self):
+        registry = build_registry()
+        parsed = json.loads(render_json(registry))
+        assert parsed == registry.snapshot()
+
+    def test_empty_registry(self):
+        assert json.loads(render_json(Registry())) == {"instruments": []}
+
+
+class TestRenderPrometheus:
+    def test_help_and_type_headers(self):
+        text = render_prometheus(build_registry())
+        assert "# HELP seen_total Items seen." in text
+        assert "# TYPE seen_total counter" in text
+        assert "# TYPE depth gauge" in text
+        assert "# TYPE size histogram" in text
+
+    def test_scalar_samples(self):
+        text = render_prometheus(build_registry())
+        assert 'seen_total{k="a"} 5' in text
+        assert 'seen_total{k="b"} 2' in text
+        assert "\ndepth 3\n" in text
+
+    def test_histogram_expansion_is_cumulative(self):
+        lines = render_prometheus(build_registry()).splitlines()
+        histogram_lines = [line for line in lines if
+                           line.startswith("size")]
+        assert histogram_lines == [
+            'size_bucket{le="1"} 1',
+            'size_bucket{le="10"} 2',
+            'size_bucket{le="+Inf"} 3',
+            "size_sum 77",
+            "size_count 3",
+        ]
+
+    def test_label_value_escaping(self):
+        registry = Registry()
+        family = registry.counter("c_total", "C.", labels=("v",))
+        family.labels(v='sp"am\\eggs\n').inc()
+        text = render_prometheus(registry)
+        assert 'c_total{v="sp\\"am\\\\eggs\\n"} 1' in text
+
+    def test_help_escaping(self):
+        registry = Registry()
+        registry.counter("c_total", "line one\nline two\\three")
+        text = render_prometheus(registry)
+        assert "# HELP c_total line one\\nline two\\\\three" in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(Registry()) == ""
+
+    def test_pull_gauges_evaluated_at_render_time(self):
+        registry = Registry()
+        state = {"n": 1}
+        registry.gauge("live", "Live.").watch(lambda: state["n"])
+        assert "live 1" in render_prometheus(registry)
+        state["n"] = 7
+        assert "live 7" in render_prometheus(registry)

@@ -1,0 +1,107 @@
+"""Tests for the Counter/Gauge/Histogram instruments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c_total", "help")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ParameterError):
+            counter.inc(-1)
+
+    def test_family_value_sums_children(self):
+        family = Counter("c_total", "help", labels=("op",))
+        family.labels(op="a").inc(3)
+        family.labels(op="b").inc(4)
+        assert family.value == 7
+
+    def test_children_are_cached(self):
+        family = Counter("c_total", "help", labels=("op",))
+        assert family.labels(op="a") is family.labels(op="a")
+
+    def test_family_cannot_record_directly(self):
+        family = Counter("c_total", "help", labels=("op",))
+        with pytest.raises(ParameterError):
+            family.inc()
+
+    def test_unlabelled_cannot_take_labels(self):
+        counter = Counter("c_total", "help")
+        with pytest.raises(ParameterError):
+            counter.labels(op="a")
+
+    def test_child_cannot_take_labels(self):
+        family = Counter("c_total", "help", labels=("op",))
+        child = family.labels(op="a")
+        with pytest.raises(ParameterError):
+            child.labels(op="b")
+
+    def test_wrong_label_names_rejected(self):
+        family = Counter("c_total", "help", labels=("op",))
+        with pytest.raises(ParameterError):
+            family.labels(kind="a")
+        with pytest.raises(ParameterError):
+            family.labels(op="a", extra="b")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth", "help")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 12
+
+    def test_watch_callbacks_sum(self):
+        gauge = Gauge("depth", "help")
+        gauge.watch(lambda: 5)
+        gauge.watch(lambda: 7)
+        assert gauge.value == 12
+
+    def test_callbacks_override_manual_value(self):
+        gauge = Gauge("depth", "help")
+        gauge.set(99)
+        gauge.watch(lambda: 1)
+        assert gauge.value == 1
+
+    def test_family_sums_children(self):
+        family = Gauge("depth", "help", labels=("pool",))
+        family.labels(pool="a").set(2)
+        family.labels(pool="b").set(3)
+        assert family.value == 5
+
+
+class TestHistogram:
+    def test_buckets_must_be_strictly_increasing(self):
+        with pytest.raises(ParameterError):
+            Histogram("h", "help", buckets=(1, 1, 2))
+        with pytest.raises(ParameterError):
+            Histogram("h", "help", buckets=())
+
+    def test_observations_land_in_le_buckets(self):
+        histogram = Histogram("h", "help", buckets=(1, 10))
+        for value in (0, 1, 5, 99):
+            histogram.observe(value)
+        # le=1 catches 0 and 1; le=10 adds 5; +Inf adds 99.
+        assert histogram.cumulative_buckets() == [
+            (1, 2), (10, 3), (None, 4)
+        ]
+        assert histogram.count == 4
+        assert histogram.sum == 105
+
+    def test_labelled_children_inherit_buckets(self):
+        family = Histogram("h", "help", labels=("kind",), buckets=(2, 4))
+        child = family.labels(kind="a")
+        assert child.bucket_bounds == (2, 4)
+        assert family.labels(kind="a") is child

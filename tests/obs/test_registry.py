@@ -1,0 +1,144 @@
+"""Tests for Registry get-or-create semantics and the null registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import (
+    CATALOG,
+    NULL_REGISTRY,
+    NullCounter,
+    NullGauge,
+    NullHistogram,
+    NullRegistry,
+    Registry,
+    registry_or_null,
+)
+from repro.obs.catalog import SKETCH_UPDATES, spec_for
+
+
+class TestGetOrCreate:
+    def test_same_name_returns_same_instrument(self):
+        registry = Registry()
+        first = registry.counter("jobs_total", "Jobs.")
+        second = registry.counter("jobs_total", "Jobs.")
+        assert first is second
+        first.inc()
+        second.inc()
+        assert first.value == 2
+
+    def test_kind_mismatch_raises(self):
+        registry = Registry()
+        registry.counter("x", "X.")
+        with pytest.raises(ParameterError):
+            registry.gauge("x", "X.")
+        with pytest.raises(ParameterError):
+            registry.histogram("x", "X.")
+
+    def test_label_mismatch_raises(self):
+        registry = Registry()
+        registry.counter("x_total", "X.", labels=("op",))
+        with pytest.raises(ParameterError):
+            registry.counter("x_total", "X.", labels=("kind",))
+        with pytest.raises(ParameterError):
+            registry.counter("x_total", "X.")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        registry = Registry()
+        registry.histogram("h", "H.", buckets=(1, 2))
+        with pytest.raises(ParameterError):
+            registry.histogram("h", "H.", buckets=(1, 4))
+        assert registry.histogram("h", "H.", buckets=(1, 2)) is not None
+
+    def test_introspection(self):
+        registry = Registry()
+        registry.counter("b_total", "B.")
+        registry.gauge("a_depth", "A.")
+        assert registry.names() == ["a_depth", "b_total"]
+        assert "b_total" in registry
+        assert "missing" not in registry
+        assert len(registry) == 2
+        assert registry.get("missing") is None
+
+
+class TestSpecFactories:
+    def test_from_spec_builds_each_catalog_entry(self):
+        registry = Registry()
+        for spec in CATALOG:
+            instrument = registry.from_spec(spec)
+            assert instrument.name == spec.name
+            assert instrument.kind == spec.kind
+            assert instrument.label_names == spec.labels
+        assert len(registry) == len(CATALOG)
+
+    def test_narrowing_factories_reject_wrong_kind(self):
+        registry = Registry()
+        registry.counter(SKETCH_UPDATES.name, "X.", SKETCH_UPDATES.labels)
+        with pytest.raises(ParameterError):
+            registry.gauge_from(SKETCH_UPDATES)
+
+    def test_catalog_sorted_and_lookup(self):
+        names = [spec.name for spec in CATALOG]
+        assert names == sorted(names)
+        assert spec_for(SKETCH_UPDATES.name) is SKETCH_UPDATES
+        with pytest.raises(KeyError):
+            spec_for("nope")
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_determinism(self):
+        registry = Registry()
+        family = registry.counter("seen_total", "Seen.", labels=("k",))
+        family.labels(k="b").inc(2)
+        family.labels(k="a").inc(1)
+        registry.histogram("h", "H.", buckets=(1,)).observe(5)
+        snapshot = registry.snapshot()
+        assert [i["name"] for i in snapshot["instruments"]] == [
+            "h", "seen_total"
+        ]
+        counter = snapshot["instruments"][1]
+        # Children export sorted by label values.
+        assert counter["samples"] == [
+            {"labels": {"k": "a"}, "value": 1},
+            {"labels": {"k": "b"}, "value": 2},
+        ]
+        histogram = snapshot["instruments"][0]
+        assert histogram["samples"][0]["count"] == 1
+        assert histogram["samples"][0]["buckets"] == [[1, 0], ["+Inf", 1]]
+        assert snapshot == registry.snapshot()
+
+
+class TestNullRegistry:
+    def test_factories_return_shared_null_instruments(self):
+        assert isinstance(NULL_REGISTRY.counter("x", "X."), NullCounter)
+        assert isinstance(NULL_REGISTRY.gauge("x", "X."), NullGauge)
+        assert isinstance(
+            NULL_REGISTRY.histogram("x", "X."), NullHistogram
+        )
+        assert NULL_REGISTRY.counter("a", "A.") is NULL_REGISTRY.counter(
+            "b", "B."
+        )
+
+    def test_records_and_registers_nothing(self):
+        counter = NULL_REGISTRY.counter("x_total", "X.", labels=("op",))
+        counter.labels(op="whatever").inc(10 ** 9)
+        gauge = NULL_REGISTRY.gauge("g", "G.")
+        gauge.set(5)
+        gauge.inc()
+        NULL_REGISTRY.histogram("h", "H.").observe(3)
+        assert len(NULL_REGISTRY) == 0
+        assert NULL_REGISTRY.snapshot() == {"instruments": []}
+        assert counter.value == 0
+
+    def test_watch_keeps_no_reference(self):
+        gauge = NULL_REGISTRY.gauge("g", "G.")
+        gauge.watch(lambda: 99)
+        assert gauge._callbacks == []
+        assert gauge.value == 0
+
+    def test_registry_or_null(self):
+        registry = Registry()
+        assert registry_or_null(registry) is registry
+        assert isinstance(registry_or_null(None), NullRegistry)
+        assert registry_or_null(None) is NULL_REGISTRY

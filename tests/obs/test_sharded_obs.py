@@ -1,0 +1,107 @@
+"""ShardedSketch merge equivalence with observability enabled.
+
+The linearity guarantee (Section 3) says a partitioned stream merged
+back together is bit-identical to the unsharded run.  With a shared
+registry attached, the *additive* instruments must agree too: the
+per-shard update counters sum to exactly what an unsharded sketch
+counts.  (Singleton/heap event counters are deliberately excluded —
+singleton-ness is not additive across partial streams.)
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs import Registry
+from repro.sketch import ShardedSketch, TrackingDistinctCountSketch
+from repro.types import AddressDomain, FlowUpdate
+
+
+@pytest.fixture
+def domain() -> AddressDomain:
+    return AddressDomain(2 ** 16)
+
+
+def mixed_stream(count: int, seed: int = 0):
+    rng = random.Random(seed)
+    updates = [
+        FlowUpdate(rng.randrange(2 ** 16), rng.randrange(25), +1)
+        for _ in range(count)
+    ]
+    # Matched deletions for a third of the stream: exercises the
+    # delete-resistant path under sharding as well.
+    updates += [update.inverted() for update in updates[: count // 3]]
+    return updates
+
+
+@pytest.mark.parametrize("policy", ["round-robin", "by-destination"])
+class TestShardedObsEquivalence:
+    def test_per_shard_counters_sum_to_unsharded(self, domain, policy):
+        stream = mixed_stream(600, seed=21)
+        shard_registry = Registry()
+        sharded = ShardedSketch(
+            domain, shards=4, policy=policy, seed=9, obs=shard_registry
+        )
+        sharded.process_stream(stream)
+
+        single_registry = Registry()
+        single = TrackingDistinctCountSketch(
+            sharded.params, seed=9, obs=single_registry
+        )
+        single.process_stream(stream)
+
+        # The sketch-level update counters aggregate across the four
+        # shard sketches sharing the registry; their total must equal
+        # the unsharded sketch's counter, per operation.
+        for op in ("insert", "delete"):
+            sharded_count = shard_registry.get(
+                "repro_sketch_updates_total"
+            ).labels(op=op).value
+            single_count = single_registry.get(
+                "repro_sketch_updates_total"
+            ).labels(op=op).value
+            assert sharded_count == single_count > 0
+
+        # The routing counter's children sum to the stream length and
+        # match the per-shard bookkeeping.
+        routed = shard_registry.get("repro_sharded_updates_total")
+        assert routed.value == len(stream)
+        per_shard = [
+            routed.labels(shard=str(index)).value
+            for index in range(sharded.num_shards)
+        ]
+        assert per_shard == sharded.shard_update_counts()
+
+        assert shard_registry.get("repro_sharded_shards").value == 4
+
+    def test_combined_still_equals_unsharded(self, domain, policy):
+        stream = mixed_stream(600, seed=22)
+        registry = Registry()
+        sharded = ShardedSketch(
+            domain, shards=3, policy=policy, seed=9, obs=registry
+        )
+        sharded.process_stream(stream)
+        single = TrackingDistinctCountSketch(sharded.params, seed=9)
+        single.process_stream(stream)
+
+        combined = sharded.combined()
+        assert combined.structurally_equal(single)
+        assert combined.track_topk(5).as_dict() == (
+            single.track_topk(5).as_dict()
+        )
+        assert registry.get("repro_sharded_merges_total").value == 3
+
+    def test_occupancy_gauge_sums_shards(self, domain, policy):
+        stream = mixed_stream(300, seed=23)
+        registry = Registry()
+        sharded = ShardedSketch(
+            domain, shards=4, policy=policy, seed=9, obs=registry
+        )
+        sharded.process_stream(stream)
+        occupied = registry.get("repro_sketch_occupied_buckets")
+        assert occupied.value == sum(
+            sharded.shard(index).occupied_buckets()
+            for index in range(sharded.num_shards)
+        )

@@ -129,6 +129,61 @@ class TestExperimentCommand:
             main(["experiment", "fig99"])
 
 
+class TestStatsCommand:
+    def test_prometheus_snapshot(self, capsys):
+        assert main([
+            "stats", "--updates", "800", "--format", "prometheus",
+            "--seed", "5",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "# ingested" in output
+        assert "# TYPE repro_sketch_updates_total counter" in output
+        assert 'repro_sketch_updates_total{op="insert"}' in output
+        assert "repro_monitor_checks_total" in output
+        assert 'repro_transport_updates_total{outcome="delivered"}' in output
+
+    def test_json_snapshot(self, capsys):
+        import json
+
+        assert main([
+            "stats", "--updates", "500", "--format", "json", "--seed", "5",
+        ]) == 0
+        output = capsys.readouterr().out
+        payload = json.loads(output[output.index("{"):])
+        names = [i["name"] for i in payload["instruments"]]
+        assert "repro_sketch_updates_total" in names
+        assert "repro_monitor_updates_total" in names
+        assert names == sorted(names)
+
+    def test_both_formats_and_flood_detection(self, capsys):
+        assert main(["stats", "--updates", "2000", "--seed", "5"]) == 0
+        output = capsys.readouterr().out
+        # The quickstart workload stages a SYN flood the monitor catches.
+        assert 'repro_monitor_alarms_total{severity="critical"}' in output
+        assert '"repro_monitor_alarms_total"' in output
+
+    def test_watch_lines(self, capsys):
+        assert main([
+            "stats", "--updates", "600", "--watch", "200",
+            "--format", "json", "--seed", "5",
+        ]) == 0
+        output = capsys.readouterr().out
+        watch_lines = [line for line in output.splitlines()
+                       if line.startswith("[watch]")]
+        assert len(watch_lines) >= 2
+        assert "delivered=200" in watch_lines[0]
+        assert "occupied_buckets=" in watch_lines[0]
+
+    def test_zipf_workload(self, capsys):
+        assert main([
+            "stats", "--workload", "zipf", "--updates", "400",
+            "--format", "prometheus", "--seed", "6",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "workload=zipf" in output
+        assert "repro_sketch_occupied_buckets" in output
+
+
 class TestArgumentHandling:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -17,6 +17,9 @@ import repro.monitor.epochs
 import repro.monitor.monitor
 import repro.monitor.portscan
 import repro.netsim.addresses
+import repro.obs
+import repro.obs.export
+import repro.obs.registry
 import repro.sketch.dcs
 import repro.sketch.tracking
 
@@ -27,6 +30,9 @@ MODULES = [
     repro.monitor.monitor,
     repro.monitor.portscan,
     repro.netsim.addresses,
+    repro.obs,
+    repro.obs.export,
+    repro.obs.registry,
     repro.sketch.dcs,
     repro.sketch.tracking,
 ]

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Docs-consistency gate for the observability layer.
+
+Run from the repository root (CI runs it after the tests):
+
+    PYTHONPATH=src python tools/check_obs_docs.py
+
+Checks, in order:
+
+1. Every metric in ``repro.obs.catalog.CATALOG`` is documented in
+   ``docs/observability.md`` (as a backticked name).
+2. Every ``repro_*`` metric name mentioned in the docs exists in the
+   catalogue — no documentation of metrics that were renamed away.
+3. Every spec constant defined in ``catalog.py`` is referenced by
+   library code under ``src/repro`` (an instrument nobody emits is
+   dead weight or a missed wiring).
+4. Library code outside ``repro/obs`` registers instruments only via
+   the spec factories (``counter_from``/``gauge_from``/
+   ``histogram_from``/``from_spec``), never with ad-hoc name strings.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_PATH = REPO_ROOT / "docs" / "observability.md"
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+METRIC_NAME_RE = re.compile(r"`(repro_[a-z0-9_]+)`")
+SPEC_CONSTANT_RE = re.compile(
+    r"^([A-Z][A-Z0-9_]*)\s*=\s*MetricSpec\(", re.MULTILINE
+)
+AD_HOC_REGISTRATION_RE = re.compile(
+    r"\.\s*(?:counter|gauge|histogram)\s*\(\s*['\"]"
+)
+
+
+def load_catalog_names() -> List[str]:
+    sys.path.insert(0, str(SRC_ROOT.parent))
+    from repro.obs.catalog import CATALOG
+
+    return [spec.name for spec in CATALOG]
+
+
+def documented_names(text: str) -> List[str]:
+    return sorted(set(METRIC_NAME_RE.findall(text)))
+
+
+def exported_series_names(catalog_names: List[str]) -> set:
+    """Names a doc may legitimately mention: the metrics themselves.
+
+    Prometheus derives ``_bucket``/``_sum``/``_count`` series from
+    histograms; mentioning those in prose is fine too.
+    """
+    allowed = set(catalog_names)
+    for name in catalog_names:
+        allowed.update({name + "_bucket", name + "_sum", name + "_count"})
+    return allowed
+
+
+def main() -> int:
+    problems: List[str] = []
+
+    catalog_names = load_catalog_names()
+    docs_text = DOCS_PATH.read_text(encoding="utf-8")
+    docs_names = documented_names(docs_text)
+
+    # 1. catalogue -> docs
+    for name in catalog_names:
+        if name not in docs_names:
+            problems.append(
+                f"{name}: registered in repro.obs.catalog but not "
+                f"documented in {DOCS_PATH.relative_to(REPO_ROOT)}"
+            )
+
+    # 2. docs -> catalogue
+    allowed = exported_series_names(catalog_names)
+    for name in docs_names:
+        if name not in allowed:
+            problems.append(
+                f"{name}: documented in "
+                f"{DOCS_PATH.relative_to(REPO_ROOT)} but missing from "
+                f"repro.obs.catalog.CATALOG"
+            )
+
+    # 3. every spec constant is wired into library code
+    catalog_source = (SRC_ROOT / "obs" / "catalog.py").read_text(
+        encoding="utf-8"
+    )
+    constants = SPEC_CONSTANT_RE.findall(catalog_source)
+    library_files = [
+        path
+        for path in SRC_ROOT.rglob("*.py")
+        if "obs" not in path.relative_to(SRC_ROOT).parts
+    ]
+    library_source = "\n".join(
+        path.read_text(encoding="utf-8") for path in library_files
+    )
+    for constant in constants:
+        if not re.search(rf"\b{constant}\b", library_source):
+            problems.append(
+                f"{constant}: declared in repro/obs/catalog.py but never "
+                f"referenced by library code under src/repro"
+            )
+
+    # 4. no ad-hoc registrations outside repro/obs
+    for path in library_files:
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if AD_HOC_REGISTRATION_RE.search(line):
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}:{number}: ad-hoc "
+                    f"instrument registration (use the catalogue spec "
+                    f"factories: counter_from/gauge_from/histogram_from)"
+                )
+
+    if problems:
+        for problem in problems:
+            print(f"check_obs_docs: {problem}")
+        print(f"check_obs_docs: FAILED ({len(problems)} problem(s))")
+        return 1
+
+    print(
+        f"check_obs_docs: OK — {len(catalog_names)} catalogued metrics "
+        f"documented, {len(constants)} specs wired, no ad-hoc "
+        f"registrations"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
