@@ -17,10 +17,18 @@ the Basic-vs-Tracking divergence is the reproduced result.
 
 from __future__ import annotations
 
+import json
+import os
+import time
+
 import pytest
 
 from repro.metrics import UpdateTimer
-from repro.sketch import DistinctCountSketch, TrackingDistinctCountSketch
+from repro.sketch import (
+    DistinctCountSketch,
+    ShardedSketch,
+    TrackingDistinctCountSketch,
+)
 
 from conftest import make_workload, print_table, scaled_pairs
 
@@ -115,6 +123,130 @@ def test_fig9_per_update_time(benchmark, ipv4_domain, fig9_results):
     basic_curve = [fig9_results[("Basic", f)] for f in QUERY_FREQUENCIES]
     for earlier, later in zip(basic_curve, basic_curve[2:]):
         assert later > 0.95 * earlier
+
+
+#: Batch size used by the batched ingestion variants.
+VARIANT_BATCH = 1024
+
+
+def _time_variant(run, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall seconds for one ingestion variant."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_fig9_update_variants(ipv4_domain, update_stream):
+    """Packed arenas + batched engine vs the seed per-update path.
+
+    Measures updates/sec for every ingestion variant on the same Zipf
+    workload, checks the packed+batched engine clears the
+    ``REPRO_BENCH_MIN_SPEEDUP`` bar (default 3x; CI smoke runs with
+    1.0, i.e. "batched must not be slower"), verifies the fast path is
+    *bit-identical* to the reference, and writes the results to
+    ``BENCH_fig9.json`` (path override: ``REPRO_BENCH_OUT``).
+    """
+    updates = update_stream
+    count = len(updates)
+
+    sketches = {}
+
+    def reference_per_update():
+        sketch = DistinctCountSketch(ipv4_domain, seed=5)
+        for update in updates:
+            sketch.process(update)
+        sketches["reference-per-update"] = sketch
+
+    def reference_batched():
+        sketch = DistinctCountSketch(ipv4_domain, seed=5)
+        sketch.process_stream(updates, batch_size=VARIANT_BATCH)
+        sketches["reference-batched"] = sketch
+
+    def packed_batched():
+        sketch = DistinctCountSketch(ipv4_domain, seed=5, backend="packed")
+        sketch.process_stream(updates, batch_size=VARIANT_BATCH)
+        sketches["packed-batched"] = sketch
+
+    def packed_tracking_batched():
+        sketch = TrackingDistinctCountSketch(
+            ipv4_domain, seed=5, backend="packed"
+        )
+        sketch.process_stream(updates, batch_size=VARIANT_BATCH)
+        sketches["packed-tracking-batched"] = sketch
+
+    def sharded_sync_packed():
+        sharded = ShardedSketch(
+            ipv4_domain, shards=4, policy="round-robin", seed=5,
+            sketch_backend="packed",
+        )
+        sharded.process_stream(updates, batch_size=VARIANT_BATCH)
+
+    variants = {
+        "reference-per-update": reference_per_update,
+        "reference-batched": reference_batched,
+        "packed-batched": packed_batched,
+        "packed-tracking-batched": packed_tracking_batched,
+        "sharded-sync-packed": sharded_sync_packed,
+    }
+    seconds = {
+        name: _time_variant(run) for name, run in variants.items()
+    }
+
+    # Correctness gate: the fast paths must be bit-identical to the
+    # seed per-update reference on the same stream and seed.
+    baseline_sketch = sketches["reference-per-update"]
+    for name in ("reference-batched", "packed-batched",
+                 "packed-tracking-batched"):
+        assert baseline_sketch.structurally_equal(sketches[name]), name
+
+    baseline = seconds["reference-per-update"]
+    results = {
+        name: {
+            "seconds": elapsed,
+            "us_per_update": 1e6 * elapsed / count,
+            "updates_per_sec": count / elapsed,
+            "speedup_vs_reference": baseline / elapsed,
+        }
+        for name, elapsed in seconds.items()
+    }
+    print_table(
+        "Figure 9 ingestion variants (same Zipf stream, seed 5)",
+        ["variant", "us/update", "updates/sec", "speedup"],
+        [
+            [name,
+             f"{data['us_per_update']:.2f}",
+             f"{data['updates_per_sec']:.0f}",
+             f"{data['speedup_vs_reference']:.2f}x"]
+            for name, data in results.items()
+        ],
+    )
+
+    out_path = os.environ.get("REPRO_BENCH_OUT", "BENCH_fig9.json")
+    payload = {
+        "benchmark": "fig9_update_variants",
+        "updates": count,
+        "batch_size": VARIANT_BATCH,
+        "scale": os.environ.get("REPRO_SCALE", "1.0"),
+        "variants": results,
+    }
+    with open(out_path, "w", encoding="ascii") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+    packed_speedup = results["packed-batched"]["speedup_vs_reference"]
+    assert packed_speedup >= min_speedup, (
+        f"packed+batched speedup {packed_speedup:.2f}x is below the "
+        f"{min_speedup:.1f}x bar (see {out_path})"
+    )
+    # The batched path must never lose to per-update ingestion, on any
+    # backend.
+    assert results["reference-batched"]["speedup_vs_reference"] >= 1.0
+    assert packed_speedup >= 1.0
 
 
 def test_update_throughput_basic(benchmark, ipv4_domain, update_stream):

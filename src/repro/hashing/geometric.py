@@ -14,9 +14,29 @@ first-level array has a fixed size.
 
 from __future__ import annotations
 
+from typing import Any
+
+from .._accel import np as _np
 from ..exceptions import ParameterError
 from .seeds import derive_seed
 from .tabulation import TabulationHash
+
+
+def _build_tz_table() -> Any:
+    """Trailing-zero lookup keyed by ``(1 << k) % 67``.
+
+    67 is prime and 2 is a primitive root mod 67, so the 64 residues
+    ``2^k mod 67`` are distinct and never zero — a perfect hash from an
+    isolated low bit to its index.  Index 0 (the all-zero word) carries
+    the :func:`lsb_index` convention of 63.
+    """
+    table = [63] * 67
+    for k in range(64):
+        table[(1 << k) % 67] = k
+    return _np.array(table, dtype=_np.int64)
+
+
+_TZ_TABLE: Any = _build_tz_table() if _np is not None else None
 
 
 def lsb_index(value: int) -> int:
@@ -64,6 +84,31 @@ class GeometricLevelHash:
         """Return the level of ``value``: LSB of its randomized word."""
         level = lsb_index(self._randomizer.word(value))
         return level if level < self.max_level else self.max_level
+
+    def levels_many(self, values: Any) -> Any:  # hot-path
+        """Levels for a batch of values, bit-identical to ``self(v)``.
+
+        Vectorized when numpy is available: tabulated words, then the
+        isolated low bit ``w & -w`` mapped to its index through the
+        mod-67 perfect-hash table (integer-only — no float log2, no
+        version-gated popcount).  Returns a numpy ``int64`` array on
+        that path, else a list of ints.
+        """
+        words = self._randomizer.words_many(values)
+        if isinstance(words, list) or _TZ_TABLE is None:
+            max_level = self.max_level
+            out = []
+            append = out.append
+            for word in words:
+                if word == 0:
+                    append(min(63, max_level))
+                    continue
+                level = (word & -word).bit_length() - 1
+                append(level if level < max_level else max_level)
+            return out
+        low_bit = words & (~words + _np.uint64(1))
+        levels = _TZ_TABLE[(low_bit % _np.uint64(67)).astype(_np.int64)]
+        return _np.minimum(levels, self.max_level)
 
     def level_probability(self, level: int) -> float:
         """Exact probability that a uniformly random value maps to ``level``.

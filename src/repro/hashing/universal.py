@@ -17,13 +17,18 @@ to confirm the implementation generalizes.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import Any, List
 
+from .._accel import np as _np
+from .._accel import to_uint64_array as _to_uint64_array
 from ..exceptions import ParameterError
 from .seeds import derive_seed
 
 #: The Mersenne prime 2^61 - 1 used as the hash field modulus.
 MERSENNE_61 = (1 << 61) - 1
+
+#: Low 32-bit mask used by the vectorized limb-split evaluation.
+_LIMB_MASK = (1 << 32) - 1
 
 
 def _mod_mersenne_61(value: int) -> int:
@@ -70,6 +75,71 @@ class CarterWegmanHash:
     def __call__(self, value: int) -> int:
         """Hash ``value`` into ``[0, range_size)``."""
         return _mod_mersenne_61(self._a * (value % MERSENNE_61) + self._b) % self.range_size
+
+    def hash_many(self, values: Any) -> Any:  # hot-path
+        """Hash a batch of values into ``[0, range_size)``.
+
+        Bit-identical to calling the hash once per value, but with one
+        local binding of ``a``, ``b``, and the field modulus for the
+        whole batch.  With numpy available (and every value below
+        ``2^64``) the evaluation is vectorized via an exact 32-bit
+        limb-split of the product ``a * x`` — integer-only throughout,
+        so the result is the true field value, not an approximation.
+
+        Returns a numpy ``int64`` array on the vectorized path, else a
+        plain list of ints.
+        """
+        if _np is not None:
+            codes = _to_uint64_array(values)
+            if codes is not None:
+                return self._hash_many_vectorized(codes)
+        a = self._a
+        b = self._b
+        p = MERSENNE_61
+        s = self.range_size
+        out: List[int] = []
+        append = out.append
+        for value in values:
+            acc = a * (value % p) + b
+            acc = (acc & p) + (acc >> 61)
+            if acc >= p:
+                acc -= p
+            append(acc % s)
+        return out
+
+    def _hash_many_vectorized(self, codes: Any) -> Any:  # hot-path
+        """Exact vectorized ``((a * x + b) mod p) mod s`` on uint64 codes.
+
+        ``a * x`` cannot be formed in 64 bits, so split ``a = a1 * 2^32
+        + a0`` and ``x = x1 * 2^32 + x0`` (with ``x`` already reduced
+        mod ``p``, so ``x1 < 2^29``) and reduce each partial product
+        with the Mersenne identities ``2^64 = 8`` and ``2^61 = 1``
+        (mod ``p``).  Every intermediate fits in uint64 and the final
+        fold plus one conditional subtract lands in ``[0, p)``, exactly
+        matching the scalar :func:`_mod_mersenne_61` result.
+        """
+        p = _np.uint64(MERSENNE_61)
+        mask = _np.uint64(_LIMB_MASK)
+        # x = code mod p (codes < 2^64 < p^2, one fold + subtract suffices).
+        x = (codes & p) + (codes >> _np.uint64(61))
+        x = _np.where(x >= p, x - p, x)
+        a0 = _np.uint64(self._a & _LIMB_MASK)
+        a1 = _np.uint64(self._a >> 32)
+        x0 = x & mask
+        x1 = x >> _np.uint64(32)
+        p00 = a0 * x0
+        mid = a1 * x0 + a0 * x1
+        p11 = a1 * x1
+        # a*x = p11*2^64 + mid*2^32 + p00; reduce each term mod p.
+        term_hi = p11 << _np.uint64(3)
+        term_mid = (mid >> _np.uint64(29)) + (
+            (mid & _np.uint64((1 << 29) - 1)) << _np.uint64(32)
+        )
+        term_lo = (p00 & p) + (p00 >> _np.uint64(61))
+        acc = term_hi + term_mid + term_lo + _np.uint64(self._b)
+        acc = (acc & p) + (acc >> _np.uint64(61))
+        acc = _np.where(acc >= p, acc - p, acc)
+        return (acc % _np.uint64(self.range_size)).astype(_np.int64)
 
     def field_value(self, value: int) -> int:
         """Return the full field element before the final mod-range step.

@@ -182,14 +182,28 @@ class FloatInCounterPathRule(Rule):
     #: module -> function names forming the hot path (None = whole module).
     HOT_PATHS: Dict[str, Optional[FrozenSet[str]]] = {
         "repro.sketch.signature": None,
+        "repro.sketch.arena": None,
         "repro.sketch.dcs": frozenset(
             {"update", "insert", "delete", "process", "process_stream",
-             "_update_pair", "merge"}
+             "update_batch", "_update_pair", "_apply_pair",
+             "_apply_pairs_batch", "_apply_batch_vectorized",
+             "_scatter_into_store", "merge"}
         ),
         "repro.sketch.tracking": frozenset(
             {"update", "insert", "delete", "process", "process_stream",
-             "_update_pair", "_add_singleton_occurrence",
+             "update_batch", "_update_pair", "_apply_pair",
+             "_scatter_into_store", "_add_singleton_occurrence",
              "_remove_singleton_occurrence"}
+        ),
+        "repro.hashing.universal": frozenset(
+            {"__call__", "field_value", "hash_many",
+             "_hash_many_vectorized", "_mod_mersenne_61"}
+        ),
+        "repro.hashing.tabulation": frozenset(
+            {"__call__", "word", "words_many", "hash_many"}
+        ),
+        "repro.hashing.geometric": frozenset(
+            {"__call__", "levels_many", "lsb_index"}
         ),
     }
 
@@ -686,3 +700,117 @@ class OverbroadExceptRule(Rule):
             if dotted is not None and dotted.split(".")[-1] in self.BROAD:
                 found.append(dotted)
         return found
+
+
+@register
+class HotPathDisciplineRule(Rule):
+    """RL008: functions marked ``# hot-path`` must stay allocation-lean.
+
+    Invariant (Section 3 performance claim): the sketch's ``O(r log m)``
+    per-update cost only holds in practice if the update path does no
+    per-item heap allocation and no metric-child lookup.  A function in
+    ``repro.sketch`` / ``repro.hashing`` carrying a ``# hot-path``
+    marker (on its ``def`` line, its signature's closing line, or the
+    line directly above) promises exactly that; this rule enforces the
+    promise:
+
+    * no ``.labels(...)`` calls anywhere in the function — metric
+      children must be pre-bound at construction time;
+    * no container displays (``[...]``/``{...}``), comprehensions, or
+      CamelCase constructor calls inside a loop — per-item objects on
+      the update path are the overhead the packed arenas exist to
+      remove.
+
+    Functions without the marker (e.g. the reference backend's
+    per-update path, which deliberately materializes
+    ``CountSignature`` objects) are not checked.
+    """
+
+    rule_id = "RL008"
+    title = "hot-path functions: no labels() calls, no per-item allocation"
+    invariant = "O(r log m) update cost without allocation churn (Section 3)"
+
+    CORE_MODULES: Tuple[str, ...] = ("repro.sketch", "repro.hashing")
+    MARKER = "# hot-path"
+
+    def check(self, context: LintContext) -> Iterator[Violation]:
+        """Check every ``# hot-path``-marked function in core modules."""
+        if not context.in_module(*self.CORE_MODULES):
+            return
+        lines = context.source.splitlines()
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._is_marked(node, lines):
+                    yield from self._check_function(context, node)
+
+    def _is_marked(
+        self,
+        node: "Union[ast.FunctionDef, ast.AsyncFunctionDef]",
+        lines: List[str],
+    ) -> bool:
+        """Marker on the line above ``def`` or any signature line."""
+        if not node.body:
+            return False
+        start = max(0, node.lineno - 2)
+        end = min(len(lines), node.body[0].lineno - 1)
+        if end <= start:
+            end = min(len(lines), start + 1)
+        return any(
+            self.MARKER in line for line in lines[start:end]
+        )
+
+    def _check_function(
+        self,
+        context: LintContext,
+        function: "Union[ast.FunctionDef, ast.AsyncFunctionDef]",
+    ) -> Iterator[Violation]:
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(function):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "labels"
+            ):
+                key = (node.lineno, node.col_offset)
+                if key not in seen:
+                    seen.add(key)
+                    yield self.violation(
+                        context, node,
+                        f".labels() lookup inside hot-path function "
+                        f"{function.name}(); pre-bind the metric child at "
+                        "construction time",
+                    )
+        for loop in ast.walk(function):
+            if not isinstance(loop, (ast.For, ast.AsyncFor, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if node is loop:
+                    continue
+                what = self._allocation(node)
+                if what is None:
+                    continue
+                key = (node.lineno, node.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.violation(
+                    context, node,
+                    f"{what} inside a loop of hot-path function "
+                    f"{function.name}(); hoist it out of the loop or "
+                    "restructure to reuse one object",
+                )
+
+    @staticmethod
+    def _allocation(node: ast.AST) -> Optional[str]:
+        """Name the per-item allocation ``node`` performs, if any."""
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return "container display"
+        if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return "comprehension"
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted is not None:
+                name = dotted.split(".")[-1]
+                if name[:1].isupper() and not name.isupper():
+                    return f"constructor call {name}()"
+        return None

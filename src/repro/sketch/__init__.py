@@ -14,6 +14,7 @@ Three layers live here:
   (Section 5).
 """
 
+from .arena import SignatureArena
 from .dcs import DistinctCountSketch
 from .estimate import TopKEntry, TopKResult
 from .heap import IndexedMaxHeap
@@ -28,6 +29,7 @@ __all__ = [
     "DistinctCountSketch",
     "IndexedMaxHeap",
     "ShardedSketch",
+    "SignatureArena",
     "SketchParams",
     "TopKEntry",
     "TopKResult",

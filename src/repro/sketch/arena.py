@@ -1,0 +1,438 @@
+"""Packed signature arenas: flat counter storage for the sketch hot path.
+
+The reference store keeps one :class:`~repro.sketch.signature.CountSignature`
+heap object (plus a boxed-int list) per occupied second-level bucket.
+At line rate that object overhead dominates the ``O(r log m)`` counter
+cost the paper promises (Section 3).  A :class:`SignatureArena` packs
+every signature of one ``(level, table)`` pair into a single flat
+``array('q')`` of stride ``pair_bits + 1``:
+
+``[total, bit_0, ..., bit_{pair_bits-1}] [total, bit_0, ...] ...``
+
+with a sparse ``bucket -> slot`` map on top and free-slot recycling when
+a row nets back to zero (pruned rows are already all-zero, so recycled
+slots need no clearing).  The layout is scatter-friendly: the batch
+engine views the buffer as a ``(slots, stride)`` int64 matrix and
+applies a whole batch with one ``np.add.at`` per touched arena.
+
+The arena also quacks like the reference ``Dict[int, CountSignature]``
+store — ``get``/``items``/``values``/``len``/``in``/``==`` and friends —
+so ``structurally_equal``, ``serialize``, and ``debug`` work unchanged
+across backends.  :class:`CountSignature` remains the interchange type:
+every accessor returns an independent copy, never a view into the
+buffer.
+
+Counters are 64-bit here versus unbounded ints in the reference store;
+they saturate only beyond ``2^63 - 1`` net occurrences of one bucket,
+far past any feasible stream (``array('q')`` raises ``OverflowError``
+rather than wrapping, so even that cannot corrupt state silently).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .._accel import HAVE_NUMPY
+from .._accel import np as _np
+from ..exceptions import MergeError, ParameterError
+from .signature import CountSignature
+
+#: Largest second-level range for which a dense bucket -> slot index is
+#: kept (8 bytes per bucket; beyond this the sparse dict is used).
+MAX_DENSE_RANGE = 65536
+
+
+class SignatureArena:
+    """Packed :class:`CountSignature` storage for one ``(level, table)``.
+
+    Args:
+        pair_bits: width of the pair encoding (``2 log2 m``); each slot
+            holds ``pair_bits + 1`` counters (total first).
+        range_size: the second-level hash range ``s`` (bucket indices
+            are validated against it only through the dense index size).
+    """
+
+    __slots__ = (
+        "pair_bits", "stride", "range_size",
+        "_buf", "_slots", "_bucket_of", "_free", "_zeros", "_dense",
+    )
+
+    def __init__(self, pair_bits: int, range_size: int) -> None:
+        if pair_bits < 1:
+            raise ParameterError(f"pair_bits must be >= 1, got {pair_bits}")
+        if range_size < 1:
+            raise ParameterError(
+                f"range_size must be >= 1, got {range_size}"
+            )
+        self.pair_bits = pair_bits
+        #: Counters per slot: the total plus one per pair bit.
+        self.stride = pair_bits + 1
+        self.range_size = range_size
+        self._buf = array("q")
+        #: bucket -> slot for every occupied bucket.
+        self._slots: Dict[int, int] = {}
+        #: slot -> bucket (-1 for free slots); kept for O(1) pruning.
+        self._bucket_of: List[int] = []
+        #: Recycled slot indices (their rows are all-zero by invariant).
+        self._free: List[int] = []
+        # Reused zero row so growth never allocates a fresh list.
+        self._zeros = array("q", bytes(8 * self.stride))
+        self._dense: Any = None
+        if HAVE_NUMPY and range_size <= MAX_DENSE_RANGE:
+            self._dense = _np.full(range_size, -1, dtype=_np.int64)
+
+    # -- slot management -----------------------------------------------------
+
+    def _allocate(self, bucket: int) -> int:  # hot-path
+        """Bind ``bucket`` to a zeroed slot (recycled or fresh)."""
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._bucket_of[slot] = bucket
+        else:
+            slot = len(self._buf) // self.stride
+            self._buf.extend(self._zeros)
+            self._bucket_of.append(bucket)
+        self._slots[bucket] = slot
+        if self._dense is not None:
+            self._dense[bucket] = slot
+        return slot
+
+    def _release(self, bucket: int, slot: int) -> None:  # hot-path
+        """Unbind an all-zero slot and queue it for reuse."""
+        del self._slots[bucket]
+        self._bucket_of[slot] = -1
+        if self._dense is not None:
+            self._dense[bucket] = -1
+        self._free.append(slot)
+
+    # -- per-update fast path ------------------------------------------------
+
+    def update(self, bucket: int, pair_code: int, delta: int) -> None:  # hot-path
+        """Apply one stream update to ``bucket``, pruning zeroed rows.
+
+        Mirrors ``CountSignature.update`` plus the store-level
+        create-on-miss / delete-on-zero bookkeeping of the reference
+        update loop, without materializing any signature object.
+        """
+        if pair_code >> self.pair_bits:
+            raise ParameterError(
+                f"pair code {pair_code} needs more than "
+                f"{self.pair_bits} bits"
+            )
+        slot = self._slots.get(bucket)
+        if slot is None:
+            slot = self._allocate(bucket)
+        buf = self._buf
+        base = slot * self.stride
+        buf[base] += delta
+        code = pair_code
+        while code:
+            low = code & -code
+            buf[base + low.bit_length()] += delta
+            code ^= low
+        if buf[base] == 0:
+            for offset in range(base + 1, base + self.stride):
+                if buf[offset]:
+                    return
+            self._release(bucket, slot)
+
+    def singleton_at(self, bucket: int) -> Optional[int]:  # hot-path
+        """Decode the bucket's unique pair code, or ``None``.
+
+        The paper's ``ReturnSingleton`` test evaluated in place: the
+        bucket is a singleton iff the total is positive and each bit
+        count is either 0 or equal to the total.
+        """
+        slot = self._slots.get(bucket)
+        if slot is None:
+            return None
+        buf = self._buf
+        base = slot * self.stride
+        total = buf[base]
+        if total <= 0:
+            return None
+        code = 0
+        for index in range(1, self.stride):
+            count = buf[base + index]
+            if count == total:
+                code |= 1 << (index - 1)
+            elif count != 0:
+                return None
+        return code
+
+    def decode_occupied(self) -> Iterator[Optional[int]]:
+        """Singleton decode (or ``None``) per occupied bucket, in place.
+
+        One entry per occupied bucket, in slot-map order — the arena
+        analogue of decoding every ``table.values()`` signature, without
+        materializing any :class:`CountSignature`.
+        """
+        buf = self._buf
+        stride = self.stride
+        for slot in self._slots.values():
+            base = slot * stride
+            total = buf[base]
+            if total <= 0:
+                yield None
+                continue
+            code = 0
+            singleton = True
+            for index in range(1, stride):
+                count = buf[base + index]
+                if count == total:
+                    code |= 1 << (index - 1)
+                elif count != 0:
+                    singleton = False
+                    break
+            yield code if singleton else None
+
+    # -- batch engine surface (numpy required) -------------------------------
+
+    def resolve_slots(self, buckets: Any) -> Any:  # hot-path
+        """Slot index per bucket (int64 ndarray), allocating on miss.
+
+        Allocation may grow (and therefore reallocate) the underlying
+        buffer, so callers must create :meth:`view2d` only *after* this
+        call.
+        """
+        if self._dense is not None:
+            slots = self._dense[buckets]
+            if bool((slots < 0).any()):
+                dense = self._dense
+                bucket_list = buckets.tolist()
+                for position in _np.nonzero(slots < 0)[0].tolist():
+                    bucket = bucket_list[position]
+                    slot = int(dense[bucket])
+                    if slot < 0:
+                        slot = self._allocate(bucket)
+                    slots[position] = slot
+            return slots
+        table = self._slots
+        out = _np.empty(len(buckets), dtype=_np.int64)
+        for position, bucket in enumerate(buckets.tolist()):
+            slot = table.get(bucket)
+            if slot is None:
+                slot = self._allocate(bucket)
+            out[position] = slot
+        return out
+
+    def view2d(self) -> Any:
+        """Writable ``(slots, stride)`` int64 view of the raw buffer.
+
+        Invalidated by any later allocation (growth may move the
+        buffer): create after :meth:`resolve_slots`, use, drop.
+        """
+        if not self._buf:
+            return _np.empty((0, self.stride), dtype=_np.int64)
+        return _np.frombuffer(self._buf, dtype=_np.int64).reshape(
+            -1, self.stride
+        )
+
+    def decode_slots(self, slots: Any) -> List[Optional[int]]:  # hot-path
+        """Vectorized singleton decode of the given slot rows.
+
+        Zeroed (freed) rows decode to ``None``, so the same call serves
+        as the before- and after-image of a batch scatter.
+        """
+        count = len(slots)
+        if count == 0:
+            return []
+        rows = self.view2d()[slots]
+        totals = rows[:, 0]
+        bits = rows[:, 1:]
+        eq_total = bits == totals[:, None]
+        ok = (totals > 0) & ((bits == 0) | eq_total).all(axis=1)
+        shifts = _np.arange(self.pair_bits, dtype=_np.uint64)
+        codes = (eq_total.astype(_np.uint64) << shifts).sum(
+            axis=1, dtype=_np.uint64
+        )
+        ok_list = ok.tolist()
+        code_list = codes.tolist()
+        out: List[Optional[int]] = []
+        append = out.append
+        for index in range(count):
+            append(code_list[index] if ok_list[index] else None)
+        return out
+
+    def free_zero_slots(self, touched: Any) -> None:  # hot-path
+        """Release every touched slot whose row netted to all zeros.
+
+        ``touched`` must hold distinct occupied slot indices (the batch
+        engine passes ``np.unique`` output).
+        """
+        if len(touched) == 0:
+            return
+        rows = self.view2d()[touched]
+        zero = ~rows.any(axis=1)
+        if not bool(zero.any()):
+            return
+        bucket_of = self._bucket_of
+        for slot in touched[zero].tolist():
+            self._release(bucket_of[slot], slot)
+
+    # -- merge / interchange -------------------------------------------------
+
+    def merge_signature(self, bucket: int, signature: CountSignature) -> None:
+        """Fold a signature's counters into ``bucket`` (pruning on zero)."""
+        if signature.pair_bits != self.pair_bits:
+            raise MergeError(
+                f"cannot merge signatures of widths {self.pair_bits} "
+                f"and {signature.pair_bits}"
+            )
+        slot = self._slots.get(bucket)
+        if slot is None:
+            slot = self._allocate(bucket)
+        buf = self._buf
+        base = slot * self.stride
+        buf[base] += signature.total
+        counts = signature.bit_counts
+        for index in range(self.pair_bits):
+            buf[base + 1 + index] += counts[index]
+        if buf[base] == 0:
+            for offset in range(base + 1, base + self.stride):
+                if buf[offset]:
+                    return
+            self._release(bucket, slot)
+
+    def _row(self, slot: int) -> List[int]:
+        """The raw counter row of ``slot`` as a list of ints."""
+        base = slot * self.stride
+        return self._buf[base:base + self.stride].tolist()
+
+    def _signature_for(self, slot: int) -> CountSignature:
+        """An independent :class:`CountSignature` copy of ``slot``."""
+        row = self._row(slot)
+        signature = CountSignature(self.pair_bits)
+        signature.total = row[0]
+        signature.bit_counts = row[1:]
+        return signature
+
+    def copy(self) -> "SignatureArena":
+        """Deep, independent copy of this arena (same slot layout)."""
+        clone = SignatureArena(self.pair_bits, self.range_size)
+        clone._buf = array("q", self._buf)
+        clone._slots = dict(self._slots)
+        clone._bucket_of = list(self._bucket_of)
+        clone._free = list(self._free)
+        if self._dense is not None and clone._dense is not None:
+            clone._dense = self._dense.copy()
+        return clone
+
+    # -- dict-compatible mapping surface -------------------------------------
+
+    def get(
+        self, bucket: int, default: Optional[CountSignature] = None
+    ) -> Optional[CountSignature]:
+        """The bucket's signature (a copy), or ``default`` if empty."""
+        slot = self._slots.get(bucket)
+        if slot is None:
+            return default
+        return self._signature_for(slot)
+
+    def __getitem__(self, bucket: int) -> CountSignature:
+        slot = self._slots.get(bucket)
+        if slot is None:
+            raise KeyError(bucket)
+        return self._signature_for(slot)
+
+    def __setitem__(self, bucket: int, signature: CountSignature) -> None:
+        if signature.pair_bits != self.pair_bits:
+            raise ParameterError(
+                f"signature width {signature.pair_bits} does not match "
+                f"arena width {self.pair_bits}"
+            )
+        if signature.is_zero:
+            # Keep the store invariant: absent always means empty.
+            if bucket in self._slots:
+                del self[bucket]
+            return
+        slot = self._slots.get(bucket)
+        if slot is None:
+            slot = self._allocate(bucket)
+        buf = self._buf
+        base = slot * self.stride
+        buf[base] = signature.total
+        counts = signature.bit_counts
+        for index in range(self.pair_bits):
+            buf[base + 1 + index] = counts[index]
+
+    def __delitem__(self, bucket: int) -> None:
+        slot = self._slots.get(bucket)
+        if slot is None:
+            raise KeyError(bucket)
+        buf = self._buf
+        base = slot * self.stride
+        for offset in range(base, base + self.stride):
+            buf[offset] = 0
+        self._release(bucket, slot)
+
+    def __contains__(self, bucket: object) -> bool:
+        return bucket in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __bool__(self) -> bool:
+        return bool(self._slots)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._slots)
+
+    def keys(self) -> Iterator[int]:
+        """Occupied bucket indices."""
+        return iter(self._slots)
+
+    def values(self) -> Iterator[CountSignature]:
+        """Signature copies of every occupied bucket."""
+        for slot in self._slots.values():
+            yield self._signature_for(slot)
+
+    def items(self) -> Iterator[Tuple[int, CountSignature]]:
+        """``(bucket, signature copy)`` pairs for every occupied bucket."""
+        for bucket, slot in self._slots.items():
+            yield bucket, self._signature_for(slot)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SignatureArena):
+            if (
+                self.pair_bits != other.pair_bits
+                or len(self._slots) != len(other._slots)
+            ):
+                return False
+            theirs = other._slots
+            for bucket, slot in self._slots.items():
+                other_slot = theirs.get(bucket)
+                if other_slot is None:
+                    return False
+                if self._row(slot) != other._row(other_slot):
+                    return False
+            return True
+        if isinstance(other, dict):
+            # Reflected comparison against the reference dict store:
+            # dict.__eq__(arena) returns NotImplemented, so Python
+            # retries here and structural equality spans backends.
+            if len(self._slots) != len(other):
+                return False
+            for bucket, slot in self._slots.items():
+                signature = other.get(bucket)
+                if not isinstance(signature, CountSignature):
+                    return False
+                if signature.pair_bits != self.pair_bits:
+                    return False
+                row = self._row(slot)
+                if signature.total != row[0] or signature.bit_counts != row[1:]:
+                    return False
+            return True
+        return NotImplemented
+
+    # Mutable container: never hashable.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"SignatureArena(pair_bits={self.pair_bits}, "
+            f"occupied={len(self._slots)}, "
+            f"slots={len(self._bucket_of)})"
+        )

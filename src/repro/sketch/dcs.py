@@ -27,8 +27,22 @@ unbiased choice: a pair lands at level ``>= b`` with probability exactly
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+    cast,
+)
 
+from .._accel import HAVE_NUMPY
+from .._accel import np as _np
+from .._accel import to_uint64_array as _to_uint64_array
 from ..exceptions import MergeError, ParameterError
 from ..hashing import CarterWegmanHash, GeometricLevelHash, derive_seed
 from ..obs.catalog import (
@@ -43,6 +57,7 @@ from ..obs.catalog import (
 )
 from ..obs.registry import Registry, registry_or_null
 from ..types import AddressDomain, FlowUpdate
+from .arena import SignatureArena
 from .estimate import TopKResult, build_result
 from .params import SketchParams
 from .signature import CountSignature
@@ -50,8 +65,15 @@ from .signature import CountSignature
 #: Default relative-error parameter used when a query does not supply one.
 DEFAULT_EPSILON = 0.25
 
-# A level's state: per inner table, a sparse map bucket-index -> signature.
-LevelTables = List[Dict[int, CountSignature]]
+#: One second-level table's state: the reference sparse map
+#: bucket-index -> signature, or its packed-arena equivalent.
+BucketStore = Union[Dict[int, CountSignature], SignatureArena]
+
+# A level's state: one store per inner table.
+LevelTables = List[BucketStore]
+
+#: Valid values for the ``backend`` constructor argument.
+BACKENDS = ("reference", "packed")
 
 
 class DistinctCountSketch:
@@ -67,6 +89,12 @@ class DistinctCountSketch:
             (see ``docs/observability.md``).  ``None`` (the default)
             resolves to the no-op null registry, so uninstrumented
             sketches pay one empty method call per update.
+        backend: ``"reference"`` (per-bucket ``CountSignature`` objects,
+            the paper-faithful baseline) or ``"packed"`` (flat
+            :class:`~repro.sketch.arena.SignatureArena` storage feeding
+            the vectorized :meth:`update_batch` engine).  Both backends
+            are bit-identical: same seeds imply
+            :meth:`structurally_equal` states after the same stream.
 
     Example:
         >>> from repro.types import AddressDomain
@@ -86,12 +114,19 @@ class DistinctCountSketch:
         s: int = 128,
         seed: int = 0,
         obs: Optional[Registry] = None,
+        backend: str = "reference",
     ) -> None:
         if isinstance(params, AddressDomain):
             params = SketchParams(domain=params, r=r, s=s)
+        if backend not in BACKENDS:
+            raise ParameterError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
         self.params = params
         self.seed = int(seed)
         self.domain = params.domain
+        #: Storage backend: ``"reference"`` or ``"packed"``.
+        self.backend = backend
         self._level_hash = GeometricLevelHash(
             max_level=params.num_levels - 1,
             seed=derive_seed(self.seed, "level-hash"),
@@ -104,8 +139,17 @@ class DistinctCountSketch:
             for j in range(params.r)
         ]
         self._tables: List[LevelTables] = [
-            [{} for _ in range(params.r)] for _ in range(params.num_levels)
+            [self._new_store() for _ in range(params.r)]
+            for _ in range(params.num_levels)
         ]
+        # Typed alias of the same store objects for the packed hot path
+        # (saves an isinstance branch per update).
+        self._arenas: Optional[List[List[SignatureArena]]] = None
+        if backend == "packed":
+            self._arenas = [
+                [cast(SignatureArena, store) for store in level_tables]
+                for level_tables in self._tables
+            ]
         #: Number of stream updates processed (the paper's ``n``).
         self.updates_processed = 0
         #: Net sum of deltas across all updates.
@@ -123,6 +167,18 @@ class DistinctCountSketch:
         self._obs_collisions = self.obs.counter_from(
             SKETCH_SIGNATURE_COLLISIONS
         )
+        # Per-level children pre-bound at construction so the query
+        # path never pays a labels() lookup (the null registry's
+        # labels() returns the shared no-op child, so this is free
+        # for uninstrumented sketches).
+        self._obs_singletons_by_level = [
+            self._obs_singletons.labels(level=str(level))
+            for level in range(params.num_levels)
+        ]
+        self._obs_collisions_by_level = [
+            self._obs_collisions.labels(level=str(level))
+            for level in range(params.num_levels)
+        ]
         self._obs_sample_size = self.obs.histogram_from(
             SKETCH_QUERY_SAMPLE_SIZE
         )
@@ -131,6 +187,12 @@ class DistinctCountSketch:
             self.occupied_buckets
         )
         self.obs.gauge_from(SKETCH_ACTIVE_LEVELS).watch(self.active_levels)
+
+    def _new_store(self) -> BucketStore:
+        """One second-level table's empty store for this backend."""
+        if self.backend == "packed":
+            return SignatureArena(self.params.pair_bits, self.params.s)
+        return {}
 
     # -- maintenance (Section 3) --------------------------------------------
 
@@ -154,17 +216,95 @@ class DistinctCountSketch:
             self.domain.encode_pair(update.source, update.dest), update.delta
         )
 
-    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
-        """Process every update from an iterable; returns the count."""
-        count = 0
+    def process_stream(
+        self,
+        updates: Iterable[FlowUpdate],
+        batch_size: Optional[int] = None,
+    ) -> int:
+        """Process every update from an iterable; returns the count.
+
+        With ``batch_size`` set, updates are buffered into chunks of
+        that size and fed through :meth:`update_batch` — the final
+        sketch state is bit-identical either way; batching only changes
+        the constant per-update cost.
+        """
+        if batch_size is None:
+            count = 0
+            for update in updates:
+                self.process(update)
+                count += 1
+            return count
+        if batch_size < 1:
+            raise ParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        total = 0
+        batch: List[FlowUpdate] = []
+        append = batch.append
         for update in updates:
-            self.process(update)
-            count += 1
+            append(update)
+            if len(batch) >= batch_size:
+                total += self.update_batch(batch)
+                batch.clear()
+        if batch:
+            total += self.update_batch(batch)
+        return total
+
+    def update_batch(self, updates: Iterable[FlowUpdate]) -> int:  # hot-path
+        """Process a batch of updates with per-batch amortized costs.
+
+        Bit-identical to processing the batch one update at a time (the
+        sketch is a linear transform of the update multiset), but: the
+        first- and second-level hashes are evaluated through their bulk
+        ``levels_many``/``hash_many`` methods, packed-backend counter
+        updates become one vectorized scatter per touched arena, and
+        the insert/delete observability counters receive one aggregated
+        ``inc(n)`` each.  Returns the number of updates applied.
+        """
+        encode = self.domain.encode_pair
+        pairs: List[int] = []
+        deltas: List[int] = []
+        pairs_append = pairs.append
+        deltas_append = deltas.append
+        inserts = 0
+        for update in updates:
+            delta = update.delta
+            pairs_append(encode(update.source, update.dest))
+            deltas_append(delta)
+            if delta > 0:
+                inserts += 1
+        count = len(pairs)
+        if not count:
+            return 0
+        self._apply_pairs_batch(pairs, deltas)
+        self.updates_processed += count
+        deletes = count - inserts
+        self.net_total += inserts - deletes
+        if inserts:
+            self._obs_inserts.inc(inserts)
+        if deletes:
+            self._obs_deletes.inc(deletes)
         return count
 
     def _update_pair(self, pair: int, delta: int) -> None:
         """Apply one update for an encoded pair: the sketch hot path."""
+        self._apply_pair(pair, delta)
+        self.updates_processed += 1
+        self.net_total += delta
+        if delta > 0:
+            self._obs_inserts.inc()
+        else:
+            self._obs_deletes.inc()
+
+    def _apply_pair(self, pair: int, delta: int) -> None:
+        """Counter-state maintenance for one update (no bookkeeping)."""
         level = self._level_hash(pair)
+        arenas = self._arenas
+        if arenas is not None:
+            arena_row = arenas[level]
+            for j, inner_hash in enumerate(self._inner_hashes):
+                arena_row[j].update(inner_hash(pair), pair, delta)
+            return
         tables = self._tables[level]
         pair_bits = self.params.pair_bits
         for j, inner_hash in enumerate(self._inner_hashes):
@@ -180,12 +320,91 @@ class DistinctCountSketch:
                 # this also keeps the sketch identical to one that never
                 # saw a deleted pair.
                 del table[bucket]
-        self.updates_processed += 1
-        self.net_total += delta
-        if delta > 0:
-            self._obs_inserts.inc()
-        else:
-            self._obs_deletes.inc()
+
+    def _apply_pairs_batch(
+        self, pairs: List[int], deltas: List[int]
+    ) -> None:  # hot-path
+        """Apply encoded-pair updates, vectorized when possible.
+
+        Falls back to the sequential per-pair path on the reference
+        backend, without numpy, or for pair domains wider than 64 bits.
+        """
+        if self._arenas is not None and HAVE_NUMPY:
+            codes = _to_uint64_array(pairs)
+            if codes is not None:
+                self._apply_batch_vectorized(codes, deltas)
+                return
+        apply_pair = self._apply_pair
+        for index in range(len(pairs)):
+            apply_pair(pairs[index], deltas[index])
+
+    def _apply_batch_vectorized(
+        self, codes: Any, deltas: List[int]
+    ) -> None:  # hot-path
+        """The packed-backend batch engine: group, then scatter.
+
+        Sorts the batch by level (stable, so per-bucket update order is
+        preserved — not that order matters: counter addition commutes),
+        builds the per-update contribution matrix ``[delta, bit_0 *
+        delta, ...]`` once, and for each ``(level, table)`` group adds
+        all contributions with a single ``np.add.at`` scatter into the
+        arena's flat buffer.
+        """
+        arenas = self._arenas
+        assert arenas is not None
+        levels = self._level_hash.levels_many(codes)
+        order = _np.argsort(levels, kind="stable")
+        codes_sorted = codes[order]
+        deltas_sorted = _np.asarray(deltas, dtype=_np.int64)[order]
+        levels_sorted = levels[order]
+        pair_bits = self.params.pair_bits
+        shifts = _np.arange(pair_bits, dtype=_np.uint64)
+        bits = (
+            (codes_sorted[:, None] >> shifts) & _np.uint64(1)
+        ).astype(_np.int64)
+        count = len(deltas)
+        contrib = _np.empty((count, pair_bits + 1), dtype=_np.int64)
+        contrib[:, 0] = deltas_sorted
+        contrib[:, 1:] = bits * deltas_sorted[:, None]
+        bucket_arrays = [
+            inner_hash.hash_many(codes_sorted)
+            for inner_hash in self._inner_hashes
+        ]
+        unique_levels, starts = _np.unique(levels_sorted, return_index=True)
+        boundaries = starts.tolist()
+        boundaries.append(count)
+        level_list = unique_levels.tolist()
+        for group in range(len(level_list)):
+            level = level_list[group]
+            lo = boundaries[group]
+            hi = boundaries[group + 1]
+            group_contrib = contrib[lo:hi]
+            arena_row = arenas[level]
+            for j in range(len(bucket_arrays)):
+                store = arena_row[j]
+                slots = store.resolve_slots(bucket_arrays[j][lo:hi])
+                touched = _np.unique(slots)
+                self._scatter_into_store(
+                    level, store, slots, group_contrib, touched
+                )
+
+    def _scatter_into_store(
+        self,
+        level: int,
+        store: SignatureArena,
+        slots: Any,
+        contrib: Any,
+        touched: Any,
+    ) -> None:  # hot-path
+        """Apply one level-group's contributions to one arena.
+
+        Overridden by the tracking sketch to diff singleton state
+        around the scatter.  The view is created after slot resolution
+        (allocation may have moved the buffer) and dropped before any
+        further allocation.
+        """
+        _np.add.at(store.view2d(), slots, contrib)
+        store.free_zero_slots(touched)
 
     # -- structural accessors -----------------------------------------------
 
@@ -208,7 +427,10 @@ class DistinctCountSketch:
 
         Returns the encoded pair, or ``None`` for empty/collision buckets.
         """
-        signature = self._tables[level][j].get(bucket)
+        store = self._tables[level][j]
+        if isinstance(store, SignatureArena):
+            return store.singleton_at(bucket)
+        signature = store.get(bucket)
         if signature is None:
             return None
         return signature.recover_singleton()
@@ -224,19 +446,28 @@ class DistinctCountSketch:
         recovered = 0
         collisions = 0
         for table in self._tables[level]:
-            for signature in table.values():
-                pair = signature.recover_singleton()
+            for pair in self._decoded_store(table):
                 if pair is not None:
                     sample.add(pair)
                     recovered += 1
                 else:
                     collisions += 1
-        # One aggregated inc per scan keeps instrumented scans cheap.
+        # One aggregated inc per scan, into children pre-bound at
+        # construction, keeps instrumented scans cheap.
         if recovered:
-            self._obs_singletons.labels(level=str(level)).inc(recovered)
+            self._obs_singletons_by_level[level].inc(recovered)
         if collisions:
-            self._obs_collisions.labels(level=str(level)).inc(collisions)
+            self._obs_collisions_by_level[level].inc(collisions)
         return sample
+
+    @staticmethod
+    def _decoded_store(table: BucketStore) -> Iterator[Optional[int]]:
+        """Singleton decode (or ``None``) per occupied bucket of a store."""
+        if isinstance(table, SignatureArena):
+            return table.decode_occupied()
+        return (
+            signature.recover_singleton() for signature in table.values()
+        )
 
     def active_levels(self) -> int:
         """Number of first-level buckets currently holding any state."""
@@ -371,7 +602,14 @@ class DistinctCountSketch:
         for level in range(self.params.num_levels):
             for j in range(self.params.r):
                 mine = self._tables[level][j]
-                for bucket, signature in other._tables[level][j].items():
+                theirs = other._tables[level][j]
+                if isinstance(mine, SignatureArena):
+                    # Arena accessors return signature *copies*, so merge
+                    # through the in-place arena primitive instead.
+                    for bucket, signature in theirs.items():
+                        mine.merge_signature(bucket, signature)
+                    continue
+                for bucket, signature in theirs.items():
                     existing = mine.get(bucket)
                     if existing is None:
                         mine[bucket] = signature.copy()
@@ -390,13 +628,24 @@ class DistinctCountSketch:
         registry (it would double every pull gauge); instrument a copy
         explicitly if needed.
         """
-        clone = DistinctCountSketch(self.params, seed=self.seed)
+        clone = DistinctCountSketch(
+            self.params, seed=self.seed, backend=self.backend
+        )
         for level in range(self.params.num_levels):
             for j in range(self.params.r):
-                clone._tables[level][j] = {
-                    bucket: signature.copy()
-                    for bucket, signature in self._tables[level][j].items()
-                }
+                store = self._tables[level][j]
+                if isinstance(store, SignatureArena):
+                    clone._tables[level][j] = store.copy()
+                else:
+                    clone._tables[level][j] = {
+                        bucket: signature.copy()
+                        for bucket, signature in store.items()
+                    }
+        if clone._arenas is not None:
+            clone._arenas = [
+                [cast(SignatureArena, store) for store in level_tables]
+                for level_tables in clone._tables
+            ]
         clone.updates_processed = self.updates_processed
         clone.net_total = self.net_total
         return clone

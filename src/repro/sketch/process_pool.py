@@ -1,0 +1,179 @@
+"""Worker-process pool backing ``ShardedSketch(backend="process")``.
+
+Each worker owns a private :class:`TrackingDistinctCountSketch` and
+drains a FIFO command pipe — ``ingest`` (a chunk of update tuples),
+``snapshot`` (serialize the sketch back to the parent), ``close``.
+Because all shard sketches share params and seed, the parent merges the
+snapshots through :mod:`repro.sketch.serialize` into the exact sketch a
+single-process run would have produced (linearity, Section 3).
+
+The pool prefers the ``fork`` start method (cheap, no import replay) and
+falls back to ``spawn``; if no start method is usable at all it raises
+:class:`PoolUnavailable` and the caller degrades to the synchronous
+backend.  No third-party dependencies: plain ``multiprocessing`` pipes
+carrying JSON sketch payloads.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, List, Optional, Sequence, Tuple
+
+from .params import SketchParams
+
+#: Update tuple shipped over the pipe: ``(source, dest, delta)``.
+UpdateTuple = Tuple[int, int, int]
+
+
+class PoolUnavailable(RuntimeError):
+    """Raised when a worker pool cannot be started on this platform."""
+
+
+def _worker_main(
+    conn: Any, params: SketchParams, seed: int, sketch_backend: str
+) -> None:
+    """Worker loop: apply ingest chunks, answer snapshot requests."""
+    # Imported here so ``spawn`` workers pay the import in the child.
+    from ..types import FlowUpdate
+    from . import serialize
+    from .tracking import TrackingDistinctCountSketch
+
+    sketch = TrackingDistinctCountSketch(
+        params, seed=seed, backend=sketch_backend
+    )
+    while True:
+        try:
+            command, payload = conn.recv()
+        except EOFError:
+            break
+        if command == "ingest":
+            sketch.update_batch(
+                [FlowUpdate(s, d, delta) for s, d, delta in payload]
+            )
+        elif command == "snapshot":
+            conn.send(serialize.dumps(sketch))
+        elif command == "close":
+            break
+    conn.close()
+
+
+def _cleanup(connections: List[Any], processes: List[Any]) -> None:
+    """Best-effort teardown used by both ``close`` and the finalizer."""
+    for conn in connections:
+        try:
+            conn.send(("close", None))
+        except (OSError, ValueError, BrokenPipeError):
+            pass
+        try:
+            conn.close()
+        except OSError:
+            pass
+    for process in processes:
+        process.join(timeout=5)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+
+
+class ProcessShardPool:
+    """One pipe-fed worker process per shard.
+
+    Args:
+        params: sketch shape shared by every worker.
+        seed: sketch seed shared by every worker (required for merging).
+        shards: number of worker processes.
+        sketch_backend: storage backend of each worker's sketch.
+
+    Raises:
+        PoolUnavailable: when no multiprocessing start method works.
+    """
+
+    def __init__(
+        self,
+        params: SketchParams,
+        seed: int,
+        shards: int,
+        sketch_backend: str = "reference",
+    ) -> None:
+        context = None
+        try:
+            import multiprocessing
+
+            for method in ("fork", "spawn"):
+                try:
+                    context = multiprocessing.get_context(method)
+                    break
+                except ValueError:
+                    continue
+        except ImportError as error:
+            raise PoolUnavailable(str(error)) from error
+        if context is None:
+            raise PoolUnavailable("no usable multiprocessing start method")
+        self._connections: List[Any] = []
+        self._processes: List[Any] = []
+        try:
+            for _ in range(shards):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, params, seed, sketch_backend),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+        except (OSError, ValueError) as error:
+            _cleanup(self._connections, self._processes)
+            raise PoolUnavailable(str(error)) from error
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._connections, self._processes
+        )
+
+    @property
+    def num_shards(self) -> int:
+        """Number of worker processes."""
+        return len(self._processes)
+
+    def ingest(self, shard: int, updates: Sequence[UpdateTuple]) -> None:
+        """Queue a chunk of update tuples on one worker (non-blocking)."""
+        if self._closed:
+            raise PoolUnavailable("pool is closed")
+        self._connections[shard].send(("ingest", list(updates)))
+
+    def snapshot(self, shard: int) -> bytes:
+        """Serialized state of one worker's sketch (drains its queue)."""
+        if self._closed:
+            raise PoolUnavailable("pool is closed")
+        conn = self._connections[shard]
+        conn.send(("snapshot", None))
+        payload: bytes = conn.recv()
+        return payload
+
+    def snapshots(self) -> List[bytes]:
+        """Serialized state of every worker, request-all then drain-all."""
+        if self._closed:
+            raise PoolUnavailable("pool is closed")
+        for conn in self._connections:
+            conn.send(("snapshot", None))
+        return [conn.recv() for conn in self._connections]
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _cleanup(self._connections, self._processes)
+
+    def __enter__(self) -> "ProcessShardPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> Optional[bool]:
+        self.close()
+        return None
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"ProcessShardPool(shards={self.num_shards}, {state})"

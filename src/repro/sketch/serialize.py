@@ -57,8 +57,15 @@ def sketch_to_dict(sketch: AnySketch) -> Dict[str, Any]:
     }
 
 
-def sketch_from_dict(payload: Dict[str, Any]) -> AnySketch:
-    """Decode a sketch from :func:`sketch_to_dict` output."""
+def sketch_from_dict(
+    payload: Dict[str, Any], *, backend: str = "reference"
+) -> AnySketch:
+    """Decode a sketch from :func:`sketch_to_dict` output.
+
+    ``backend`` selects the storage backend of the reconstructed sketch
+    (the wire format is backend-agnostic — both backends serialize to
+    the same payload and load into either).
+    """
     version = payload.get("format_version")
     if version != FORMAT_VERSION:
         raise ParameterError(
@@ -78,7 +85,7 @@ def sketch_from_dict(payload: Dict[str, Any]) -> AnySketch:
         TrackingDistinctCountSketch if kind == "tracking"
         else DistinctCountSketch
     )
-    sketch = cls(params, seed=payload["seed"])
+    sketch = cls(params, seed=payload["seed"], backend=backend)
     pair_bits = params.pair_bits
     for level, j, bucket, counters in payload["buckets"]:
         if not 0 <= level < params.num_levels or not 0 <= j < params.r:
@@ -108,12 +115,16 @@ def dumps(sketch: AnySketch) -> bytes:
     ).encode("ascii")
 
 
-def loads(data: bytes) -> AnySketch:
-    """Deserialize a sketch from :func:`dumps` output."""
+def loads(data: bytes, *, backend: str = "reference") -> AnySketch:
+    """Deserialize a sketch from :func:`dumps` output.
+
+    ``backend`` selects the storage backend of the loaded sketch; see
+    :func:`sketch_from_dict`.
+    """
     try:
         payload = json.loads(data.decode("ascii"))
     except (ValueError, UnicodeDecodeError) as error:
         raise ParameterError(f"malformed sketch payload: {error}") from error
     if not isinstance(payload, dict):
         raise ParameterError("sketch payload must be a JSON object")
-    return sketch_from_dict(payload)
+    return sketch_from_dict(payload, backend=backend)

@@ -7,16 +7,25 @@ stream can be *partitioned arbitrarily* across workers, each feeding a
 private sketch, with the global answer obtained by merging — no
 coordination, no locks, and bit-exact equivalence to a single sketch.
 
-:class:`ShardedSketch` packages that pattern (synchronously — Python
-threads would serialize on the GIL anyway; the point is the partition /
-merge correctness, which carries over directly to a multi-process
-deployment) with two partition policies:
+:class:`ShardedSketch` packages that pattern with two partition
+policies:
 
 * ``round-robin`` — maximal balance, any update anywhere (valid
   because of linearity);
 * ``by-destination`` — all updates of a destination on one shard, the
   policy a real multi-process deployment would use so per-shard answers
   are themselves meaningful.
+
+and two execution backends:
+
+* ``sync`` — shard sketches live in-process and are updated inline
+  (Python threads would serialize on the GIL anyway; this backend is
+  about partition/merge correctness);
+* ``process`` — each shard is a worker process holding a private
+  sketch (:mod:`repro.sketch.process_pool`), fed in chunks over pipes
+  and merged via serialized snapshots.  If a pool cannot be started on
+  the platform the sketch silently degrades to ``sync`` (check the
+  resolved :attr:`backend` attribute).
 """
 
 from __future__ import annotations
@@ -30,7 +39,16 @@ from ..obs.registry import Registry, registry_or_null
 from ..types import AddressDomain, FlowUpdate
 from .estimate import TopKResult
 from .params import SketchParams
+from .process_pool import PoolUnavailable, ProcessShardPool
+from .serialize import loads as _loads
 from .tracking import TrackingDistinctCountSketch
+
+#: Valid values for the ``backend`` constructor argument.
+SHARD_BACKENDS = ("sync", "process")
+
+#: Chunk size used when a process-backed stream is fed without an
+#: explicit ``batch_size`` (per-update pipe messages would dominate).
+DEFAULT_PROCESS_BATCH = 1024
 
 
 class ShardedSketch:
@@ -45,7 +63,15 @@ class ShardedSketch:
         obs: optional :class:`~repro.obs.Registry`, shared with every
             shard sketch — per-sketch counters therefore aggregate
             across shards, and ``repro_sharded_updates_total{shard=i}``
-            gives the per-shard load-balance breakdown.
+            gives the per-shard load-balance breakdown.  With the
+            process backend only the router-level counters are visible
+            (worker sketches live in other processes).
+        backend: ``"sync"`` (default) or ``"process"``; see the module
+            docstring.  The resolved value (after any fallback) is the
+            :attr:`backend` attribute.
+        sketch_backend: storage backend of every shard sketch —
+            ``"reference"`` or ``"packed"``
+            (see :class:`~repro.sketch.dcs.DistinctCountSketch`).
     """
 
     def __init__(
@@ -57,6 +83,8 @@ class ShardedSketch:
         r: int = 3,
         s: int = 128,
         obs: Optional[Registry] = None,
+        backend: str = "sync",
+        sketch_backend: str = "reference",
     ) -> None:
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards}")
@@ -65,20 +93,46 @@ class ShardedSketch:
                 "policy must be 'round-robin' or 'by-destination', "
                 f"got {policy!r}"
             )
+        if backend not in SHARD_BACKENDS:
+            raise ParameterError(
+                f"backend must be one of {SHARD_BACKENDS}, got {backend!r}"
+            )
         self.domain = domain
         self.policy = policy
         self.seed = seed
         self.params = SketchParams(domain, r=r, s=s)
+        self.sketch_backend = sketch_backend
         #: Observability registry (the null registry when ``obs=None``).
         self.obs: Registry = registry_or_null(obs)
-        self._shards: List[TrackingDistinctCountSketch] = [
-            TrackingDistinctCountSketch(self.params, seed=seed, obs=obs)
-            for _ in range(shards)
-        ]
+        #: Resolved execution backend ("process" may degrade to "sync").
+        self.backend = "sync"
+        self._pool: Optional[ProcessShardPool] = None
+        if backend == "process":
+            try:
+                self._pool = ProcessShardPool(
+                    self.params, seed, shards, sketch_backend
+                )
+                self.backend = "process"
+            except PoolUnavailable:
+                self._pool = None
+        self._shards: List[TrackingDistinctCountSketch] = []
+        if self._pool is None:
+            self._shards = [
+                TrackingDistinctCountSketch(
+                    self.params, seed=seed, obs=obs, backend=sketch_backend
+                )
+                for _ in range(shards)
+            ]
+        self._num_shards = shards
+        #: Router-side per-shard update tally (authoritative for the
+        #: process backend, mirrors ``updates_processed`` for sync).
+        self._shard_counts = [0] * shards
         self._route = TabulationHash(
             range_size=shards, seed=derive_seed(seed, "shard-route")
         )
         self._cursor = 0
+        # combined() memoization: valid until the next update.
+        self._combined_cache: Optional[TrackingDistinctCountSketch] = None
         shard_updates = self.obs.counter_from(SHARDED_UPDATES)
         self._obs_shard_updates = [
             shard_updates.labels(shard=str(index))
@@ -90,28 +144,95 @@ class ShardedSketch:
     @property
     def num_shards(self) -> int:
         """Number of partitions."""
-        return len(self._shards)
+        return self._num_shards
 
     def shard_for(self, update: FlowUpdate) -> int:
         """The shard index this update routes to."""
         if self.policy == "by-destination":
             return self._route(update.dest)
         index = self._cursor
-        self._cursor = (self._cursor + 1) % len(self._shards)
+        self._cursor = (self._cursor + 1) % self._num_shards
         return index
 
     def process(self, update: FlowUpdate) -> None:
         """Route one update to its shard."""
         index = self.shard_for(update)
-        self._shards[index].process(update)
+        if self._pool is not None:
+            self._pool.ingest(index, [update.as_tuple()])
+        else:
+            self._shards[index].process(update)
+        self._shard_counts[index] += 1
         self._obs_shard_updates[index].inc()
+        self._combined_cache = None
 
-    def process_stream(self, updates: Iterable[FlowUpdate]) -> int:
-        """Route a whole stream; returns the update count."""
-        count = 0
+    def process_stream(
+        self,
+        updates: Iterable[FlowUpdate],
+        batch_size: Optional[int] = None,
+    ) -> int:
+        """Route a whole stream; returns the update count.
+
+        With ``batch_size`` set, updates are buffered into chunks of
+        that size and routed through :meth:`update_batch`.  The process
+        backend always chunks (``DEFAULT_PROCESS_BATCH`` when no size
+        is given) — per-update pipe messages would swamp the workers.
+        """
+        if batch_size is None:
+            if self._pool is None:
+                count = 0
+                for update in updates:
+                    self.process(update)
+                    count += 1
+                return count
+            batch_size = DEFAULT_PROCESS_BATCH
+        if batch_size < 1:
+            raise ParameterError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        total = 0
+        batch: List[FlowUpdate] = []
+        append = batch.append
         for update in updates:
-            self.process(update)
-            count += 1
+            append(update)
+            if len(batch) >= batch_size:
+                total += self.update_batch(batch)
+                batch.clear()
+        if batch:
+            total += self.update_batch(batch)
+        return total
+
+    def update_batch(self, updates: Iterable[FlowUpdate]) -> int:
+        """Route a batch of updates, one sub-batch per touched shard.
+
+        Equivalent to calling :meth:`process` per update (routing uses
+        the same per-update policy, so even the round-robin cursor
+        advances identically), but each shard receives its whole
+        sub-batch at once — one pipe message per shard on the process
+        backend, one :meth:`~repro.sketch.dcs.DistinctCountSketch.
+        update_batch` call per shard on the sync backend.  Returns the
+        number of updates routed.
+        """
+        groups: List[List[FlowUpdate]] = [
+            [] for _ in range(self._num_shards)
+        ]
+        shard_for = self.shard_for
+        for update in updates:
+            groups[shard_for(update)].append(update)
+        count = 0
+        for index, group in enumerate(groups):
+            if not group:
+                continue
+            if self._pool is not None:
+                self._pool.ingest(
+                    index, [update.as_tuple() for update in group]
+                )
+            else:
+                self._shards[index].update_batch(group)
+            self._shard_counts[index] += len(group)
+            self._obs_shard_updates[index].inc(len(group))
+            count += len(group)
+        if count:
+            self._combined_cache = None
         return count
 
     def combined(self) -> TrackingDistinctCountSketch:
@@ -121,27 +242,58 @@ class ShardedSketch:
         the whole stream — the linearity guarantee.  The merged sketch
         is deliberately *not* attached to the shared registry (it is
         ephemeral and would double every pull gauge).
+
+        The merge is memoized: repeated calls between updates return
+        the *same* sketch object, so treat it as read-only (queries are
+        fine — they never mutate sketch state).  Any routed update
+        invalidates the cache.
         """
-        merged = TrackingDistinctCountSketch(self.params, seed=self.seed)
-        for shard in self._shards:
-            merged.merge(shard)
-        self._obs_merges.inc(len(self._shards))
+        if self._combined_cache is not None:
+            return self._combined_cache
+        merged = TrackingDistinctCountSketch(
+            self.params, seed=self.seed, backend=self.sketch_backend
+        )
+        if self._pool is not None:
+            for payload in self._pool.snapshots():
+                merged.merge(_loads(payload, backend=self.sketch_backend))
+        else:
+            for shard in self._shards:
+                merged.merge(shard)
+        self._obs_merges.inc(self._num_shards)
+        self._combined_cache = merged
         return merged
 
     def track_topk(self, k: int) -> TopKResult:
-        """Global top-k (merges shards; O(total sketch size))."""
+        """Global top-k (merges shards, memoized; O(total sketch size))."""
         return self.combined().track_topk(k)
 
     def shard(self, index: int) -> TrackingDistinctCountSketch:
-        """Direct access to one shard's sketch."""
+        """One shard's sketch: live for sync, a snapshot copy for process."""
+        if self._pool is not None:
+            sketch = _loads(
+                self._pool.snapshot(index), backend=self.sketch_backend
+            )
+            assert isinstance(sketch, TrackingDistinctCountSketch)
+            return sketch
         return self._shards[index]
 
     def shard_update_counts(self) -> List[int]:
         """Updates processed per shard (load-balance inspection)."""
-        return [shard.updates_processed for shard in self._shards]
+        return list(self._shard_counts)
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op on the sync backend)."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ShardedSketch":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         return (
-            f"ShardedSketch(shards={len(self._shards)}, "
-            f"policy={self.policy!r})"
+            f"ShardedSketch(shards={self._num_shards}, "
+            f"policy={self.policy!r}, backend={self.backend!r})"
         )

@@ -29,7 +29,7 @@ singleton -> empty — plus the no-op transitions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple, Union
+from typing import Any, Dict, List, Optional, Set, Tuple, Union, cast
 
 from ..exceptions import ParameterError
 from ..obs.catalog import (
@@ -39,6 +39,7 @@ from ..obs.catalog import (
 )
 from ..obs.registry import Registry
 from ..types import AddressDomain
+from .arena import SignatureArena
 from .dcs import DEFAULT_EPSILON, DistinctCountSketch
 from .estimate import TopKResult, build_result
 from .heap import IndexedMaxHeap
@@ -123,8 +124,11 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         s: int = 128,
         seed: int = 0,
         obs: Optional[Registry] = None,
+        backend: str = "reference",
     ) -> None:
-        super().__init__(params, r=r, s=s, seed=seed, obs=obs)
+        super().__init__(
+            params, r=r, s=s, seed=seed, obs=obs, backend=backend
+        )
         levels = self.params.num_levels
         #: singletons(b) for every first-level bucket b.
         self._singletons: List[SingletonSet] = [
@@ -149,9 +153,25 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
 
     # -- maintenance (Figure 6) ------------------------------------------------
 
-    def _update_pair(self, pair: int, delta: int) -> None:
+    def _apply_pair(self, pair: int, delta: int) -> None:
         """UpdateTracking: signature update plus sample-state maintenance."""
         level = self._level_hash(pair)
+        arenas = self._arenas
+        if arenas is not None:
+            arena_row = arenas[level]
+            for j, inner_hash in enumerate(self._inner_hashes):
+                bucket = inner_hash(pair)
+                store = arena_row[j]
+                before = store.singleton_at(bucket)
+                store.update(bucket, pair, delta)
+                after = store.singleton_at(bucket)
+                if before == after:
+                    continue
+                if before is not None:
+                    self._remove_singleton_occurrence(level, before)
+                if after is not None:
+                    self._add_singleton_occurrence(level, after)
+            return
         tables = self._tables[level]
         pair_bits = self.params.pair_bits
         for j, inner_hash in enumerate(self._inner_hashes):
@@ -167,7 +187,7 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
             signature.update(pair, delta)
             if signature.is_zero:
                 del table[bucket]
-                after: Optional[int] = None
+                after = None
             else:
                 after = signature.recover_singleton()
             if before == after:
@@ -177,12 +197,37 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
                 self._remove_singleton_occurrence(level, before)
             if after is not None:
                 self._add_singleton_occurrence(level, after)
-        self.updates_processed += 1
-        self.net_total += delta
-        if delta > 0:
-            self._obs_inserts.inc()
-        else:
-            self._obs_deletes.inc()
+
+    def _scatter_into_store(
+        self,
+        level: int,
+        store: SignatureArena,
+        slots: Any,
+        contrib: Any,
+        touched: Any,
+    ) -> None:  # hot-path
+        """Batch UpdateTracking: diff singleton state around the scatter.
+
+        The tracked structures are a pure function of the counter state
+        (:meth:`check_invariants` is exactly that statement), so diffing
+        each touched bucket's singleton occupant before and after the
+        whole-group scatter yields the same final state as replaying the
+        group update by update.
+        """
+        before = store.decode_slots(touched)
+        super()._scatter_into_store(level, store, slots, contrib, touched)
+        after = store.decode_slots(touched)
+        remove = self._remove_singleton_occurrence
+        add = self._add_singleton_occurrence
+        for index in range(len(before)):
+            old = before[index]
+            new = after[index]
+            if old == new:
+                continue
+            if old is not None:
+                remove(level, old)
+            if new is not None:
+                add(level, new)
 
     def _add_singleton_occurrence(self, level: int, pair: int) -> None:
         """A bucket at ``level`` became a singleton holding ``pair``."""
@@ -356,20 +401,30 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         ]
         for level in range(levels):
             for table in self._tables[level]:
-                for signature in table.values():
-                    pair = signature.recover_singleton()
+                for pair in self._decoded_store(table):
                     if pair is not None:
                         self._add_singleton_occurrence(level, pair)
 
     def copy(self) -> "TrackingDistinctCountSketch":
         """Deep copy, including tracked state (rebuilt from signatures)."""
-        clone = TrackingDistinctCountSketch(self.params, seed=self.seed)
+        clone = TrackingDistinctCountSketch(
+            self.params, seed=self.seed, backend=self.backend
+        )
         for level in range(self.params.num_levels):
             for j in range(self.params.r):
-                clone._tables[level][j] = {
-                    bucket: signature.copy()
-                    for bucket, signature in self._tables[level][j].items()
-                }
+                store = self._tables[level][j]
+                if isinstance(store, SignatureArena):
+                    clone._tables[level][j] = store.copy()
+                else:
+                    clone._tables[level][j] = {
+                        bucket: signature.copy()
+                        for bucket, signature in store.items()
+                    }
+        if clone._arenas is not None:
+            clone._arenas = [
+                [cast(SignatureArena, store) for store in level_tables]
+                for level_tables in clone._tables
+            ]
         clone.updates_processed = self.updates_processed
         clone.net_total = self.net_total
         clone._rebuild_tracking_state()

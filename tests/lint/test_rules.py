@@ -366,3 +366,128 @@ class TestRL007OverbroadExcept:
             """,
         ))
         assert violations == []
+
+
+class TestRL008HotPathDiscipline:
+    def test_fails_on_labels_call_in_marked_function(self):
+        violations = run_rule("RL008", (
+            "src/repro/sketch/demo.py",
+            """
+            class Sketch:
+                def update(self, pair, delta):  # hot-path
+                    self._counter.labels(op="insert").inc()
+            """,
+        ))
+        assert [v.rule_id for v in violations] == ["RL008"]
+        assert "pre-bind" in violations[0].message
+
+    def test_fails_on_constructor_in_loop(self):
+        violations = run_rule("RL008", (
+            "src/repro/sketch/demo.py",
+            """
+            class Sketch:
+                def apply_batch(self, pairs):  # hot-path
+                    for pair in pairs:
+                        signature = CountSignature(32)
+                        signature.update(pair, 1)
+            """,
+        ))
+        assert len(violations) == 1
+        assert "CountSignature" in violations[0].message
+
+    def test_fails_on_container_display_in_loop(self):
+        violations = run_rule("RL008", (
+            "src/repro/hashing/demo.py",
+            """
+            def hash_many(values):  # hot-path
+                out = []
+                for value in values:
+                    out.append([value, value + 1])
+                return out
+            """,
+        ))
+        assert len(violations) == 1
+        assert "container display" in violations[0].message
+
+    def test_marker_above_def_line_is_recognized(self):
+        violations = run_rule("RL008", (
+            "src/repro/sketch/demo.py",
+            """
+            class Sketch:
+                # hot-path
+                def apply_batch(self, pairs):
+                    while pairs:
+                        chunk = {pair: 1 for pair in pairs[:8]}
+                        pairs = pairs[8:]
+                        self.scatter(chunk)
+            """,
+        ))
+        assert len(violations) == 1
+        assert "comprehension" in violations[0].message
+
+    def test_marker_on_multiline_signature_closing_line(self):
+        violations = run_rule("RL008", (
+            "src/repro/sketch/demo.py",
+            """
+            class Sketch:
+                def apply_batch(
+                    self, pairs, deltas
+                ):  # hot-path
+                    for pair in pairs:
+                        self._obs.labels(level=str(pair)).inc()
+            """,
+        ))
+        assert len(violations) == 1
+
+    def test_unmarked_function_is_not_checked(self):
+        violations = run_rule("RL008", (
+            "src/repro/sketch/demo.py",
+            """
+            class Sketch:
+                def apply_pair(self, pair, delta):
+                    for j in range(3):
+                        signature = CountSignature(32)
+                        signature.update(pair, delta)
+            """,
+        ))
+        assert violations == []
+
+    def test_marked_function_outside_core_is_not_checked(self):
+        violations = run_rule("RL008", (
+            "src/repro/monitor/demo.py",
+            """
+            def rotate(epochs):  # hot-path
+                for epoch in epochs:
+                    epochs_by_id = {epoch.id: epoch}
+            """,
+        ))
+        assert violations == []
+
+    def test_allocation_free_marked_function_passes(self):
+        violations = run_rule("RL008", (
+            "src/repro/sketch/demo.py",
+            """
+            class Sketch:
+                def update(self, bucket, pair_code, delta):  # hot-path
+                    buf = self._buf
+                    base = bucket * self.stride
+                    buf[base] += delta
+                    code = pair_code
+                    while code:
+                        low = code & -code
+                        buf[base + low.bit_length()] += delta
+                        code ^= low
+            """,
+        ))
+        assert violations == []
+
+    def test_pragma_suppresses_rl008(self):
+        violations = run_rule("RL008", (
+            "src/repro/sketch/demo.py",
+            """
+            class Sketch:
+                def update(self, pair, delta):  # hot-path
+                    self._counter.labels(op="x").inc()  # reprolint: disable=RL008
+            """,
+        ))
+        assert violations == []

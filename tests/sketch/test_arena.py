@@ -1,0 +1,221 @@
+"""Unit tests for the packed SignatureArena store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._accel import HAVE_NUMPY
+from repro.exceptions import MergeError, ParameterError
+from repro.sketch import CountSignature, SignatureArena
+
+
+def make_signature(pair_bits: int, *pairs: int) -> CountSignature:
+    signature = CountSignature(pair_bits)
+    for pair in pairs:
+        signature.update(pair, 1)
+    return signature
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            SignatureArena(0, 128)
+        with pytest.raises(ParameterError):
+            SignatureArena(8, 0)
+
+    def test_starts_empty(self):
+        arena = SignatureArena(8, 128)
+        assert len(arena) == 0
+        assert not arena
+        assert list(arena) == []
+
+
+class TestUpdateAndDecode:
+    def test_update_creates_and_prunes(self):
+        arena = SignatureArena(8, 128)
+        arena.update(5, 0b1010, 1)
+        assert 5 in arena
+        assert len(arena) == 1
+        arena.update(5, 0b1010, -1)
+        assert 5 not in arena
+        assert len(arena) == 0
+
+    def test_update_rejects_wide_pair_code(self):
+        arena = SignatureArena(4, 128)
+        with pytest.raises(ParameterError):
+            arena.update(0, 1 << 4, 1)
+
+    def test_singleton_at_matches_signature_decode(self):
+        arena = SignatureArena(8, 128)
+        arena.update(3, 0b1100, 1)
+        assert arena.singleton_at(3) == 0b1100
+        # A second distinct pair makes the bucket a collision.
+        arena.update(3, 0b0011, 1)
+        assert arena.singleton_at(3) is None
+        assert arena[3] == make_signature(8, 0b1100, 0b0011)
+
+    def test_singleton_at_empty_bucket(self):
+        arena = SignatureArena(8, 128)
+        assert arena.singleton_at(7) is None
+
+    def test_decode_occupied_matches_per_bucket_decode(self):
+        arena = SignatureArena(8, 128)
+        arena.update(1, 0b1, 1)
+        arena.update(2, 0b10, 1)
+        arena.update(2, 0b11, 1)
+        arena.update(9, 0b101, -1)
+        decoded = list(arena.decode_occupied())
+        expected = [
+            signature.recover_singleton() for signature in arena.values()
+        ]
+        assert decoded == expected
+        assert sorted(x for x in decoded if x is not None) == [0b1]
+
+    def test_slot_reuse_after_prune(self):
+        arena = SignatureArena(8, 128)
+        arena.update(1, 0b1, 1)
+        arena.update(1, 0b1, -1)
+        slots_before = len(arena._bucket_of)
+        arena.update(2, 0b10, 1)
+        # The freed slot is recycled, not grown past.
+        assert len(arena._bucket_of) == slots_before
+
+
+class TestMappingSurface:
+    def test_get_returns_independent_copy(self):
+        arena = SignatureArena(8, 128)
+        arena.update(4, 0b111, 1)
+        signature = arena[4]
+        signature.update(0b111, 1)
+        # Mutating the copy must not touch the arena.
+        assert arena[4] == make_signature(8, 0b111)
+
+    def test_setitem_roundtrip_and_zero_write_deletes(self):
+        arena = SignatureArena(8, 128)
+        arena[10] = make_signature(8, 0b101, 0b1)
+        assert arena[10] == make_signature(8, 0b101, 0b1)
+        arena[10] = CountSignature(8)
+        assert 10 not in arena
+
+    def test_setitem_rejects_width_mismatch(self):
+        arena = SignatureArena(8, 128)
+        with pytest.raises(ParameterError):
+            arena[0] = CountSignature(9)
+
+    def test_delitem(self):
+        arena = SignatureArena(8, 128)
+        arena.update(2, 0b1, 1)
+        del arena[2]
+        assert 2 not in arena
+        with pytest.raises(KeyError):
+            del arena[2]
+        with pytest.raises(KeyError):
+            arena[2]
+
+    def test_items_keys_values(self):
+        arena = SignatureArena(8, 128)
+        arena.update(1, 0b1, 1)
+        arena.update(2, 0b10, 1)
+        assert sorted(arena.keys()) == [1, 2]
+        assert {b: s for b, s in arena.items()} == {
+            1: make_signature(8, 0b1),
+            2: make_signature(8, 0b10),
+        }
+        assert len(list(arena.values())) == 2
+
+
+class TestEquality:
+    def test_arena_vs_arena(self):
+        a = SignatureArena(8, 128)
+        b = SignatureArena(8, 128)
+        a.update(1, 0b1, 1)
+        # Different insertion orders / slot layouts still compare equal.
+        b.update(9, 0b11, 1)
+        b.update(1, 0b1, 1)
+        b.update(9, 0b11, -1)
+        assert a == b
+        b.update(2, 0b10, 1)
+        assert a != b
+
+    def test_arena_vs_dict_reflected(self):
+        arena = SignatureArena(8, 128)
+        arena.update(1, 0b101, 1)
+        reference = {1: make_signature(8, 0b101)}
+        assert arena == reference
+        assert reference == arena  # dict delegates via NotImplemented
+        reference[2] = make_signature(8, 0b1)
+        assert arena != reference
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(SignatureArena(8, 128))
+
+
+class TestMergeSignature:
+    def test_merge_into_empty_and_cancel(self):
+        arena = SignatureArena(8, 128)
+        arena.merge_signature(5, make_signature(8, 0b1))
+        assert arena[5] == make_signature(8, 0b1)
+        negative = CountSignature(8)
+        negative.update(0b1, -1)
+        arena.merge_signature(5, negative)
+        assert 5 not in arena
+
+    def test_merge_rejects_width_mismatch(self):
+        arena = SignatureArena(8, 128)
+        with pytest.raises(MergeError):
+            arena.merge_signature(0, CountSignature(9))
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        arena = SignatureArena(8, 128)
+        arena.update(1, 0b1, 1)
+        clone = arena.copy()
+        clone.update(1, 0b1, 1)
+        assert arena[1] == make_signature(8, 0b1)
+        assert clone != arena
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="batch surface needs numpy")
+class TestBatchSurface:
+    def test_resolve_scatter_decode_roundtrip(self):
+        import numpy as np
+
+        arena = SignatureArena(4, 128)
+        buckets = np.array([3, 7, 3], dtype=np.int64)
+        slots = arena.resolve_slots(buckets)
+        assert len(arena) == 2
+        contrib = np.array(
+            [
+                [1, 1, 0, 1, 0],   # pair 0b0101 into bucket 3
+                [1, 0, 1, 0, 0],   # pair 0b0010 into bucket 7
+                [-1, -1, 0, -1, 0],  # matching delete into bucket 3
+            ],
+            dtype=np.int64,
+        )
+        np.add.at(arena.view2d(), slots, contrib)
+        touched = np.unique(slots)
+        decoded = arena.decode_slots(touched)
+        arena.free_zero_slots(touched)
+        assert 3 not in arena
+        assert arena.singleton_at(7) == 0b0010
+        # decode_slots saw bucket 3 zeroed (None) and bucket 7 singleton.
+        assert set(decoded) == {None, 0b0010}
+
+    def test_sparse_resolve_path(self):
+        import numpy as np
+
+        # range_size above MAX_DENSE_RANGE forces the dict-based path.
+        arena = SignatureArena(4, 1 << 20)
+        buckets = np.array([123456, 9, 123456], dtype=np.int64)
+        slots = arena.resolve_slots(buckets)
+        assert slots[0] == slots[2]
+        assert len(arena) == 2
+        assert arena._dense is None
+
+    def test_decode_slots_empty(self):
+        import numpy as np
+
+        arena = SignatureArena(4, 128)
+        assert arena.decode_slots(np.array([], dtype=np.int64)) == []

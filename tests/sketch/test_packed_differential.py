@@ -1,0 +1,202 @@
+"""Differential fuzzing: packed backend vs the reference implementation.
+
+Drives identical seeded insert/delete/merge sequences through the
+reference (dict-of-``CountSignature``) and packed (arena + batch
+engine) backends and asserts the two end in *bit-identical* states —
+``structurally_equal`` plus equal query answers.  This is the
+acceptance surface for the backend: same seeds, same stream, same
+sketch, regardless of storage layout or batching.
+
+Everything is deterministically seeded (``random.Random``); no wall
+clock, no ordering dependence beyond the stream itself.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.sketch import (
+    DistinctCountSketch,
+    TrackingDistinctCountSketch,
+    serialize,
+)
+from repro.types import AddressDomain, FlowUpdate
+
+DOMAIN = AddressDomain(2 ** 16)
+
+
+def make_stream(
+    seed: int,
+    length: int,
+    dests: int = 150,
+    delete_fraction: float = 0.35,
+) -> List[FlowUpdate]:
+    """A seeded insert/delete stream where every delete is well-formed.
+
+    Deletes only remove currently-live pairs (the paper's stream model:
+    a deletion legitimises a previously seen flow), so counters never
+    go negative and delete-resistance is exercised honestly.
+    """
+    rng = random.Random(seed)
+    live: List[Tuple[int, int]] = []
+    updates: List[FlowUpdate] = []
+    for _ in range(length):
+        if live and rng.random() < delete_fraction:
+            source, dest = live.pop(rng.randrange(len(live)))
+            updates.append(FlowUpdate(source, dest, -1))
+        else:
+            source = rng.randrange(DOMAIN.m)
+            dest = rng.randrange(dests)
+            live.append((source, dest))
+            updates.append(FlowUpdate(source, dest, 1))
+    return updates
+
+
+class TestBasicSketchDifferential:
+    @pytest.mark.parametrize("stream_seed", [1, 2, 3])
+    @pytest.mark.parametrize("batch_size", [1, 7, 256])
+    def test_batched_packed_matches_per_update_reference(
+        self, stream_seed, batch_size
+    ):
+        updates = make_stream(stream_seed, 3000)
+        reference = DistinctCountSketch(DOMAIN, seed=42)
+        packed = DistinctCountSketch(DOMAIN, seed=42, backend="packed")
+        for update in updates:
+            reference.process(update)
+        packed.process_stream(updates, batch_size=batch_size)
+        assert reference.structurally_equal(packed)
+        assert packed.structurally_equal(reference)
+        assert packed.updates_processed == reference.updates_processed
+        assert packed.net_total == reference.net_total
+        assert packed.base_topk(10) == reference.base_topk(10)
+        assert (
+            packed.estimate_distinct_pairs()
+            == reference.estimate_distinct_pairs()
+        )
+
+    def test_reference_update_batch_matches_per_update(self):
+        updates = make_stream(7, 2000)
+        one_by_one = DistinctCountSketch(DOMAIN, seed=9)
+        batched = DistinctCountSketch(DOMAIN, seed=9)
+        for update in updates:
+            one_by_one.process(update)
+        batched.process_stream(updates, batch_size=64)
+        assert one_by_one.structurally_equal(batched)
+
+    def test_matched_insert_delete_is_delete_resistant(self):
+        noise = make_stream(11, 800, delete_fraction=0.0)
+        attack = [
+            FlowUpdate(source, 7, 1) for source in range(500, 900)
+        ]
+        clean = DistinctCountSketch(DOMAIN, seed=5, backend="packed")
+        churned = DistinctCountSketch(DOMAIN, seed=5, backend="packed")
+        clean.process_stream(noise, batch_size=128)
+        # The churned sketch additionally sees the attack inserted and
+        # then fully deleted, interleaved with the same noise.
+        churned.process_stream(noise[:400], batch_size=128)
+        churned.update_batch(attack)
+        churned.process_stream(noise[400:], batch_size=128)
+        churned.update_batch(
+            [FlowUpdate(u.source, u.dest, -1) for u in attack]
+        )
+        assert clean.structurally_equal(churned)
+
+    def test_merge_both_directions_and_cross_backend(self):
+        left_updates = make_stream(21, 1500)
+        right_updates = make_stream(22, 1500)
+
+        def build(backend, updates):
+            sketch = DistinctCountSketch(DOMAIN, seed=3, backend=backend)
+            sketch.process_stream(updates, batch_size=100)
+            return sketch
+
+        whole = DistinctCountSketch(DOMAIN, seed=3)
+        whole.process_stream(left_updates + right_updates)
+
+        packed_left = build("packed", left_updates)
+        packed_right = build("packed", right_updates)
+        packed_left.merge(packed_right)
+        assert whole.structurally_equal(packed_left)
+
+        ref_left = build("reference", left_updates)
+        packed_right2 = build("packed", right_updates)
+        # Cross-backend merges work in both directions.
+        ref_left.merge(packed_right2)
+        assert whole.structurally_equal(ref_left)
+        packed_right2.merge(build("reference", left_updates))
+        assert whole.structurally_equal(packed_right2)
+
+    def test_copy_preserves_backend_and_state(self):
+        sketch = DistinctCountSketch(DOMAIN, seed=1, backend="packed")
+        sketch.process_stream(make_stream(31, 1000), batch_size=50)
+        clone = sketch.copy()
+        assert clone.backend == "packed"
+        assert clone.structurally_equal(sketch)
+        # The clone's packed hot path is live, not a detached alias.
+        clone.update_batch([FlowUpdate(1, 2, 1)])
+        assert not clone.structurally_equal(sketch)
+
+    def test_serialize_roundtrip_across_backends(self):
+        sketch = DistinctCountSketch(DOMAIN, seed=8, backend="packed")
+        sketch.process_stream(make_stream(41, 1200), batch_size=64)
+        payload = serialize.dumps(sketch)
+        as_reference = serialize.loads(payload)
+        as_packed = serialize.loads(payload, backend="packed")
+        assert as_reference.backend == "reference"
+        assert as_packed.backend == "packed"
+        assert sketch.structurally_equal(as_reference)
+        assert sketch.structurally_equal(as_packed)
+
+
+class TestTrackingSketchDifferential:
+    @pytest.mark.parametrize("stream_seed", [5, 6])
+    @pytest.mark.parametrize("batch_size", [1, 7, 256])
+    def test_tracked_state_matches_reference(self, stream_seed, batch_size):
+        updates = make_stream(stream_seed, 2500)
+        reference = TrackingDistinctCountSketch(DOMAIN, seed=13)
+        packed = TrackingDistinctCountSketch(
+            DOMAIN, seed=13, backend="packed"
+        )
+        for update in updates:
+            reference.process(update)
+        packed.process_stream(updates, batch_size=batch_size)
+        assert reference.structurally_equal(packed)
+        packed.check_invariants()
+        reference.check_invariants()
+        assert packed.track_topk(10) == reference.track_topk(10)
+        assert packed.base_topk(10) == reference.base_topk(10)
+        for level in range(packed.params.num_levels):
+            assert packed.num_singletons(level) == reference.num_singletons(
+                level
+            )
+            assert packed.singleton_pairs(level) == reference.singleton_pairs(
+                level
+            )
+
+    def test_tracking_invariants_hold_mid_stream(self):
+        updates = make_stream(51, 2000)
+        packed = TrackingDistinctCountSketch(
+            DOMAIN, seed=2, backend="packed"
+        )
+        for start in range(0, len(updates), 400):
+            packed.update_batch(updates[start:start + 400])
+            packed.check_invariants()
+
+    def test_tracking_merge_and_copy(self):
+        left = TrackingDistinctCountSketch(DOMAIN, seed=4, backend="packed")
+        right = TrackingDistinctCountSketch(DOMAIN, seed=4, backend="packed")
+        left.process_stream(make_stream(61, 1000), batch_size=128)
+        right.process_stream(make_stream(62, 1000), batch_size=128)
+        clone = left.copy()
+        assert clone.backend == "packed"
+        clone.check_invariants()
+        left.merge(right)
+        left.check_invariants()
+        whole = TrackingDistinctCountSketch(DOMAIN, seed=4)
+        whole.process_stream(make_stream(61, 1000))
+        whole.process_stream(make_stream(62, 1000))
+        assert whole.structurally_equal(left)
+        assert whole.track_topk(5) == left.track_topk(5)

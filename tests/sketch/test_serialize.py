@@ -125,3 +125,39 @@ class TestValidation:
     def test_rejects_non_object_payload(self):
         with pytest.raises(ParameterError):
             serialize.loads(b"[1, 2, 3]")
+
+
+class TestBackendSelection:
+    def test_loads_default_is_reference(self, domain):
+        sketch = loaded_sketch(domain)
+        restored = serialize.loads(serialize.dumps(sketch))
+        assert restored.backend == "reference"
+        assert restored.structurally_equal(sketch)
+
+    def test_loads_into_packed_backend(self, domain):
+        sketch = loaded_sketch(domain, tracking=True)
+        restored = serialize.loads(serialize.dumps(sketch), backend="packed")
+        assert restored.backend == "packed"
+        assert restored.structurally_equal(sketch)
+        assert isinstance(restored, TrackingDistinctCountSketch)
+        restored.check_invariants()
+
+    def test_payload_is_backend_agnostic(self, domain):
+        reference = loaded_sketch(domain, seed=5)
+        packed = DistinctCountSketch(domain, seed=5, backend="packed")
+        rng = random.Random(5)
+        for _ in range(200):
+            packed.insert(rng.randrange(2 ** 16), rng.randrange(40))
+        assert serialize.dumps(reference) == serialize.dumps(packed)
+
+    def test_sketch_from_dict_backend_kwarg(self, domain):
+        sketch = loaded_sketch(domain)
+        payload = serialize.sketch_to_dict(sketch)
+        restored = serialize.sketch_from_dict(payload, backend="packed")
+        assert restored.backend == "packed"
+        assert restored.structurally_equal(sketch)
+
+    def test_rejects_unknown_backend(self, domain):
+        payload = serialize.dumps(loaded_sketch(domain))
+        with pytest.raises(ParameterError):
+            serialize.loads(payload, backend="flat")

@@ -97,3 +97,126 @@ class TestValidation:
     def test_rejects_unknown_policy(self, domain):
         with pytest.raises(ParameterError):
             ShardedSketch(domain, policy="random")
+
+
+class TestMemoization:
+    def test_combined_is_cached_between_updates(self, domain):
+        sharded = ShardedSketch(domain, shards=3, seed=9)
+        sharded.process_stream(random_stream(200, seed=4))
+        first = sharded.combined()
+        assert sharded.combined() is first
+        assert sharded.track_topk(3) is not None
+        assert sharded.combined() is first
+
+    def test_cache_invalidated_by_process(self, domain):
+        sharded = ShardedSketch(domain, shards=3, seed=9)
+        sharded.process_stream(random_stream(200, seed=4))
+        first = sharded.combined()
+        sharded.process(FlowUpdate(1, 2, +1))
+        second = sharded.combined()
+        assert second is not first
+        assert second.updates_processed == first.updates_processed + 1
+
+    def test_cache_invalidated_by_update_batch(self, domain):
+        sharded = ShardedSketch(domain, shards=3, seed=9)
+        first = sharded.combined()
+        sharded.update_batch(random_stream(50, seed=5))
+        assert sharded.combined() is not first
+
+    def test_empty_batch_keeps_cache(self, domain):
+        sharded = ShardedSketch(domain, shards=3, seed=9)
+        sharded.process_stream(random_stream(50, seed=5))
+        first = sharded.combined()
+        assert sharded.update_batch([]) == 0
+        assert sharded.combined() is first
+
+
+class TestBatchedIngestion:
+    @pytest.mark.parametrize("policy", ["round-robin", "by-destination"])
+    def test_update_batch_equals_per_update(self, domain, policy):
+        stream = random_stream(500, seed=6)
+        batched = ShardedSketch(domain, shards=4, policy=policy, seed=9)
+        batched.update_batch(stream)
+        loop = ShardedSketch(domain, shards=4, policy=policy, seed=9)
+        for update in stream:
+            loop.process(update)
+        assert batched.shard_update_counts() == loop.shard_update_counts()
+        assert batched.combined().structurally_equal(loop.combined())
+
+    def test_process_stream_with_batch_size(self, domain):
+        stream = random_stream(333, seed=7)
+        sharded = ShardedSketch(domain, shards=2, seed=9)
+        assert sharded.process_stream(stream, batch_size=100) == 333
+        single = TrackingDistinctCountSketch(sharded.params, seed=9)
+        single.process_stream(stream)
+        assert sharded.combined().structurally_equal(single)
+
+    def test_rejects_bad_batch_size(self, domain):
+        sharded = ShardedSketch(domain, shards=2, seed=9)
+        with pytest.raises(ParameterError):
+            sharded.process_stream([], batch_size=0)
+
+    def test_packed_shard_sketches(self, domain):
+        stream = random_stream(400, seed=8)
+        sharded = ShardedSketch(
+            domain, shards=3, seed=9, sketch_backend="packed"
+        )
+        sharded.process_stream(stream, batch_size=64)
+        single = TrackingDistinctCountSketch(sharded.params, seed=9)
+        single.process_stream(stream)
+        assert sharded.shard(0).backend == "packed"
+        assert sharded.combined().structurally_equal(single)
+
+
+class TestProcessBackend:
+    @pytest.fixture
+    def process_sharded(self, domain):
+        sharded = ShardedSketch(
+            domain, shards=2, seed=9, backend="process",
+            sketch_backend="packed",
+        )
+        if sharded.backend != "process":
+            pytest.skip("multiprocessing unavailable on this platform")
+        with sharded:
+            yield sharded
+
+    def test_resolved_backend_attribute(self, domain):
+        sync = ShardedSketch(domain, shards=2, seed=9)
+        assert sync.backend == "sync"
+        sync.close()  # no-op on sync
+
+    def test_rejects_unknown_backend(self, domain):
+        with pytest.raises(ParameterError):
+            ShardedSketch(domain, shards=2, seed=9, backend="threads")
+
+    def test_combined_matches_single_sketch(self, domain, process_sharded):
+        stream = random_stream(600, seed=10)
+        stream += [update.inverted() for update in stream[:200]]
+        process_sharded.process_stream(stream, batch_size=128)
+        single = TrackingDistinctCountSketch(
+            process_sharded.params, seed=9
+        )
+        single.process_stream(stream)
+        combined = process_sharded.combined()
+        assert combined.structurally_equal(single)
+        assert combined.track_topk(5).as_dict() == (
+            single.track_topk(5).as_dict()
+        )
+
+    def test_shard_returns_snapshot(self, domain, process_sharded):
+        process_sharded.update_batch(random_stream(100, seed=11))
+        counts = process_sharded.shard_update_counts()
+        snapshot = process_sharded.shard(0)
+        assert snapshot.updates_processed == counts[0]
+
+    def test_memoization_on_process_backend(self, domain, process_sharded):
+        process_sharded.update_batch(random_stream(50, seed=12))
+        first = process_sharded.combined()
+        assert process_sharded.combined() is first
+        process_sharded.process(FlowUpdate(3, 4, +1))
+        assert process_sharded.combined() is not first
+
+    def test_close_is_idempotent(self, domain):
+        sharded = ShardedSketch(domain, shards=2, seed=9, backend="process")
+        sharded.close()
+        sharded.close()
