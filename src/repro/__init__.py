@@ -33,9 +33,11 @@ Package layout:
 * :mod:`repro.monitor` — the DDoS MONITOR application layer.
 * :mod:`repro.metrics` — recall/error/timing metrics for experiments.
 * :mod:`repro.obs` — runtime observability (instruments + exporters).
+* :mod:`repro.resilience` — crash-safe ingestion: checkpoints, WAL,
+  and supervised shard recovery.
 """
 
-from . import obs
+from . import obs, resilience
 from .exceptions import (
     DomainError,
     EstimationError,
@@ -73,4 +75,5 @@ __all__ = [
     "TrackingDistinctCountSketch",
     "__version__",
     "obs",
+    "resilience",
 ]

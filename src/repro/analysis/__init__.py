@@ -17,9 +17,11 @@ package turns them into checkable, plannable code:
 
 from .bounds import (
     chernoff_bound,
+    estimate_standard_error,
     expected_level_population,
     recovery_probability,
     singleton_probability,
+    stopping_level,
 )
 from .planner import CapacityPlan, plan_capacity
 from .prediction import (
@@ -38,6 +40,7 @@ __all__ = [
     "CapacityPlan",
     "appearance_probability",
     "chernoff_bound",
+    "estimate_standard_error",
     "expected_level_population",
     "measure_level_populations",
     "measure_recovery_rate",
@@ -46,6 +49,7 @@ __all__ = [
     "predicted_recall_upper_bound",
     "recovery_probability",
     "singleton_probability",
+    "stopping_level",
     "validate_stopping_level",
     "zipf_frequencies",
 ]

@@ -15,7 +15,12 @@ Subcommands:
   a target workload and accuracy (Theorem 4.4 vs calibrated).
 * ``repro-ddos stats`` — run an instrumented workload and export the
   observability registry (JSON and/or Prometheus text; see
-  ``docs/observability.md``).
+  ``docs/observability.md``).  With ``--checkpoint-dir`` the run is
+  made crash-safe: updates are write-ahead logged and the sketch is
+  checkpointed, so the durability metrics appear in the export.
+* ``repro-ddos recover`` — rebuild a sketch from a durability
+  directory (checkpoint + WAL tail) and print what it knows; the
+  operator side of ``docs/recovery.md``.
 """
 
 from __future__ import annotations
@@ -159,6 +164,35 @@ def _build_parser() -> argparse.ArgumentParser:
              "(update-count driven: the library never reads the clock)",
     )
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="make the run crash-safe: write-ahead log every delivered "
+             "update under DIR and checkpoint the sketch (see "
+             "docs/recovery.md); durability metrics join the export",
+    )
+    stats.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="checkpoint cadence in delivered updates (0 = only the "
+             "final checkpoint at exit; requires --checkpoint-dir)",
+    )
+
+    recover = sub.add_parser(
+        "recover",
+        help="rebuild a sketch from a durability directory and "
+             "inspect it",
+    )
+    recover.add_argument(
+        "directory",
+        help="durability directory (holds checkpoints/ and wal/)",
+    )
+    recover.add_argument("--label", default="sketch",
+                         help="checkpoint label to recover")
+    recover.add_argument(
+        "--backend", choices=["reference", "packed"], default="reference",
+        help="storage backend of the restored sketch",
+    )
+    recover.add_argument("--k", type=int, default=10,
+                         help="top-k table size to print")
 
     return parser
 
@@ -426,8 +460,13 @@ def _stats_quickstart(
 
 def _run_stats(args: argparse.Namespace) -> int:
     from .obs import Registry, render_json, render_prometheus
+    from .resilience import DurableSketch
     from .streams.transport import Channel
 
+    if args.checkpoint_every and not args.checkpoint_dir:
+        print("--checkpoint-every requires --checkpoint-dir",
+              file=sys.stderr)
+        return 2
     domain = AddressDomain(2 ** 32)
     registry = Registry()
     monitor = DDoSMonitor(
@@ -436,6 +475,21 @@ def _run_stats(args: argparse.Namespace) -> int:
         seed=args.seed,
         obs=registry,
     )
+    durable: Optional[DurableSketch] = None
+    if args.checkpoint_dir:
+        durable = DurableSketch(
+            args.checkpoint_dir,
+            domain,
+            seed=args.seed,
+            checkpoint_every=args.checkpoint_every,
+            obs=registry,
+        )
+        if durable.recovered:
+            print(
+                f"# resumed from checkpoint "
+                f"(wal_seq={durable.wal.next_seq}, "
+                f"replayed={durable.records_replayed})"
+            )
     channel = Channel(
         loss_rate=0.02,
         duplicate_rate=0.01,
@@ -462,6 +516,8 @@ def _run_stats(args: argparse.Namespace) -> int:
 
     for position, update in enumerate(delivered, start=1):
         monitor.observe(update)
+        if durable is not None:
+            durable.process(update)
         if args.watch and position % args.watch == 0:
             print(
                 f"[watch] delivered={position} "
@@ -472,6 +528,14 @@ def _run_stats(args: argparse.Namespace) -> int:
                 f"alarms={metric_value('repro_monitor_alarms_total')}"
             )
     monitor.check_now()
+    if durable is not None:
+        durable.checkpoint()
+        durable.close()
+        print(
+            f"# durable state under {args.checkpoint_dir} "
+            f"(wal_seq={durable.wal.next_seq}; recover with: "
+            f"repro-ddos recover {args.checkpoint_dir})"
+        )
     print(
         f"# ingested {len(delivered)} of {len(updates)} updates "
         f"(workload={args.workload}, seed={args.seed})"
@@ -480,6 +544,43 @@ def _run_stats(args: argparse.Namespace) -> int:
         print(render_prometheus(registry), end="")
     if args.format in ("json", "both"):
         print(render_json(registry))
+    return 0
+
+
+def _run_recover(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .exceptions import ParameterError
+    from .resilience import recover_sketch
+
+    try:
+        result = recover_sketch(
+            Path(args.directory),
+            label=args.label,
+            backend=args.backend,
+        )
+    except ParameterError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 1
+    info = result.checkpoint
+    if info is not None:
+        print(
+            f"checkpoint: label={info.label!r} "
+            f"wal_count={info.wal_count} bytes={info.nbytes} "
+            f"crc32={info.crc32:#010x}"
+        )
+    print(f"wal records replayed: {result.records_replayed}")
+    print(f"sketch reflects wal position: {result.wal_count}")
+    sketch = result.sketch
+    print(f"recovered: {sketch!r}")
+    if hasattr(sketch, "track_topk"):
+        top = sketch.track_topk(args.k)
+        print("rank  destination        estimate")
+        for index, entry in enumerate(top, start=1):
+            print(
+                f"{index:4d}  {format_ip(entry.dest):15s}  "
+                f"{entry.estimate:8d}"
+            )
     return 0
 
 
@@ -506,6 +607,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_experiment(args)
     if args.command == "stats":
         return _run_stats(args)
+    if args.command == "recover":
+        return _run_recover(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -257,7 +257,9 @@ class WallClockRule(Rule):
     algorithmic decision is a function of the *update stream* alone, so
     replaying a trace byte-for-byte reproduces every alarm.  Wall-clock
     reads are legal only in ``repro.monitor.epochs`` (epoch rotation
-    policy boundary) and ``repro.metrics.timing`` (measurement harness).
+    policy boundary), ``repro.metrics.timing`` (measurement harness),
+    and ``repro.resilience.checkpoint`` (checkpoint-duration telemetry
+    at the I/O boundary — never algorithmic state).
     """
 
     rule_id = "RL003"
@@ -267,6 +269,7 @@ class WallClockRule(Rule):
     ALLOWED_MODULES: Tuple[str, ...] = (
         "repro.monitor.epochs",
         "repro.metrics.timing",
+        "repro.resilience.checkpoint",
     )
     BANNED_CALLS: FrozenSet[str] = frozenset(
         {"time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",

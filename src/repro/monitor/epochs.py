@@ -19,7 +19,7 @@ natural deployment companion the paper leaves as engineering.
 
 from __future__ import annotations
 
-from typing import Deque, Iterable, Optional
+from typing import Callable, Deque, Iterable, Optional
 from collections import deque
 
 from ..exceptions import ParameterError
@@ -44,6 +44,14 @@ class EpochRotator:
             metrics.  The short-lived epoch sketches themselves stay
             uninstrumented: attaching them would accumulate pull-gauge
             callbacks from retired sketches in the registry.
+        on_rotate: optional callback invoked with the rotator right
+            after each epoch boundary (not for the initial epoch).
+            This is the natural checkpoint trigger: epoch boundaries
+            are quiet points where the query sketch just changed, so a
+            crash-safe deployment checkpoints its
+            :class:`~repro.resilience.durable.DurableSketch` (or
+            supervisor) here — see ``docs/recovery.md``.  Exceptions
+            propagate to the ``observe`` caller.
 
     Example:
         >>> from repro.types import AddressDomain
@@ -64,6 +72,7 @@ class EpochRotator:
         r: int = 3,
         s: int = 128,
         obs: Optional[Registry] = None,
+        on_rotate: Optional[Callable[["EpochRotator"], None]] = None,
     ) -> None:
         if epoch_length < 1:
             raise ParameterError(
@@ -79,6 +88,7 @@ class EpochRotator:
         self.seed = seed
         self.r = r
         self.s = s
+        self.on_rotate = on_rotate
         self._epoch_index = 0
         self._updates_in_epoch = 0
         self._sketches: Deque[TrackingDistinctCountSketch] = deque()
@@ -111,6 +121,8 @@ class EpochRotator:
         if self._updates_in_epoch >= self.epoch_length:
             self._updates_in_epoch = 0
             self._start_new_epoch()
+            if self.on_rotate is not None:
+                self.on_rotate(self)
 
     def observe_stream(self, updates: Iterable[FlowUpdate]) -> int:
         """Apply a whole stream; returns the update count."""

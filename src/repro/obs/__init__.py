@@ -39,7 +39,7 @@ Example:
     1
 """
 
-from .catalog import CATALOG, MetricSpec
+from .catalog import CATALOG, MetricSpec, spec_for
 from .export import render_json, render_prometheus
 from .instruments import (
     DEFAULT_BUCKETS,
@@ -70,4 +70,5 @@ __all__ = [
     "registry_or_null",
     "render_json",
     "render_prometheus",
+    "spec_for",
 ]

@@ -216,6 +216,52 @@ MONITOR_SNAPSHOTS = MetricSpec(
     paper_ref="continuous tracking (§5) recorded for forensics",
 )
 
+# -- crash safety (repro.resilience) ------------------------------------------
+
+CHECKPOINT_DURATION = MetricSpec(
+    name="repro_checkpoint_duration_us",
+    kind="histogram",
+    help="Wall time spent writing one checkpoint, in microseconds "
+         "(serialize + temp-file write + fsync + rename).",
+    buckets=(100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000),
+    paper_ref="§5 continuously-running tracking: persisting the synopsis "
+              "is O(sketch size), not O(stream length n)",
+)
+
+CHECKPOINT_BYTES = MetricSpec(
+    name="repro_checkpoint_bytes",
+    kind="histogram",
+    help="Serialized payload size of each checkpoint written.",
+    buckets=(1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26),
+    paper_ref="§6.1 space accounting: the checkpoint is the synopsis, "
+              "so its size tracks the 2.3-4.6 MB sketch footprint",
+)
+
+WAL_RECORDS = MetricSpec(
+    name="repro_wal_records_total",
+    kind="counter",
+    help="Flow updates appended to the write-ahead log.",
+    paper_ref="§2 stream model: the log is a durable suffix of the "
+              "update stream (source, dest, ±1)",
+)
+
+WAL_RECORDS_REPLAYED = MetricSpec(
+    name="repro_wal_records_replayed_total",
+    kind="counter",
+    help="Logged updates re-applied during recovery (checkpoint tail).",
+    paper_ref="§3 delete-imperviousness: re-applying a logged suffix "
+              "reconstructs the exact synopsis",
+)
+
+WORKER_RESTARTS = MetricSpec(
+    name="repro_worker_restarts_total",
+    kind="counter",
+    help="Shard-worker respawn attempts by the supervisor, per shard.",
+    labels=("shard",),
+    paper_ref="Fig. 1 deployment: per-worker synopses must survive "
+              "worker failure for the monitor to run continuously",
+)
+
 # -- transport (repro.streams.transport) --------------------------------------
 
 TRANSPORT_UPDATES = MetricSpec(
@@ -260,6 +306,11 @@ CATALOG: Tuple[MetricSpec, ...] = tuple(
             MONITOR_EPOCH_LIVE_SKETCHES,
             MONITOR_THRESHOLD_CROSSINGS,
             MONITOR_SNAPSHOTS,
+            CHECKPOINT_DURATION,
+            CHECKPOINT_BYTES,
+            WAL_RECORDS,
+            WAL_RECORDS_REPLAYED,
+            WORKER_RESTARTS,
             TRANSPORT_UPDATES,
             TRANSPORT_REORDERED,
         ),

@@ -1,0 +1,63 @@
+"""Crash-safe ingestion: checkpoints, write-ahead log, supervision.
+
+The sketch of Section 3 is a linear, order-invariant, delete-impervious
+function of the update multiset — so exact durability is cheap: keep a
+write-ahead log of the stream, checkpoint the synopsis periodically,
+and a crash recovers to the *bit-identical* sketch by replaying the log
+tail on top of the newest checkpoint.  This package is that machinery:
+
+* :class:`WriteAheadLog` — segmented, CRC-framed, batch-flushed log of
+  flow updates with torn-tail repair (:mod:`repro.resilience.wal`);
+* :class:`CheckpointStore` — atomic tmp-fsync-rename checkpoints with
+  CRC-checked manifests and generation fallback
+  (:mod:`repro.resilience.checkpoint`);
+* :class:`DurableSketch` / :func:`recover_sketch` — single-process
+  packaging: open a directory, get your pre-crash sketch back
+  (:mod:`repro.resilience.durable`);
+* :class:`ShardSupervisor` — process-pool shard workers with liveness
+  detection, backoff respawn from checkpoint + WAL tail, and
+  degrade-to-sync after repeated failures
+  (:mod:`repro.resilience.supervisor`);
+* :func:`kill_shard_worker` / :func:`truncate_wal_tail` /
+  :func:`corrupt_latest_checkpoint` — the fault-injection drills the
+  chaos suite (and operators) run (:mod:`repro.resilience.faults`).
+
+Operator guidance — checkpoint cadence vs WAL growth, fsync policy,
+failure drills — lives in ``docs/recovery.md``.
+"""
+
+from .checkpoint import CheckpointInfo, CheckpointStore
+from .durable import (
+    CHECKPOINT_SUBDIR,
+    WAL_SUBDIR,
+    DurableSketch,
+    RecoveryResult,
+    recover_sketch,
+    replay_into,
+)
+from .faults import (
+    corrupt_latest_checkpoint,
+    kill_shard_worker,
+    truncate_wal_tail,
+)
+from .supervisor import ShardSupervisor
+from .wal import FSYNC_POLICIES, WalCorruption, WriteAheadLog, replay_wal
+
+__all__ = [
+    "CHECKPOINT_SUBDIR",
+    "CheckpointInfo",
+    "CheckpointStore",
+    "DurableSketch",
+    "FSYNC_POLICIES",
+    "RecoveryResult",
+    "ShardSupervisor",
+    "WAL_SUBDIR",
+    "WalCorruption",
+    "WriteAheadLog",
+    "corrupt_latest_checkpoint",
+    "kill_shard_worker",
+    "recover_sketch",
+    "replay_into",
+    "replay_wal",
+    "truncate_wal_tail",
+]

@@ -29,6 +29,20 @@ class PoolUnavailable(RuntimeError):
     """Raised when a worker pool cannot be started on this platform."""
 
 
+class WorkerDied(RuntimeError):
+    """A shard worker's pipe broke: the process is gone or wedged.
+
+    Carries the shard index so a supervisor can respawn exactly the
+    failed worker (see :mod:`repro.resilience.supervisor`).
+    """
+
+    def __init__(self, shard: int, detail: str = "") -> None:
+        super().__init__(
+            f"shard {shard} worker died{': ' + detail if detail else ''}"
+        )
+        self.shard = shard
+
+
 def _worker_main(
     conn: Any, params: SketchParams, seed: int, sketch_backend: str
 ) -> None:
@@ -52,6 +66,11 @@ def _worker_main(
             )
         elif command == "snapshot":
             conn.send(serialize.dumps(sketch))
+        elif command == "load":
+            # Replace the sketch wholesale (checkpoint restore).
+            loaded = serialize.loads(payload, backend=sketch_backend)
+            assert isinstance(loaded, TrackingDistinctCountSketch)
+            sketch = loaded
         elif command == "close":
             break
     conn.close()
@@ -109,18 +128,15 @@ class ProcessShardPool:
             raise PoolUnavailable(str(error)) from error
         if context is None:
             raise PoolUnavailable("no usable multiprocessing start method")
+        self._context = context
+        self._params = params
+        self._seed = seed
+        self._sketch_backend = sketch_backend
         self._connections: List[Any] = []
         self._processes: List[Any] = []
         try:
             for _ in range(shards):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_conn, params, seed, sketch_backend),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
+                parent_conn, process = self._spawn()
                 self._connections.append(parent_conn)
                 self._processes.append(process)
         except (OSError, ValueError) as error:
@@ -131,33 +147,122 @@ class ProcessShardPool:
             self, _cleanup, self._connections, self._processes
         )
 
+    def _spawn(self) -> Tuple[Any, Any]:
+        """Start one worker; returns its (parent pipe, process)."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                self._params,
+                self._seed,
+                self._sketch_backend,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
+
     @property
     def num_shards(self) -> int:
         """Number of worker processes."""
         return len(self._processes)
 
-    def ingest(self, shard: int, updates: Sequence[UpdateTuple]) -> None:
-        """Queue a chunk of update tuples on one worker (non-blocking)."""
+    def is_alive(self, shard: int) -> bool:
+        """True when the shard's worker process is still running."""
+        if self._closed:
+            return False
+        return bool(self._processes[shard].is_alive())
+
+    def pid(self, shard: int) -> Optional[int]:
+        """OS process id of the shard's worker (None once closed)."""
+        if self._closed:
+            return None
+        pid = self._processes[shard].pid
+        return int(pid) if pid is not None else None
+
+    def respawn(self, shard: int, payload: Optional[bytes] = None) -> None:
+        """Replace a (dead) worker with a fresh process.
+
+        ``payload`` — a :mod:`repro.sketch.serialize` snapshot — is
+        loaded into the new worker before it accepts ingest, restoring
+        the shard's sketch state (checkpoint restore).  Without it the
+        worker starts from an empty sketch.
+
+        Raises:
+            PoolUnavailable: when the replacement process cannot start.
+        """
         if self._closed:
             raise PoolUnavailable("pool is closed")
-        self._connections[shard].send(("ingest", list(updates)))
+        old_conn = self._connections[shard]
+        old_process = self._processes[shard]
+        try:
+            old_conn.close()
+        except OSError:
+            pass
+        old_process.join(timeout=1)
+        if old_process.is_alive():
+            old_process.terminate()
+            old_process.join(timeout=5)
+        try:
+            parent_conn, process = self._spawn()
+            if payload is not None:
+                parent_conn.send(("load", payload))
+        except (OSError, ValueError, BrokenPipeError) as error:
+            raise PoolUnavailable(str(error)) from error
+        self._connections[shard] = parent_conn
+        self._processes[shard] = process
+
+    def ingest(self, shard: int, updates: Sequence[UpdateTuple]) -> None:
+        """Queue a chunk of update tuples on one worker (non-blocking).
+
+        Raises:
+            WorkerDied: when the worker's pipe is broken.
+        """
+        if self._closed:
+            raise PoolUnavailable("pool is closed")
+        try:
+            self._connections[shard].send(("ingest", list(updates)))
+        except (OSError, ValueError, BrokenPipeError) as error:
+            raise WorkerDied(shard, str(error)) from error
 
     def snapshot(self, shard: int) -> bytes:
-        """Serialized state of one worker's sketch (drains its queue)."""
+        """Serialized state of one worker's sketch (drains its queue).
+
+        Raises:
+            WorkerDied: when the worker died before answering.
+        """
         if self._closed:
             raise PoolUnavailable("pool is closed")
         conn = self._connections[shard]
-        conn.send(("snapshot", None))
-        payload: bytes = conn.recv()
+        try:
+            conn.send(("snapshot", None))
+            payload: bytes = conn.recv()
+        except (OSError, EOFError, ValueError, BrokenPipeError) as error:
+            raise WorkerDied(shard, str(error)) from error
         return payload
 
     def snapshots(self) -> List[bytes]:
-        """Serialized state of every worker, request-all then drain-all."""
+        """Serialized state of every worker, request-all then drain-all.
+
+        Raises:
+            WorkerDied: when any worker died before answering.
+        """
         if self._closed:
             raise PoolUnavailable("pool is closed")
-        for conn in self._connections:
-            conn.send(("snapshot", None))
-        return [conn.recv() for conn in self._connections]
+        for shard, conn in enumerate(self._connections):
+            try:
+                conn.send(("snapshot", None))
+            except (OSError, ValueError, BrokenPipeError) as error:
+                raise WorkerDied(shard, str(error)) from error
+        payloads: List[bytes] = []
+        for shard, conn in enumerate(self._connections):
+            try:
+                payloads.append(conn.recv())
+            except (OSError, EOFError, ValueError, BrokenPipeError) as error:
+                raise WorkerDied(shard, str(error)) from error
+        return payloads
 
     def close(self) -> None:
         """Shut every worker down; idempotent."""

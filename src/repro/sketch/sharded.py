@@ -30,7 +30,7 @@ and two execution backends:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Sequence
 
 from ..exceptions import ParameterError
 from ..hashing import TabulationHash, derive_seed
@@ -39,7 +39,7 @@ from ..obs.registry import Registry, registry_or_null
 from ..types import AddressDomain, FlowUpdate
 from .estimate import TopKResult
 from .params import SketchParams
-from .process_pool import PoolUnavailable, ProcessShardPool
+from .process_pool import PoolUnavailable, ProcessShardPool, WorkerDied
 from .serialize import loads as _loads
 from .tracking import TrackingDistinctCountSketch
 
@@ -156,14 +156,36 @@ class ShardedSketch:
 
     def process(self, update: FlowUpdate) -> None:
         """Route one update to its shard."""
-        index = self.shard_for(update)
+        self.ingest_shard(self.shard_for(update), [update])
+
+    def ingest_shard(
+        self, index: int, updates: Sequence[FlowUpdate]
+    ) -> int:
+        """Apply a pre-routed batch to one shard, bypassing routing.
+
+        This is the primitive every ingest path (and the recovery
+        replay in :mod:`repro.resilience.supervisor`) funnels through:
+        it feeds the shard, maintains the per-shard tallies and
+        observability counters, and invalidates the :meth:`combined`
+        memo.  Returns the number of updates applied.
+
+        Raises:
+            WorkerDied: process backend, when the shard's worker pipe
+                is broken (the caller may :meth:`restore_shard`).
+        """
+        group = list(updates)
+        if not group:
+            return 0
         if self._pool is not None:
-            self._pool.ingest(index, [update.as_tuple()])
+            self._pool.ingest(
+                index, [update.as_tuple() for update in group]
+            )
         else:
-            self._shards[index].process(update)
-        self._shard_counts[index] += 1
-        self._obs_shard_updates[index].inc()
+            self._shards[index].update_batch(group)
+        self._shard_counts[index] += len(group)
+        self._obs_shard_updates[index].inc(len(group))
         self._combined_cache = None
+        return len(group)
 
     def process_stream(
         self,
@@ -220,19 +242,7 @@ class ShardedSketch:
             groups[shard_for(update)].append(update)
         count = 0
         for index, group in enumerate(groups):
-            if not group:
-                continue
-            if self._pool is not None:
-                self._pool.ingest(
-                    index, [update.as_tuple() for update in group]
-                )
-            else:
-                self._shards[index].update_batch(group)
-            self._shard_counts[index] += len(group)
-            self._obs_shard_updates[index].inc(len(group))
-            count += len(group)
-        if count:
-            self._combined_cache = None
+            count += self.ingest_shard(index, group)
         return count
 
     def combined(self) -> TrackingDistinctCountSketch:
@@ -280,6 +290,111 @@ class ShardedSketch:
     def shard_update_counts(self) -> List[int]:
         """Updates processed per shard (load-balance inspection)."""
         return list(self._shard_counts)
+
+    # -- worker lifecycle (crash recovery surface) -------------------------------
+
+    def worker_alive(self, index: int) -> bool:
+        """Liveness of a shard's worker (always True on sync)."""
+        if self._pool is not None:
+            return self._pool.is_alive(index)
+        return True
+
+    def worker_pid(self, index: int) -> Optional[int]:
+        """OS pid of a shard's worker process (None on sync) — the
+        fault-injection surface :mod:`repro.resilience.faults` targets."""
+        if self._pool is not None:
+            return self._pool.pid(index)
+        return None
+
+    def restore_shard(
+        self,
+        index: int,
+        payload: Optional[bytes] = None,
+        processed_count: Optional[int] = None,
+    ) -> None:
+        """Replace one shard's sketch state (crash recovery).
+
+        On the process backend the worker is respawned and, when
+        ``payload`` (a :mod:`repro.sketch.serialize` snapshot) is
+        given, restored from it; on the sync backend the in-process
+        sketch is swapped.  ``processed_count`` resets the shard's
+        update tally to what the restored state reflects (a recovery
+        supervisor follows up with replayed updates, which re-count
+        through :meth:`ingest_shard`).
+
+        Restoring *always* invalidates the :meth:`combined` memo: a
+        respawned or restored worker holds different state than the
+        cached merge, even though no update was routed.
+
+        Raises:
+            PoolUnavailable: process backend, when the replacement
+                worker cannot be started.
+        """
+        if self._pool is not None:
+            self._pool.respawn(index, payload)
+        else:
+            if payload is not None:
+                sketch = _loads(payload, backend=self.sketch_backend)
+                assert isinstance(sketch, TrackingDistinctCountSketch)
+            else:
+                sketch = TrackingDistinctCountSketch(
+                    self.params,
+                    seed=self.seed,
+                    backend=self.sketch_backend,
+                )
+            self._shards[index] = sketch
+        if processed_count is not None:
+            self._shard_counts[index] = processed_count
+        self._combined_cache = None
+
+    def degrade_to_sync(
+        self,
+        payloads: Sequence[Optional[bytes]],
+        processed_counts: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Abandon the process backend: rebuild every shard in-process.
+
+        ``payloads`` supplies one serialized snapshot per shard
+        (``None`` entries start from an empty sketch — the caller is
+        expected to replay their WAL tail afterwards), and
+        ``processed_counts`` optionally resets the per-shard update
+        tallies to match.  The worker pool is shut down and
+        :attr:`backend` becomes ``"sync"``; the :meth:`combined` memo
+        is invalidated.  No-op data-wise on an already-sync sketch
+        (payloads are still applied).
+        """
+        if len(payloads) != self._num_shards:
+            raise ParameterError(
+                f"expected {self._num_shards} payloads, "
+                f"got {len(payloads)}"
+            )
+        if processed_counts is not None and (
+            len(processed_counts) != self._num_shards
+        ):
+            raise ParameterError(
+                f"expected {self._num_shards} processed_counts, "
+                f"got {len(processed_counts)}"
+            )
+        shards: List[TrackingDistinctCountSketch] = []
+        for payload in payloads:
+            if payload is not None:
+                sketch = _loads(payload, backend=self.sketch_backend)
+                assert isinstance(sketch, TrackingDistinctCountSketch)
+            else:
+                sketch = TrackingDistinctCountSketch(
+                    self.params,
+                    seed=self.seed,
+                    backend=self.sketch_backend,
+                )
+            shards.append(sketch)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._shards = shards
+        if processed_counts is not None:
+            self._shard_counts = list(processed_counts)
+        self.backend = "sync"
+        self._combined_cache = None
 
     def close(self) -> None:
         """Shut down worker processes (no-op on the sync backend)."""

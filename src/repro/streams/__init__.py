@@ -35,6 +35,7 @@ from .trace import read_trace, trace_from_string, write_trace
 from .transport import (
     Channel,
     DuplicatingChannel,
+    JournalingChannel,
     LossyChannel,
     ReorderingChannel,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "Channel",
     "ChurnStorm",
     "DuplicatingChannel",
+    "JournalingChannel",
     "ListSource",
     "LossyChannel",
     "RankFlipper",

@@ -27,6 +27,7 @@ from ..exceptions import ParameterError
 from ..hashing import derive_seed
 from ..obs.catalog import TRANSPORT_REORDERED, TRANSPORT_UPDATES
 from ..obs.registry import Registry, registry_or_null
+from ..resilience.wal import WriteAheadLog
 from ..types import FlowUpdate
 
 
@@ -155,6 +156,45 @@ class ReorderingChannel:
         self._obs_delivered.inc(len(keyed))
         self._obs_reordered.inc(self.displaced)
         return [update for _, _, update in keyed]
+
+
+class JournalingChannel:
+    """A durable tap: every delivered update hits the WAL, then flows on.
+
+    Place this *last* in a channel chain, directly in front of the
+    monitor: what the log captures is exactly what the sketch ingested
+    (post-loss, post-duplication), so a crash-recovery replay of the
+    journal reproduces the sketch bit-for-bit — the recovery identity
+    of :mod:`repro.resilience`.  Journaling upstream of a lossy stage
+    would instead record updates the sketch never saw.
+
+    Args:
+        wal: the :class:`~repro.resilience.wal.WriteAheadLog` to append
+            into (owned by the caller — this channel never closes it).
+        obs: optional :class:`~repro.obs.Registry`; delivered updates
+            count under ``repro_transport_updates_total``.
+    """
+
+    def __init__(
+        self, wal: WriteAheadLog, obs: Optional[Registry] = None
+    ) -> None:
+        self.wal = wal
+        #: Updates journaled by the most recent transmission.
+        self.journaled = 0
+        self.obs: Registry = registry_or_null(obs)
+        updates = self.obs.counter_from(TRANSPORT_UPDATES)
+        self._obs_delivered = updates.labels(outcome="delivered")
+
+    def transmit(
+        self, updates: Iterable[FlowUpdate]
+    ) -> Iterator[FlowUpdate]:
+        """Append each update to the WAL, then yield it downstream."""
+        self.journaled = 0
+        for update in updates:
+            self.wal.append(update)
+            self.journaled += 1
+            self._obs_delivered.inc()
+            yield update
 
 
 class Channel:

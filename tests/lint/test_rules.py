@@ -163,6 +163,32 @@ class TestRL003WallClock:
         ))
         assert violations == []
 
+    def test_passes_in_checkpoint_module(self):
+        # The checkpoint-duration timer sits at the disk I/O boundary,
+        # outside any algorithm — explicitly allowlisted.
+        violations = run_rule("RL003", (
+            "src/repro/resilience/checkpoint.py",
+            """
+            import time
+
+            def sample() -> float:
+                return time.perf_counter()
+            """,
+        ))
+        assert violations == []
+
+    def test_other_resilience_modules_stay_gated(self):
+        violations = run_rule("RL003", (
+            "src/repro/resilience/wal.py",
+            """
+            import time
+
+            def stamp() -> float:
+                return time.time()
+            """,
+        ))
+        assert [v.rule_id for v in violations] == ["RL003"]
+
 
 class TestRL004MutableDefaults:
     def test_fails_on_list_literal_default(self):

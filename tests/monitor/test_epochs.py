@@ -97,3 +97,45 @@ class TestValidation:
     def test_rejects_bad_window(self, domain):
         with pytest.raises(ParameterError):
             EpochRotator(domain, epoch_length=10, window_epochs=0)
+
+
+class TestOnRotateHook:
+    def test_hook_fires_per_boundary_not_initial_epoch(self, domain):
+        seen = []
+        rotator = EpochRotator(
+            domain, epoch_length=50, window_epochs=2, seed=9,
+            on_rotate=lambda r: seen.append(r.epochs_started),
+        )
+        assert seen == []  # construction opens epoch 1 silently
+        rotator.observe_stream(flood(7, 125))
+        assert seen == [2, 3]
+
+    def test_hook_receives_the_rotator(self, domain):
+        captured = []
+        rotator = EpochRotator(
+            domain, epoch_length=10, window_epochs=2, seed=10,
+            on_rotate=captured.append,
+        )
+        rotator.observe_stream(flood(3, 10))
+        assert captured == [rotator]
+
+    def test_checkpoint_on_rotate_integration(self, domain, tmp_path):
+        # The documented deployment pattern: epoch boundaries trigger
+        # durable checkpoints (docs/recovery.md).
+        from repro.resilience import DurableSketch
+
+        with DurableSketch(tmp_path, domain, seed=11) as durable:
+            rotator = EpochRotator(
+                domain, epoch_length=40, window_epochs=2, seed=11,
+                on_rotate=lambda _rotator: durable.checkpoint(),
+            )
+            for update in flood(7, 100):
+                # Log-and-apply *before* observing: the boundary hook
+                # must see a WAL that already covers the update that
+                # closed the epoch.
+                durable.process(update)
+                rotator.observe(update)
+            manifests = durable.checkpoints.manifests()
+        # Boundaries after updates 40 and 80 -> checkpoints at those
+        # WAL positions.
+        assert manifests[-1].wal_count == 80

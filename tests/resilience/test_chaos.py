@@ -1,0 +1,205 @@
+"""Chaos suite: inflicted faults must not change the answer.
+
+Every test here injects a real fault — SIGKILL of a worker process, a
+torn WAL tail, a corrupted checkpoint payload — and asserts the
+recovered sketch is ``structurally_equal`` (and yields the identical
+top-k) to an uninterrupted run.  That is the recovery identity of
+:mod:`repro.resilience`: the sketch is a linear, order-invariant,
+delete-impervious function of the update multiset, so checkpoint +
+WAL-tail replay is bit-exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.resilience import (
+    ShardSupervisor,
+    corrupt_latest_checkpoint,
+    kill_shard_worker,
+    truncate_wal_tail,
+)
+from repro.resilience.durable import CHECKPOINT_SUBDIR, WAL_SUBDIR
+from repro.sketch import ShardedSketch, TrackingDistinctCountSketch
+from repro.sketch.process_pool import PoolUnavailable
+from repro.types import AddressDomain, FlowUpdate
+
+NO_SLEEP = lambda _seconds: None  # noqa: E731 - injected test sleep
+
+
+def random_stream(count, seed=0, dests=13):
+    rng = random.Random(seed)
+    return [
+        FlowUpdate(rng.randrange(2 ** 16), rng.randrange(dests), 1)
+        for _ in range(count)
+    ]
+
+
+def reference_for(stream, seed=5, backend="reference"):
+    sketch = TrackingDistinctCountSketch(
+        AddressDomain(2 ** 16), seed=seed, backend=backend
+    )
+    sketch.update_batch(stream)
+    return sketch
+
+
+def process_bank(sketch_backend="reference", policy="round-robin"):
+    bank = ShardedSketch(
+        AddressDomain(2 ** 16),
+        shards=3,
+        policy=policy,
+        seed=5,
+        backend="process",
+        sketch_backend=sketch_backend,
+    )
+    if bank.backend != "process":
+        pytest.skip("multiprocessing unavailable on this platform")
+    return bank
+
+
+class TestKillNineRecovery:
+    @pytest.mark.parametrize("sketch_backend", ["reference", "packed"])
+    def test_sigkill_mid_stream_recovers_bit_identical(
+        self, tmp_path, sketch_backend
+    ):
+        stream = random_stream(600, seed=1)
+        with ShardSupervisor(
+            process_bank(sketch_backend), tmp_path, sleep=NO_SLEEP
+        ) as supervisor:
+            supervisor.process_stream(stream[:300], batch_size=50)
+            supervisor.checkpoint()
+            supervisor.process_stream(stream[300:450], batch_size=50)
+            kill_shard_worker(supervisor.sharded, 1)
+            supervisor.process_stream(stream[450:], batch_size=50)
+            reference = reference_for(stream, backend=sketch_backend)
+            recovered = supervisor.combined()
+            assert recovered.structurally_equal(reference)
+            assert (
+                recovered.track_topk(5).destinations
+                == reference.track_topk(5).destinations
+            )
+            assert supervisor.restarts >= 1
+            assert supervisor.backend == "process"
+
+    def test_sigkill_before_any_checkpoint_replays_from_zero(
+        self, tmp_path
+    ):
+        stream = random_stream(300, seed=2)
+        with ShardSupervisor(
+            process_bank(), tmp_path, sleep=NO_SLEEP
+        ) as supervisor:
+            supervisor.process_stream(stream[:200], batch_size=40)
+            kill_shard_worker(supervisor.sharded, 0)
+            supervisor.process_stream(stream[200:], batch_size=40)
+            assert supervisor.combined().structurally_equal(
+                reference_for(stream)
+            )
+
+    def test_sigkill_detected_at_combine_time(self, tmp_path):
+        stream = random_stream(300, seed=3)
+        with ShardSupervisor(
+            process_bank(), tmp_path, sleep=NO_SLEEP
+        ) as supervisor:
+            supervisor.process_stream(stream, batch_size=50)
+            kill_shard_worker(supervisor.sharded, 2)
+            # No further ingest: combined() itself must notice & recover.
+            assert supervisor.combined().structurally_equal(
+                reference_for(stream)
+            )
+
+    @pytest.mark.parametrize("policy", ["round-robin", "by-destination"])
+    def test_both_policies_survive_a_kill(self, tmp_path, policy):
+        stream = random_stream(400, seed=4)
+        with ShardSupervisor(
+            process_bank(policy=policy), tmp_path, sleep=NO_SLEEP
+        ) as supervisor:
+            supervisor.process_stream(stream[:200], batch_size=40)
+            kill_shard_worker(supervisor.sharded, 1)
+            supervisor.process_stream(stream[200:], batch_size=40)
+            assert supervisor.combined().structurally_equal(
+                reference_for(stream)
+            )
+
+
+class TestDegradeToSync:
+    def test_exhausted_restarts_degrade_and_stay_correct(
+        self, tmp_path, monkeypatch
+    ):
+        stream = random_stream(500, seed=5)
+        supervisor = ShardSupervisor(
+            process_bank(),
+            tmp_path,
+            max_restarts=2,
+            sleep=NO_SLEEP,
+        )
+        supervisor.process_stream(stream[:250], batch_size=50)
+        supervisor.checkpoint()
+
+        def refuse_respawn(self, shard, payload=None):
+            raise PoolUnavailable("injected: platform lost fork")
+
+        from repro.sketch.process_pool import ProcessShardPool
+
+        monkeypatch.setattr(ProcessShardPool, "respawn", refuse_respawn)
+        kill_shard_worker(supervisor.sharded, 0)
+        supervisor.process_stream(stream[250:], batch_size=50)
+        assert supervisor.backend == "sync"
+        assert supervisor.restarts == 2
+        assert supervisor.combined().structurally_equal(
+            reference_for(stream)
+        )
+        # Ingestion continues on the sync backend after degrading.
+        extra = random_stream(60, seed=55)
+        supervisor.process_stream(extra)
+        assert supervisor.combined().structurally_equal(
+            reference_for(stream + extra)
+        )
+        supervisor.close()
+
+
+class TestStorageFaults:
+    def test_torn_wal_plus_kill_loses_only_torn_records(self, tmp_path):
+        stream = random_stream(400, seed=6)
+        with ShardSupervisor(
+            process_bank(),
+            tmp_path,
+            wal_flush_every=1,
+            sleep=NO_SLEEP,
+        ) as supervisor:
+            supervisor.process_stream(stream[:300], batch_size=50)
+            supervisor.checkpoint()
+            supervisor.process_stream(stream[300:], batch_size=50)
+            expected = supervisor.routed_counts()
+        truncate_wal_tail(tmp_path / WAL_SUBDIR, drop_bytes=3)
+        # Restart over the damaged directory: the torn record (the last
+        # 50-update batch) is gone, everything else must be intact.
+        with ShardSupervisor(
+            process_bank(), tmp_path, sleep=NO_SLEEP
+        ) as recovered:
+            assert sum(recovered.routed_counts()) == sum(expected) - 50
+            assert recovered.combined().structurally_equal(
+                reference_for(stream[:350])
+            )
+
+    def test_corrupt_checkpoint_falls_back_and_replays_more(
+        self, tmp_path
+    ):
+        stream = random_stream(400, seed=7)
+        with ShardSupervisor(
+            process_bank(), tmp_path, sleep=NO_SLEEP
+        ) as supervisor:
+            supervisor.process_stream(stream[:200], batch_size=40)
+            supervisor.checkpoint()
+            supervisor.process_stream(stream[200:], batch_size=40)
+            supervisor.checkpoint()
+        corrupt_latest_checkpoint(
+            tmp_path / CHECKPOINT_SUBDIR, label="shard-1"
+        )
+        with ShardSupervisor(
+            process_bank(), tmp_path, sleep=NO_SLEEP
+        ) as recovered:
+            assert recovered.combined().structurally_equal(
+                reference_for(stream)
+            )

@@ -1,0 +1,135 @@
+"""Tests for atomic, CRC-checked checkpoint generations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import Registry
+from repro.resilience import CheckpointStore
+from repro.resilience.faults import corrupt_latest_checkpoint
+from repro.sketch import TrackingDistinctCountSketch
+from repro.types import AddressDomain, FlowUpdate
+
+
+@pytest.fixture
+def sketch():
+    sketch = TrackingDistinctCountSketch(AddressDomain(2 ** 16), seed=3)
+    rng = random.Random(11)
+    sketch.update_batch(
+        [
+            FlowUpdate(rng.randrange(2 ** 16), rng.randrange(9), 1)
+            for _ in range(300)
+        ]
+    )
+    return sketch
+
+
+class TestSaveLoad:
+    def test_roundtrip_is_structurally_equal(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path)
+        info = store.save(sketch, wal_count=300)
+        assert info.wal_count == 300
+        loaded = store.load_latest()
+        assert loaded is not None
+        restored, got_info = loaded
+        assert got_info == info
+        assert restored.structurally_equal(sketch)
+
+    @pytest.mark.parametrize("backend", ["reference", "packed"])
+    def test_backend_kwarg_selects_storage(self, tmp_path, sketch, backend):
+        store = CheckpointStore(tmp_path)
+        store.save(sketch, wal_count=300)
+        restored, _ = store.load_latest(backend=backend)
+        assert restored.backend == backend
+        assert restored.structurally_equal(sketch)
+
+    def test_newest_generation_wins(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path, keep=3)
+        store.save(sketch, wal_count=100)
+        sketch.process(FlowUpdate(1, 2, 1))
+        store.save(sketch, wal_count=200)
+        _, info = store.load_latest()
+        assert info.wal_count == 200
+
+    def test_keep_prunes_old_generations(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path, keep=2)
+        for wal_count in (10, 20, 30, 40):
+            store.save(sketch, wal_count=wal_count)
+        counts = [info.wal_count for info in store.manifests()]
+        assert counts == [30, 40]
+        assert len(list(tmp_path.glob("*.ckpt"))) == 2
+
+    def test_extra_ints_roundtrip(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path)
+        store.save(sketch, wal_count=7, extra={"routed": 123})
+        _, info = store.load_latest()
+        assert info.extra == {"routed": 123}
+
+    def test_labels_are_independent(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path)
+        store.save(sketch, wal_count=5, label="shard-0")
+        store.save(sketch, wal_count=9, label="shard-1")
+        assert store.load_latest("shard-0")[1].wal_count == 5
+        assert store.load_latest("shard-1")[1].wal_count == 9
+        assert store.load_latest("shard-2") is None
+
+
+class TestCorruptionFallback:
+    def test_corrupted_payload_falls_back_a_generation(
+        self, tmp_path, sketch
+    ):
+        store = CheckpointStore(tmp_path, keep=2)
+        store.save(sketch, wal_count=100)
+        sketch.process(FlowUpdate(5, 6, 1))
+        store.save(sketch, wal_count=200)
+        corrupt_latest_checkpoint(tmp_path)
+        _, info = store.load_latest()
+        assert info.wal_count == 100
+
+    def test_all_generations_corrupt_returns_none(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path, keep=1)
+        store.save(sketch, wal_count=100)
+        corrupt_latest_checkpoint(tmp_path)
+        assert store.load_latest() is None
+
+    def test_missing_payload_is_skipped(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path, keep=2)
+        store.save(sketch, wal_count=100)
+        store.save(sketch, wal_count=200)
+        newest = sorted(tmp_path.glob("*.ckpt"))[-1]
+        newest.unlink()
+        _, info = store.load_latest()
+        assert info.wal_count == 100
+
+    def test_garbage_manifest_is_skipped(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path, keep=2)
+        store.save(sketch, wal_count=100)
+        store.save(sketch, wal_count=200)
+        newest = sorted(tmp_path.glob("*.json"))[-1]
+        newest.write_text("{not json", encoding="ascii")
+        _, info = store.load_latest()
+        assert info.wal_count == 100
+
+
+class TestValidationAndObs:
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(ParameterError):
+            CheckpointStore(tmp_path, keep=0)
+
+    def test_negative_wal_count_rejected(self, tmp_path, sketch):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ParameterError):
+            store.save(sketch, wal_count=-1)
+
+    def test_duration_and_bytes_observed(self, tmp_path, sketch):
+        registry = Registry()
+        store = CheckpointStore(tmp_path, obs=registry)
+        info = store.save(sketch, wal_count=1)
+        duration = registry.get("repro_checkpoint_duration_us")
+        size = registry.get("repro_checkpoint_bytes")
+        assert duration.count == 1
+        assert size.count == 1
+        assert size.sum == info.nbytes

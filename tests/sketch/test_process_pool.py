@@ -1,0 +1,211 @@
+"""Tests for ProcessShardPool edge paths and the recovery surface."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sketch import ShardedSketch, TrackingDistinctCountSketch
+from repro.sketch import serialize
+from repro.sketch.params import SketchParams
+from repro.sketch.process_pool import (
+    PoolUnavailable,
+    ProcessShardPool,
+    WorkerDied,
+)
+from repro.types import AddressDomain, FlowUpdate
+
+
+def random_stream(count, seed=0, dests=9):
+    rng = random.Random(seed)
+    return [
+        FlowUpdate(rng.randrange(2 ** 16), rng.randrange(dests), 1)
+        for _ in range(count)
+    ]
+
+
+def make_pool(shards=2, sketch_backend="reference"):
+    params = SketchParams(AddressDomain(2 ** 16))
+    try:
+        return ProcessShardPool(params, 7, shards, sketch_backend)
+    except PoolUnavailable:
+        pytest.skip("multiprocessing unavailable on this platform")
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_final(self):
+        pool = make_pool()
+        pool.close()
+        pool.close()
+        assert not pool.is_alive(0)
+        assert pool.pid(0) is None
+        with pytest.raises(PoolUnavailable):
+            pool.ingest(0, [(1, 2, 1)])
+        with pytest.raises(PoolUnavailable):
+            pool.snapshot(0)
+        with pytest.raises(PoolUnavailable):
+            pool.respawn(0)
+
+    def test_ingest_after_worker_death_raises_workerdied(self):
+        import os
+        import signal
+
+        pool = make_pool()
+        try:
+            os.kill(pool.pid(0), signal.SIGKILL)
+            with pytest.raises(WorkerDied) as excinfo:
+                for _ in range(2048):  # fill the pipe until it breaks
+                    pool.ingest(0, [(1, 2, 1)])
+                pool.snapshot(0)
+            assert excinfo.value.shard == 0
+        finally:
+            pool.close()
+
+    def test_respawn_replaces_dead_worker_with_state(self):
+        import os
+        import signal
+
+        pool = make_pool()
+        try:
+            stream = random_stream(100, seed=1)
+            pool.ingest(0, [u.as_tuple() for u in stream])
+            payload = pool.snapshot(0)
+            os.kill(pool.pid(0), signal.SIGKILL)
+            old_pid = pool.pid(0)
+            pool.respawn(0, payload)
+            assert pool.is_alive(0)
+            assert pool.pid(0) != old_pid
+            restored = serialize.loads(pool.snapshot(0))
+            reference = TrackingDistinctCountSketch(
+                AddressDomain(2 ** 16), seed=7
+            )
+            reference.update_batch(stream)
+            assert restored.structurally_equal(reference)
+        finally:
+            pool.close()
+
+    def test_respawn_without_payload_starts_empty(self):
+        pool = make_pool()
+        try:
+            pool.ingest(1, [(1, 2, 1)])
+            pool.snapshot(1)  # drain so the ingest definitely applied
+            pool.respawn(1)
+            fresh = serialize.loads(pool.snapshot(1))
+            assert fresh.updates_processed == 0
+        finally:
+            pool.close()
+
+
+class TestShardedFallbacks:
+    def test_sync_fallback_when_pool_unavailable(self, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise PoolUnavailable("injected: no start method")
+
+        import repro.sketch.sharded as sharded_module
+
+        monkeypatch.setattr(
+            sharded_module, "ProcessShardPool", refuse
+        )
+        bank = ShardedSketch(
+            AddressDomain(2 ** 16), shards=2, backend="process", seed=3
+        )
+        assert bank.backend == "sync"
+        stream = random_stream(200, seed=2)
+        bank.process_stream(stream)
+        reference = TrackingDistinctCountSketch(
+            AddressDomain(2 ** 16), seed=3
+        )
+        reference.update_batch(stream)
+        assert bank.combined().structurally_equal(reference)
+
+    def test_sharded_close_is_idempotent(self):
+        bank = ShardedSketch(
+            AddressDomain(2 ** 16), shards=2, backend="process", seed=3
+        )
+        bank.close()
+        bank.close()
+
+
+class TestCombinedMemoInvalidation:
+    """Regression: the combined() memo must not survive a worker
+    respawn or restore — a restored shard holds different state even
+    though no update was routed."""
+
+    @pytest.mark.parametrize("backend", ["sync", "process"])
+    def test_restore_shard_invalidates_memo(self, backend):
+        bank = ShardedSketch(
+            AddressDomain(2 ** 16),
+            shards=2,
+            policy="round-robin",
+            seed=3,
+            backend=backend,
+        )
+        if backend == "process" and bank.backend != "process":
+            pytest.skip("multiprocessing unavailable on this platform")
+        try:
+            stream = random_stream(100, seed=4)
+            bank.process_stream(stream, batch_size=25)
+            before = bank.combined()
+            assert bank.combined() is before  # memo holds
+            # Snapshot shard 0, then restore it *emptied*: combined()
+            # must recompute and see the smaller state.
+            bank.restore_shard(0, None, processed_count=0)
+            after = bank.combined()
+            assert after is not before
+            assert after.updates_processed < before.updates_processed
+        finally:
+            bank.close()
+
+    def test_degrade_to_sync_invalidates_memo(self):
+        bank = ShardedSketch(
+            AddressDomain(2 ** 16),
+            shards=2,
+            policy="round-robin",
+            seed=3,
+            backend="process",
+        )
+        if bank.backend != "process":
+            pytest.skip("multiprocessing unavailable on this platform")
+        stream = random_stream(80, seed=5)
+        bank.process_stream(stream, batch_size=20)
+        before = bank.combined()
+        bank.degrade_to_sync([None, None], [0, 0])
+        assert bank.backend == "sync"
+        after = bank.combined()
+        assert after is not before
+        assert after.updates_processed == 0
+        assert bank.shard_update_counts() == [0, 0]
+
+
+class TestSerializeBackendMismatch:
+    """loads(backend=...) intentionally re-homes the synopsis: loading
+    a reference-backend dump as packed (and vice versa) must produce a
+    structurally identical sketch, not an error."""
+
+    @pytest.mark.parametrize(
+        "dump_backend,load_backend",
+        [("reference", "packed"), ("packed", "reference")],
+    )
+    def test_cross_backend_load_is_lossless(
+        self, dump_backend, load_backend
+    ):
+        sketch = TrackingDistinctCountSketch(
+            AddressDomain(2 ** 16), seed=9, backend=dump_backend
+        )
+        sketch.update_batch(random_stream(150, seed=6))
+        restored = serialize.loads(
+            serialize.dumps(sketch), backend=load_backend
+        )
+        assert restored.backend == load_backend
+        assert restored.structurally_equal(sketch)
+
+    def test_unknown_backend_rejected(self):
+        sketch = TrackingDistinctCountSketch(
+            AddressDomain(2 ** 16), seed=9
+        )
+        payload = serialize.dumps(sketch)
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            serialize.loads(payload, backend="mmap")

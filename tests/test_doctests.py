@@ -20,6 +20,7 @@ import repro.netsim.addresses
 import repro.obs
 import repro.obs.export
 import repro.obs.registry
+import repro.resilience.durable
 import repro.sketch.dcs
 import repro.sketch.tracking
 
@@ -33,6 +34,7 @@ MODULES = [
     repro.obs,
     repro.obs.export,
     repro.obs.registry,
+    repro.resilience.durable,
     repro.sketch.dcs,
     repro.sketch.tracking,
 ]
