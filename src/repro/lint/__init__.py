@@ -24,6 +24,9 @@ see :mod:`repro.lint.rules` for the rule catalogue and ``docs/dev.md``
 for the invariant each rule protects.
 """
 
+from .baseline import apply_baseline, read_baseline, write_baseline
+from .cache import LintCache, ruleset_fingerprint
+from .dataflow import ControlFlowGraph, ValueAnalysis, build_cfg
 from .engine import (
     LintContext,
     LintRunner,
@@ -35,20 +38,34 @@ from .engine import (
     get_rule,
     register,
 )
-from .reporters import JsonReporter, Reporter, TextReporter
+from .project import CallGraph, ProjectIndex, build_project
+from .reporters import JsonReporter, Reporter, SarifReporter, TextReporter
 from . import rules as _rules  # noqa: F401  (imports register the rules)
+from . import program_rules as _program_rules  # noqa: F401  (RL009-RL013)
 
 __all__ = [
+    "CallGraph",
+    "ControlFlowGraph",
     "JsonReporter",
+    "LintCache",
     "LintContext",
     "LintRunner",
     "ModuleIndex",
+    "ProjectIndex",
     "Reporter",
     "Rule",
+    "SarifReporter",
     "Severity",
     "TextReporter",
+    "ValueAnalysis",
     "Violation",
     "all_rules",
+    "apply_baseline",
+    "build_cfg",
+    "build_project",
     "get_rule",
+    "read_baseline",
     "register",
+    "ruleset_fingerprint",
+    "write_baseline",
 ]

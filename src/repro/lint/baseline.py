@@ -1,0 +1,86 @@
+"""Baseline suppression files for adopting reprolint incrementally.
+
+A baseline records the findings a codebase has *today* so a team can
+turn a new rule on without first fixing every historical hit: known
+violations are filtered out of subsequent runs, and only regressions
+(new findings) fail the gate.  Each finding is fingerprinted as a hash
+of ``(path, rule_id, message)`` — deliberately **not** the line number,
+so unrelated edits that shift code do not resurrect suppressed
+findings.  The baseline stores a *count* per fingerprint: introducing a
+second identical finding in the same file still fails.
+
+This repo keeps ``src/`` clean (see the self-gate test), so the
+expected use is third-party trees and staged rollouts of future rules
+— not hiding true positives, which the ISSUE explicitly forbids.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from .engine import Violation
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of one finding, line-number independent."""
+    payload = "\0".join(
+        [violation.path, violation.rule_id, violation.message]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Write a baseline file recording ``violations`` as known."""
+    counts: Dict[str, int] = {}
+    for violation in violations:
+        key = fingerprint(violation)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "fingerprints": counts,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def read_baseline(path: Path) -> Dict[str, int]:
+    """Load a baseline's fingerprint counts.
+
+    Raises:
+        ValueError: when the file is not a valid baseline document.
+    """
+    raw = json.loads(path.read_text())
+    if not isinstance(raw, dict) or "fingerprints" not in raw:
+        raise ValueError(f"not a reprolint baseline file: {path}")
+    counts = raw["fingerprints"]
+    if not isinstance(counts, dict):
+        raise ValueError(f"malformed baseline fingerprints: {path}")
+    return {str(key): int(value) for key, value in counts.items()}
+
+
+def apply_baseline(
+    violations: Sequence[Violation], counts: Dict[str, int]
+) -> Tuple[List[Violation], int]:
+    """Filter baselined findings out of a violation list.
+
+    Returns ``(surviving_violations, suppressed_count)``.  When the
+    same fingerprint occurs more often than the baseline recorded, the
+    excess occurrences survive (ordered by position), so duplicating a
+    known-bad pattern still fails the gate.
+    """
+    budget = dict(counts)
+    surviving: List[Violation] = []
+    suppressed = 0
+    for violation in sorted(violations, key=Violation.sort_key):
+        key = fingerprint(violation)
+        remaining = budget.get(key, 0)
+        if remaining > 0:
+            budget[key] = remaining - 1
+            suppressed += 1
+        else:
+            surviving.append(violation)
+    return surviving, suppressed

@@ -1,0 +1,208 @@
+"""Content-hash incremental cache for reprolint runs.
+
+A full-repo lint parses every file and — with the RL009-RL013 program
+rules — builds a whole-program index and runs a dataflow analysis per
+function.  That is fine cold, but CI and pre-commit hooks run the lint
+on every push, and almost nothing changes between runs.  The cache
+makes the warm path cheap with two keys:
+
+* **local rules** (verdict depends on one file only) are keyed on the
+  file's content hash;
+* **cross-file rules** (``Rule.cross_file`` — re-export resolution,
+  call-graph rules) are keyed on the file's content hash *and* the
+  project hash, a digest over every ``(path, file_hash)`` pair in the
+  run, so editing any file re-checks every file for those rules.
+
+Both keys also fold in a ruleset fingerprint (rule ids + a version
+stamp), so adding a rule or bumping :data:`CACHE_VERSION` invalidates
+everything.  Inline pragmas are part of the file content, hence part of
+the hash — caching pragma-filtered violations is sound.
+
+The store is one JSON file, loaded and saved per run.  Corrupt or
+version-mismatched stores are discarded silently: the cache must never
+be able to break a lint run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .engine import Severity, Violation
+
+#: Bump when violation semantics change in a way hashes cannot see.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_PATH = ".reprolint_cache.json"
+
+
+def file_digest(source: str) -> str:
+    """Content hash of one file's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def project_digest(file_hashes: Sequence[Tuple[str, str]]) -> str:
+    """Digest over every ``(path, file_hash)`` pair of the run."""
+    hasher = hashlib.sha256()
+    for path, digest in sorted(file_hashes):
+        hasher.update(path.encode("utf-8"))
+        hasher.update(b"\0")
+        hasher.update(digest.encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+def ruleset_fingerprint(rule_ids: Sequence[str]) -> str:
+    """Digest of the selected rule ids plus the cache version."""
+    payload = f"v{CACHE_VERSION}:" + ",".join(sorted(rule_ids))
+    return hashlib.sha256(payload.encode("ascii")).hexdigest()[:16]
+
+
+def _encode_violation(violation: Violation) -> List[object]:
+    return [
+        violation.rule_id,
+        violation.severity.value,
+        violation.path,
+        violation.line,
+        violation.column,
+        violation.message,
+    ]
+
+
+def _decode_violation(row: Sequence[object]) -> Violation:
+    rule_id, severity, path, line, column, message = row
+    return Violation(
+        rule_id=str(rule_id),
+        severity=Severity(str(severity)),
+        path=str(path),
+        line=int(line),  # type: ignore[arg-type]
+        column=int(column),  # type: ignore[arg-type]
+        message=str(message),
+    )
+
+
+class LintCache:
+    """File-keyed violation cache, persisted as one JSON document.
+
+    Usage (what :class:`~repro.lint.engine.LintRunner` does)::
+
+        cache = LintCache.load(path, fingerprint)
+        hit = cache.lookup(file_path, file_hash, project_hash)
+        ...
+        cache.store(file_path, file_hash, project_hash, local, cross)
+        cache.save()
+
+    Entries hold the *unsuppressed* violations split into local-rule
+    and cross-file-rule lists; a lookup hits only when the file hash
+    matches (both lists) and, for the cross-file list, the project hash
+    matches too.
+    """
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- persistence --------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path, fingerprint: str) -> "LintCache":
+        """Load a store; mismatched or corrupt stores start empty."""
+        cache = cls(path, fingerprint)
+        try:
+            raw = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(raw, dict):
+            return cache
+        if raw.get("fingerprint") != fingerprint:
+            return cache
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            cache._entries = entries
+        return cache
+
+    def save(self) -> None:
+        """Persist the store (best-effort: IO errors are swallowed)."""
+        payload = {
+            "version": CACHE_VERSION,
+            "fingerprint": self.fingerprint,
+            "entries": self._entries,
+        }
+        try:
+            self.path.write_text(json.dumps(payload, sort_keys=True))
+        except OSError:
+            pass
+
+    # -- lookups ------------------------------------------------------------
+
+    def _rows(
+        self, file_path: str, file_hash: str, key: str
+    ) -> Optional[List[Violation]]:
+        entry = self._entries.get(file_path)
+        if not isinstance(entry, dict):
+            return None
+        if entry.get("file_hash") != file_hash:
+            return None
+        try:
+            return [
+                _decode_violation(row)
+                for row in entry.get(key, [])  # type: ignore[union-attr]
+            ]
+        except (TypeError, ValueError, KeyError):
+            return None
+
+    def lookup_local(
+        self, file_path: str, file_hash: str
+    ) -> Optional[List[Violation]]:
+        """Cached local-rule violations (file hash is the whole key)."""
+        rows = self._rows(file_path, file_hash, "local")
+        if rows is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return rows
+
+    def lookup_cross(
+        self, file_path: str, file_hash: str, project_hash: str
+    ) -> Optional[List[Violation]]:
+        """Cached cross-file-rule violations; any project edit misses."""
+        entry = self._entries.get(file_path)
+        if (
+            not isinstance(entry, dict)
+            or entry.get("project_hash") != project_hash
+        ):
+            self.misses += 1
+            return None
+        rows = self._rows(file_path, file_hash, "cross")
+        if rows is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return rows
+
+    def store(
+        self,
+        file_path: str,
+        file_hash: str,
+        project_hash: str,
+        local: Sequence[Violation],
+        cross: Sequence[Violation],
+    ) -> None:
+        """Record a file's unsuppressed violations."""
+        self._entries[file_path] = {
+            "file_hash": file_hash,
+            "project_hash": project_hash,
+            "local": [_encode_violation(v) for v in local],
+            "cross": [_encode_violation(v) for v in cross],
+        }
+
+    def prune(self, live_paths: Sequence[str]) -> None:
+        """Drop entries for files no longer part of the run."""
+        live = set(live_paths)
+        for stale in [p for p in self._entries if p not in live]:
+            del self._entries[stale]

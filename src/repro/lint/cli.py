@@ -1,18 +1,41 @@
 """Command-line front end for reprolint.
 
 Invoked either as ``python -m repro.lint`` or through the library CLI
-as ``repro-ddos lint``.  Exit status: 0 when no error-severity
-violation fired, 1 otherwise, 2 on usage errors — so the command slots
-directly into CI.
+as ``repro-ddos lint``.  Exit status is a contract CI scripts rely on:
+
+* ``0`` — ran to completion, no error-severity violation;
+* ``1`` — ran to completion, violations found;
+* ``2`` — usage error (unknown rule, missing path, bad baseline);
+* ``3`` — the analyzer itself crashed (a reprolint bug, not a finding).
+
+Distinguishing 1 from 3 matters: a gate that treats "the linter blew
+up" as "the code is dirty" hides linter regressions behind red builds,
+and one that treats it as success silently stops linting.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
+import traceback
+from pathlib import Path
 from typing import List, Optional
 
+from .baseline import apply_baseline, read_baseline, write_baseline
+from .cache import DEFAULT_CACHE_PATH, LintCache, ruleset_fingerprint
 from .engine import LintRunner
-from .reporters import JsonReporter, TextReporter, rule_catalogue
+from .reporters import (
+    JsonReporter,
+    Reporter,
+    SarifReporter,
+    TextReporter,
+    rule_catalogue,
+)
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+EXIT_CRASH = 3
 
 
 def build_parser(
@@ -32,7 +55,7 @@ def build_parser(
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -40,14 +63,45 @@ def build_parser(
         help="run only these rules (repeatable)",
     )
     parser.add_argument(
+        "--rule", action="append", default=None, metavar="RLxxx",
+        help="shorthand for --select: run a single rule (repeatable)",
+    )
+    parser.add_argument(
         "--ignore", action="append", default=None, metavar="RLxxx",
         help="skip these rules (repeatable)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help=(
+            "incremental cache store "
+            f"(default: {DEFAULT_CACHE_PATH}; see --no-cache)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache for this run",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
     return parser
+
+
+def _reporter(fmt: str) -> Reporter:
+    if fmt == "json":
+        return JsonReporter()
+    if fmt == "sarif":
+        return SarifReporter()
+    return TextReporter()
 
 
 def run(args: argparse.Namespace) -> int:
@@ -58,20 +112,54 @@ def run(args: argparse.Namespace) -> int:
                 f"{rule['id']} [{rule['severity']}] {rule['title']}\n"
                 f"    protects: {rule['invariant']}"
             )
-        return 0
+        return EXIT_CLEAN
+    select = list(args.select or []) + list(args.rule or [])
     try:
-        runner = LintRunner(select=args.select, ignore=args.ignore)
+        runner = LintRunner(select=select or None, ignore=args.ignore)
     except KeyError as error:
-        print(f"reprolint: {error.args[0]}")
-        return 2
+        print(f"reprolint: {error.args[0]}", file=sys.stderr)
+        return EXIT_USAGE
+    cache: Optional[LintCache] = None
+    if not args.no_cache:
+        cache_path = Path(args.cache or DEFAULT_CACHE_PATH)
+        cache = LintCache.load(
+            cache_path,
+            ruleset_fingerprint([rule.rule_id for rule in runner.rules]),
+        )
     try:
-        violations = runner.run_paths(args.paths)
+        violations = runner.run_paths(args.paths, cache=cache)
     except FileNotFoundError as error:
-        print(f"reprolint: {error}")
-        return 2
-    reporter = JsonReporter() if args.format == "json" else TextReporter()
-    print(reporter.render(violations))
-    return 1 if LintRunner.error_count(violations) else 0
+        print(f"reprolint: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except Exception:  # reprolint: disable=RL007
+        # A rule or the engine crashed: that is a linter bug, not a
+        # verdict about the linted code — report it distinguishably.
+        print("reprolint: internal error", file=sys.stderr)
+        traceback.print_exc()
+        return EXIT_CRASH
+    if args.write_baseline is not None:
+        write_baseline(Path(args.write_baseline), violations)
+        print(
+            f"reprolint: wrote baseline with {len(violations)} "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return EXIT_CLEAN
+    suppressed = 0
+    if args.baseline is not None:
+        try:
+            counts = read_baseline(Path(args.baseline))
+        except (OSError, ValueError) as error:
+            print(f"reprolint: {error}", file=sys.stderr)
+            return EXIT_USAGE
+        violations, suppressed = apply_baseline(violations, counts)
+    print(_reporter(args.format).render(violations))
+    if suppressed and args.format == "text":
+        print(f"reprolint: {suppressed} baselined finding(s) suppressed")
+    return (
+        EXIT_VIOLATIONS
+        if LintRunner.error_count(violations)
+        else EXIT_CLEAN
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:

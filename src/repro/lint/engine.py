@@ -27,7 +27,22 @@ import enum
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from .project import ProjectIndex, build_project
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .cache import LintCache
 
 _PRAGMA_RE = re.compile(
     r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Z0-9,\s]+)"
@@ -106,6 +121,9 @@ class LintContext:
     source: str
     tree: ast.Module
     index: ModuleIndex = field(default_factory=ModuleIndex)
+    #: whole-program symbol table + call graph; populated by the runner
+    #: when any selected rule sets ``requires_project``.
+    project: Optional[ProjectIndex] = None
 
     @property
     def is_package_init(self) -> bool:
@@ -132,6 +150,13 @@ class Rule:
     title: str = ""
     invariant: str = ""
     severity: Severity = Severity.ERROR
+    #: True when the rule needs ``LintContext.project`` (the
+    #: whole-program index); the runner only builds it on demand.
+    requires_project: bool = False
+    #: True when the rule's verdict on one file can change because a
+    #: *different* file changed (re-export resolution, call graph).
+    #: The incremental cache keys such rules on the whole-project hash.
+    cross_file: bool = False
 
     def check(self, context: LintContext) -> Iterator[Violation]:
         """Yield every violation of this rule in ``context``'s module."""
@@ -265,35 +290,83 @@ class LintRunner:
 
     # -- running ------------------------------------------------------------
 
-    def run_paths(self, paths: Iterable[str]) -> List[Violation]:
-        """Lint every ``*.py`` file under ``paths``."""
+    def run_paths(
+        self, paths: Iterable[str], cache: Optional["LintCache"] = None
+    ) -> List[Violation]:
+        """Lint every ``*.py`` file under ``paths``.
+
+        With a :class:`~repro.lint.cache.LintCache`, unchanged files
+        reuse their cached verdicts (see :mod:`repro.lint.cache`); the
+        cache is saved back to disk before returning.
+        """
         files = self.collect_files(paths)
         sources = []
         for file_path in files:
             sources.append((str(file_path), file_path.read_text()))
-        return self.run_sources(sources)
+        violations = self.run_sources(sources, cache=cache)
+        if cache is not None:
+            cache.save()
+        return violations
 
     def run_sources(
-        self, sources: Sequence[Tuple[str, str]]
+        self,
+        sources: Sequence[Tuple[str, str]],
+        cache: Optional["LintCache"] = None,
     ) -> List[Violation]:
         """Lint ``(path, source_text)`` pairs (the testable core)."""
+        from .cache import file_digest, project_digest
+
+        local_rules = [r for r in self.rules if not r.cross_file]
+        cross_rules = [r for r in self.rules if r.cross_file]
+        digests = {path: file_digest(source) for path, source in sources}
+        project_hash = project_digest(sorted(digests.items()))
+        cached_local: Dict[str, Optional[List[Violation]]] = {}
+        cached_cross: Dict[str, Optional[List[Violation]]] = {}
+        if cache is not None:
+            cache.prune([path for path, _ in sources])
+            all_hit = True
+            for path, _ in sources:
+                hit_local = cache.lookup_local(path, digests[path])
+                hit_cross: Optional[List[Violation]] = []
+                if cross_rules:
+                    hit_cross = cache.lookup_cross(
+                        path, digests[path], project_hash
+                    )
+                cached_local[path] = hit_local
+                cached_cross[path] = hit_cross
+                if hit_local is None or hit_cross is None:
+                    all_hit = False
+            if all_hit:
+                # Nothing changed anywhere: replay verdicts without
+                # parsing a single file.
+                violations = [
+                    violation
+                    for path, _ in sources
+                    for violation in (
+                        (cached_local[path] or [])
+                        + (cached_cross[path] or [])
+                    )
+                ]
+                violations.sort(key=Violation.sort_key)
+                return violations
         index = ModuleIndex()
         contexts: List[LintContext] = []
-        violations: List[Violation] = []
+        violations = []
+        syntax_errors: Dict[str, List[Violation]] = {}
         for path, source in sources:
             try:
                 tree = ast.parse(source, filename=path)
             except SyntaxError as error:
-                violations.append(
-                    Violation(
-                        rule_id="RL000",
-                        severity=Severity.ERROR,
-                        path=path,
-                        line=error.lineno or 1,
-                        column=(error.offset or 1) - 1,
-                        message=f"syntax error: {error.msg}",
-                    )
+                broken = Violation(
+                    rule_id="RL000",
+                    severity=Severity.ERROR,
+                    path=path,
+                    line=error.lineno or 1,
+                    column=(error.offset or 1) - 1,
+                    message=f"syntax error: {error.msg}",
                 )
+                violations.append(broken)
+                syntax_errors.setdefault(path, []).append(broken)
                 continue
             info = ModuleInfo(
                 path=path,
@@ -311,12 +384,42 @@ class LintRunner:
                     index=index,
                 )
             )
+        if any(rule.requires_project for rule in self.rules):
+            project = build_project(
+                [(c.path, c.module, c.tree) for c in contexts]
+            )
+            for context in contexts:
+                context.project = project
         for context in contexts:
             per_line, whole_file = _file_pragmas(context.source)
-            for rule in self.rules:
-                for violation in rule.check(context):
-                    if not _suppressed(violation, per_line, whole_file):
-                        violations.append(violation)
+
+            def apply(rules: List[Rule]) -> List[Violation]:
+                found: List[Violation] = []
+                for rule in rules:
+                    for violation in rule.check(context):
+                        if not _suppressed(violation, per_line, whole_file):
+                            found.append(violation)
+                return found
+
+            local = cached_local.get(context.path)
+            if local is None:
+                local = apply(local_rules)
+            cross = cached_cross.get(context.path)
+            if cross is None:
+                cross = apply(cross_rules)
+            violations.extend(local)
+            violations.extend(cross)
+            if cache is not None:
+                cache.store(
+                    context.path,
+                    digests[context.path],
+                    project_hash,
+                    local,
+                    cross,
+                )
+        if cache is not None:
+            for path, broken in syntax_errors.items():
+                cache.store(path, digests[path], project_hash, broken, [])
         violations.sort(key=Violation.sort_key)
         return violations
 

@@ -1,0 +1,345 @@
+"""Whole-program view for reprolint: symbol table and call graph.
+
+The per-file rules (RL001-RL008) see one module's AST at a time.  The
+process-boundary, resource-lifecycle, durability, and linearity rules
+(RL009-RL013) need to answer questions that span functions and modules
+— "what does ``Process(target=...)`` actually run?", "does this
+``# linear`` merge call a helper that truncates?" — so the runner
+builds one :class:`ProjectIndex` per lint run:
+
+* a **symbol table** of every function and method, keyed by qualified
+  name (``repro.sketch.dcs.DistinctCountSketch.merge``);
+* a per-module **import map** (local binding -> dotted origin), so
+  cross-module calls resolve to their definition site;
+* a **call graph** (caller qualname -> callee qualnames) built by
+  resolving each call expression against local scope, enclosing class,
+  module bindings, and the import maps, in that order.
+
+Resolution is deliberately best-effort and *unambiguous-only*: a bare
+name that matches several definitions across the project resolves to
+nothing rather than to all of them — for invariant checking, a false
+edge is worse than a missing one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class FunctionSymbol:
+    """One function or method definition known to the project.
+
+    Attributes:
+        qualname: fully qualified dotted name (module + class + name).
+        module: dotted module the definition lives in.
+        name: bare function name.
+        owner: enclosing class name, or ``""`` for module-level
+            functions (nested functions carry their parent function's
+            name chain in ``qualname`` but an empty ``owner``).
+        path: source file of the definition.
+        node: the ``ast.FunctionDef`` / ``ast.AsyncFunctionDef``.
+    """
+
+    qualname: str
+    module: str
+    name: str
+    owner: str
+    path: str
+    node: FunctionNode
+
+
+@dataclass
+class ModuleSymbols:
+    """Per-module symbol information."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    #: local binding -> dotted origin ("np" -> "numpy",
+    #: "CheckpointStore" -> "repro.resilience.checkpoint.CheckpointStore").
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: names defined at module top level (functions, classes, constants).
+    toplevel: Set[str] = field(default_factory=set)
+
+
+def _absolute_module(
+    module: str, is_package: bool, node: ast.ImportFrom
+) -> Optional[str]:
+    """Resolve a (possibly relative) from-import to a dotted module.
+
+    ``from . import x`` / ``from .sibling import x`` resolve against
+    the *containing package*: for a plain module that is the dotted
+    name minus its last component, for a package ``__init__`` it is the
+    module name itself.
+    """
+    if node.level == 0:
+        return node.module
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    if node.level - 1 > len(parts):
+        return None
+    if node.level > 1:
+        parts = parts[: len(parts) - (node.level - 1)]
+    if node.module:
+        return ".".join(parts + [node.module]) if parts else node.module
+    return ".".join(parts)
+
+
+def _import_bindings(
+    module: str, tree: ast.Module, is_package: bool = False
+) -> Dict[str, str]:
+    """Map every import-bound name in a module to its dotted origin."""
+    bindings: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                bindings[bound] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            source = _absolute_module(module, is_package, node)
+            if source is None:
+                continue
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                bindings[bound] = f"{source}.{alias.name}"
+    return bindings
+
+
+class CallGraph:
+    """Directed call graph over :class:`FunctionSymbol` qualnames."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[str, Set[str]] = {}
+        self._reverse: Dict[str, Set[str]] = {}
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        """Record that ``caller`` contains a resolved call to ``callee``."""
+        self._edges.setdefault(caller, set()).add(callee)
+        self._reverse.setdefault(callee, set()).add(caller)
+
+    def callees(self, qualname: str) -> Set[str]:
+        """Functions directly called by ``qualname`` (resolved only)."""
+        return set(self._edges.get(qualname, set()))
+
+    def callers(self, qualname: str) -> Set[str]:
+        """Functions that directly call ``qualname``."""
+        return set(self._reverse.get(qualname, set()))
+
+    def reachable_from(self, qualname: str, limit: int = 1000) -> Set[str]:
+        """Transitive callee closure of ``qualname`` (excluding itself
+        unless it participates in a cycle)."""
+        seen: Set[str] = set()
+        frontier = list(self._edges.get(qualname, set()))
+        while frontier and len(seen) < limit:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._edges.get(current, set()))
+        return seen
+
+    def edge_count(self) -> int:
+        """Total number of resolved call edges."""
+        return sum(len(targets) for targets in self._edges.values())
+
+
+class ProjectIndex:
+    """Symbol table + call graph for one lint run.
+
+    Build with :func:`build_project`; rules reach it through
+    ``LintContext.project``.
+    """
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionSymbol] = {}
+        self.modules: Dict[str, ModuleSymbols] = {}
+        self.call_graph = CallGraph()
+        self._by_bare_name: Dict[str, List[str]] = {}
+        #: call expressions whose target could not be resolved.
+        self.unresolved_calls = 0
+
+    # -- lookups ------------------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionSymbol]:
+        """The symbol with this qualified name, if known."""
+        return self.functions.get(qualname)
+
+    def functions_named(self, bare_name: str) -> List[FunctionSymbol]:
+        """Every function in the project with this bare name."""
+        return [
+            self.functions[qualname]
+            for qualname in self._by_bare_name.get(bare_name, [])
+        ]
+
+    def module(self, dotted: str) -> Optional[ModuleSymbols]:
+        """Per-module symbols for a dotted module name."""
+        return self.modules.get(dotted)
+
+    def methods_of(self, module: str, owner: str) -> List[FunctionSymbol]:
+        """Every method of class ``owner`` defined in ``module``."""
+        return [
+            symbol
+            for symbol in self.functions.values()
+            if symbol.module == module and symbol.owner == owner
+        ]
+
+    # -- construction helpers ----------------------------------------------
+
+    def _add_function(self, symbol: FunctionSymbol) -> None:
+        self.functions[symbol.qualname] = symbol
+        self._by_bare_name.setdefault(symbol.name, []).append(
+            symbol.qualname
+        )
+
+    def resolve_call(
+        self, caller_module: str, caller_owner: str, callee: str
+    ) -> Optional[FunctionSymbol]:
+        """Resolve a dotted call expression to a project function.
+
+        ``callee`` is the dotted rendering of the call target
+        (``"helper"``, ``"self._spawn"``, ``"serialize.loads"``,
+        ``"os.replace"`` ...).  Resolution tries, in order: methods on
+        the caller's own class (``self.x`` / ``cls.x``), functions in
+        the caller's module, imported names, and finally a project-wide
+        unambiguous bare-name match.  Returns ``None`` for calls into
+        the standard library or ambiguous names.
+        """
+        parts = callee.split(".")
+        symbols = self.modules.get(caller_module)
+        # self.method() / cls.method() on the enclosing class.
+        if len(parts) == 2 and parts[0] in ("self", "cls") and caller_owner:
+            qualname = f"{caller_module}.{caller_owner}.{parts[1]}"
+            if qualname in self.functions:
+                return self.functions[qualname]
+            return None
+        if len(parts) == 1:
+            qualname = f"{caller_module}.{parts[0]}"
+            if qualname in self.functions:
+                return self.functions[qualname]
+            if symbols is not None and parts[0] in symbols.imports:
+                return self._resolve_dotted(symbols.imports[parts[0]])
+            candidates = self._by_bare_name.get(parts[0], [])
+            if len(candidates) == 1:
+                return self.functions[candidates[0]]
+            return None
+        # module_alias.func() or imported_class.method().
+        if symbols is not None and parts[0] in symbols.imports:
+            origin = symbols.imports[parts[0]]
+            return self._resolve_dotted(".".join([origin] + parts[1:]))
+        return self._resolve_dotted(callee)
+
+    def _resolve_dotted(self, dotted: str) -> Optional[FunctionSymbol]:
+        """Resolve a fully-dotted name, tolerating re-export hops."""
+        if dotted in self.functions:
+            return self.functions[dotted]
+        # "package.Class" re-exported from "package.module.Class":
+        # fall back to an unambiguous bare-name match on the last part.
+        bare = dotted.split(".")[-1]
+        candidates = self._by_bare_name.get(bare, [])
+        if len(candidates) == 1:
+            return self.functions[candidates[0]]
+        return None
+
+
+def _dotted_call_target(node: ast.AST) -> Optional[str]:
+    """Render a call target as a dotted string (mirror of rules._dotted)."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_functions(
+    module: str, path: str, tree: ast.Module
+) -> Iterator[FunctionSymbol]:
+    """Yield every function/method in a module with its qualname.
+
+    Nested functions get ``outer.<locals>.inner``-free simple chains
+    (``outer.inner``) — good enough for linting, where the chain only
+    needs to be unique and human-readable.
+    """
+
+    def visit(
+        node: ast.AST, prefix: str, owner: str
+    ) -> Iterator[FunctionSymbol]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{child.name}"
+                yield FunctionSymbol(
+                    qualname=qualname,
+                    module=module,
+                    name=child.name,
+                    owner=owner,
+                    path=path,
+                    node=child,
+                )
+                yield from visit(child, qualname, "")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(
+                    child, f"{prefix}.{child.name}", child.name
+                )
+            elif isinstance(child, (ast.If, ast.Try, ast.With)):
+                yield from visit(child, prefix, owner)
+
+    yield from visit(tree, module, "")
+
+
+def build_project(
+    sources: Sequence[Tuple[str, str, ast.Module]],
+) -> ProjectIndex:
+    """Build the whole-program index from parsed modules.
+
+    Args:
+        sources: ``(path, dotted_module, tree)`` triples — exactly what
+            the runner already holds after parsing.
+    """
+    project = ProjectIndex()
+    for path, module, tree in sources:
+        is_package = Path(path).name == "__init__.py"
+        project.modules[module] = ModuleSymbols(
+            module=module,
+            path=path,
+            tree=tree,
+            imports=_import_bindings(module, tree, is_package),
+            toplevel={
+                child.name
+                for child in tree.body
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                )
+            },
+        )
+        for symbol in iter_functions(module, path, tree):
+            project._add_function(symbol)
+    # Second pass: resolve call expressions into edges.
+    for symbol in list(project.functions.values()):
+        for node in ast.walk(symbol.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dotted_call_target(node.func)
+            if target is None:
+                project.unresolved_calls += 1
+                continue
+            callee = project.resolve_call(
+                symbol.module, symbol.owner, target
+            )
+            if callee is None:
+                project.unresolved_calls += 1
+                continue
+            project.call_graph.add_edge(symbol.qualname, callee.qualname)
+    return project

@@ -1,9 +1,13 @@
-"""Violation reporters: human-readable text and machine-readable JSON.
+"""Violation reporters: text, JSON, and SARIF.
 
 The text reporter is what developers read locally; the JSON reporter is
 what CI and editor integrations consume (``repro-ddos lint --format
-json``).  Both render the same :class:`~repro.lint.engine.Violation`
-stream, so the two outputs can never disagree about what fired.
+json``); the SARIF reporter emits a `SARIF 2.1.0
+<https://docs.oasis-open.org/sarif/sarif/v2.1.0/>`_ log that GitHub
+code scanning ingests, turning every violation into an inline PR
+annotation.  All three render the same
+:class:`~repro.lint.engine.Violation` stream, so the outputs can never
+disagree about what fired.
 """
 
 from __future__ import annotations
@@ -78,6 +82,92 @@ class JsonReporter(Reporter):
             "rules": rule_catalogue(),
         }
         return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF 2.1.0 schema location, embedded in every log for validators.
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+SARIF_VERSION = "2.1.0"
+
+
+class SarifReporter(Reporter):
+    """A SARIF 2.1.0 log: one run, one result per violation.
+
+    The rule catalogue becomes ``tool.driver.rules`` (so code-scanning
+    UIs show the title and invariant as help text), and each violation
+    becomes a ``result`` with a ``physicalLocation`` region.  Severity
+    maps ``ERROR -> "error"``, ``WARNING -> "warning"`` — SARIF's own
+    level vocabulary.
+    """
+
+    def render(self, violations: Sequence[Violation]) -> str:
+        """Render the SARIF JSON log."""
+        rules = all_rules()
+        rule_index = {rule.rule_id: i for i, rule in enumerate(rules)}
+        driver: Dict[str, Any] = {
+            "name": "reprolint",
+            "rules": [
+                {
+                    "id": rule.rule_id,
+                    "name": rule.__name__,
+                    "shortDescription": {"text": rule.title},
+                    "fullDescription": {"text": rule.invariant},
+                    "defaultConfiguration": {
+                        "level": (
+                            "error"
+                            if rule.severity is Severity.ERROR
+                            else "warning"
+                        )
+                    },
+                }
+                for rule in rules
+            ],
+        }
+        results: List[Dict[str, Any]] = []
+        for violation in violations:
+            result: Dict[str, Any] = {
+                "ruleId": violation.rule_id,
+                "level": (
+                    "error"
+                    if violation.severity is Severity.ERROR
+                    else "warning"
+                ),
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path,
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": violation.line,
+                                "startColumn": violation.column + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+            if violation.rule_id in rule_index:
+                result["ruleIndex"] = rule_index[violation.rule_id]
+            results.append(result)
+        log: Dict[str, Any] = {
+            "$schema": SARIF_SCHEMA,
+            "version": SARIF_VERSION,
+            "runs": [
+                {
+                    "tool": {"driver": driver},
+                    "results": results,
+                    "columnKind": "utf16CodeUnits",
+                    "originalUriBaseIds": {
+                        "SRCROOT": {"uri": "file:///"}
+                    },
+                }
+            ],
+        }
+        return json.dumps(log, indent=2, sort_keys=True)
 
 
 def rule_catalogue() -> List[Dict[str, str]]:

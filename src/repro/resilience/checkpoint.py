@@ -63,13 +63,24 @@ class CheckpointInfo:
 
 
 def _fsync_write(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (tmp + fsync + rename)."""
+    """Write ``data`` to ``path`` atomically and durably.
+
+    Protocol: write to a temp file, flush, fsync the file, rename over
+    the target, then fsync the parent directory — the rename itself is
+    not durable until the directory entry is synced, so omitting the
+    last step can lose a "committed" checkpoint on power failure.
+    """
     tmp = path.with_name(path.name + ".tmp")
     with tmp.open("wb") as handle:
         handle.write(data)
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    dir_fd = os.open(str(path.parent), os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 class CheckpointStore:

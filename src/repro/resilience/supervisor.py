@@ -136,7 +136,14 @@ class ShardSupervisor:
             self.checkpoints.manifests(_shard_label(index))
             for index in range(shards)
         ):
-            self._recover_all()
+            try:
+                self._recover_all()
+            except (OSError, RuntimeError, ValueError):
+                # Construction failed after the WAL opened: nobody else
+                # holds a reference, so close it here or the segment
+                # handle (and its buffered tail) outlives the wreck.
+                self.wal.close()
+                raise
 
     # -- routing -----------------------------------------------------------------
 

@@ -274,6 +274,7 @@ class SignatureArena:
 
     # -- merge / interchange -------------------------------------------------
 
+    # linear: merge must stay an exact integer addition (RL013)
     def merge_signature(self, bucket: int, signature: CountSignature) -> None:
         """Fold a signature's counters into ``bucket`` (pruning on zero)."""
         if signature.pair_bits != self.pair_bits:

@@ -588,6 +588,7 @@ class DistinctCountSketch:
         """True when ``other`` has identical params and seed."""
         return self.params == other.params and self.seed == other.seed
 
+    # linear: merge must stay an exact integer addition (RL013)
     def merge(self, other: "DistinctCountSketch") -> None:
         """Fold ``other`` into this sketch in place.
 

@@ -207,9 +207,18 @@ class ProcessShardPool:
             old_process.join(timeout=5)
         try:
             parent_conn, process = self._spawn()
+        except (OSError, ValueError) as error:
+            raise PoolUnavailable(str(error)) from error
+        try:
             if payload is not None:
                 parent_conn.send(("load", payload))
         except (OSError, ValueError, BrokenPipeError) as error:
+            # The replacement worker never became usable: release its
+            # pipe end and reap the process before reporting failure,
+            # or every failed respawn leaks a pipe pair and a zombie.
+            parent_conn.close()
+            process.terminate()
+            process.join(timeout=5)
             raise PoolUnavailable(str(error)) from error
         self._connections[shard] = parent_conn
         self._processes[shard] = process

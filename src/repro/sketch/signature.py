@@ -92,6 +92,7 @@ class CountSignature:
                 return None  # collision: >= 2 distinct pairs
         return code
 
+    # linear: merge must stay an exact integer addition (RL013)
     def merge(self, other: "CountSignature") -> None:
         """Add ``other``'s counters into this signature in place.
 

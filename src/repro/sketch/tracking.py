@@ -381,6 +381,7 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
 
     # -- merging ------------------------------------------------------------------
 
+    # linear: merge must stay an exact integer addition (RL013)
     def merge(self, other: DistinctCountSketch) -> None:
         """Merge another sketch's stream into this one.
 

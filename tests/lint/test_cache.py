@@ -1,0 +1,178 @@
+"""Incremental cache: hits, invalidation on edit, and the baseline."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+from typing import List, Tuple
+
+from repro.lint import LintRunner, Violation
+from repro.lint.baseline import (
+    apply_baseline,
+    fingerprint,
+    read_baseline,
+    write_baseline,
+)
+from repro.lint.cache import (
+    LintCache,
+    file_digest,
+    project_digest,
+    ruleset_fingerprint,
+)
+
+CLEAN = textwrap.dedent(
+    """
+    def add(a: int, b: int) -> int:
+        return a + b
+    """
+)
+
+DIRTY = textwrap.dedent(
+    """
+    def load(path):
+        handle = open(path, "rb")
+        data = handle.read()
+        if not data:
+            raise ValueError("empty")
+        handle.close()
+        return data
+    """
+)
+
+
+def make_cache(tmp_path: Path, runner: LintRunner) -> LintCache:
+    return LintCache.load(
+        tmp_path / "cache.json",
+        ruleset_fingerprint([rule.rule_id for rule in runner.rules]),
+    )
+
+
+def lint(
+    runner: LintRunner, cache: LintCache, *sources: Tuple[str, str]
+) -> List[Violation]:
+    return runner.run_sources(list(sources), cache=cache)
+
+
+class TestCacheHits:
+    def test_second_run_hits_without_changing_verdicts(self, tmp_path):
+        runner = LintRunner()
+        cache = make_cache(tmp_path, runner)
+        first = lint(runner, cache, ("src/repro/demo.py", DIRTY))
+        cache.save()
+        reloaded = make_cache(tmp_path, runner)
+        second = lint(runner, reloaded, ("src/repro/demo.py", DIRTY))
+        assert [v.message for v in first] == [v.message for v in second]
+        assert reloaded.hits > 0
+        assert reloaded.misses == 0
+
+    def test_edit_invalidates_only_local_verdicts_of_that_file(
+        self, tmp_path
+    ):
+        runner = LintRunner()
+        cache = make_cache(tmp_path, runner)
+        lint(
+            runner, cache,
+            ("src/repro/a.py", CLEAN),
+            ("src/repro/b.py", CLEAN),
+        )
+        cache.save()
+        edited = CLEAN + "\n\nVALUE = 1\n"
+        reloaded = make_cache(tmp_path, runner)
+        lint(
+            runner, reloaded,
+            ("src/repro/a.py", edited),
+            ("src/repro/b.py", CLEAN),
+        )
+        # b.py's local verdicts hit; a.py misses (content changed) and
+        # every cross-file verdict misses (project hash changed).
+        assert reloaded.hits >= 1
+        assert reloaded.misses >= 1
+
+    def test_violations_reappear_from_cache(self, tmp_path):
+        runner = LintRunner()
+        cache = make_cache(tmp_path, runner)
+        first = lint(runner, cache, ("src/repro/demo.py", DIRTY))
+        assert any(v.rule_id == "RL010" for v in first)
+        cache.save()
+        reloaded = make_cache(tmp_path, runner)
+        second = lint(runner, reloaded, ("src/repro/demo.py", DIRTY))
+        assert any(v.rule_id == "RL010" for v in second)
+
+    def test_ruleset_change_invalidates_everything(self, tmp_path):
+        runner = LintRunner()
+        cache = make_cache(tmp_path, runner)
+        lint(runner, cache, ("src/repro/demo.py", CLEAN))
+        cache.save()
+        narrow = LintRunner(select=["RL010"])
+        other = make_cache(tmp_path, narrow)
+        lint(narrow, other, ("src/repro/demo.py", CLEAN))
+        assert other.hits == 0
+
+    def test_corrupt_store_is_discarded(self, tmp_path):
+        store = tmp_path / "cache.json"
+        store.write_text("{ not json")
+        runner = LintRunner()
+        cache = LintCache.load(
+            store,
+            ruleset_fingerprint([rule.rule_id for rule in runner.rules]),
+        )
+        violations = lint(runner, cache, ("src/repro/demo.py", DIRTY))
+        assert any(v.rule_id == "RL010" for v in violations)
+
+
+class TestDigests:
+    def test_file_digest_changes_with_content(self):
+        assert file_digest("a = 1\n") != file_digest("a = 2\n")
+
+    def test_project_digest_is_order_independent(self):
+        pairs = [("a.py", "h1"), ("b.py", "h2")]
+        assert project_digest(pairs) == project_digest(pairs[::-1])
+        assert project_digest(pairs) != project_digest(
+            [("a.py", "h1"), ("b.py", "h3")]
+        )
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_recorded_findings(self, tmp_path):
+        runner = LintRunner(select=["RL010"])
+        violations = runner.run_sources([("src/repro/demo.py", DIRTY)])
+        assert violations
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, violations)
+        counts = read_baseline(baseline_path)
+        surviving, suppressed = apply_baseline(violations, counts)
+        assert surviving == []
+        assert suppressed == len(violations)
+
+    def test_new_findings_survive_the_baseline(self, tmp_path):
+        runner = LintRunner(select=["RL010"])
+        violations = runner.run_sources([("src/repro/demo.py", DIRTY)])
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, violations)
+        counts = read_baseline(baseline_path)
+        fresh = runner.run_sources(
+            [
+                ("src/repro/demo.py", DIRTY),
+                ("src/repro/other.py", DIRTY),
+            ]
+        )
+        surviving, suppressed = apply_baseline(fresh, counts)
+        assert suppressed == len(violations)
+        assert all(v.path == "src/repro/other.py" for v in surviving)
+        assert surviving
+
+    def test_fingerprint_ignores_line_numbers(self):
+        a = Violation("RL010", None, "p.py", 3, 0, "m")  # type: ignore[arg-type]
+        b = Violation("RL010", None, "p.py", 30, 4, "m")  # type: ignore[arg-type]
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"something": "else"}))
+        try:
+            read_baseline(bad)
+        except ValueError as error:
+            assert "baseline" in str(error)
+        else:
+            raise AssertionError("expected ValueError")

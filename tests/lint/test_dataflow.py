@@ -1,0 +1,275 @@
+"""CFG construction, reaching definitions, and the value analysis."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import Dict, Set
+
+from repro.lint.dataflow import (
+    ENTRY,
+    EXIT,
+    Kind,
+    RAISE_EXIT,
+    Resource,
+    ValueAnalysis,
+    build_cfg,
+    reaching_definitions,
+)
+
+
+def parse_function(source: str) -> ast.FunctionDef:
+    module = ast.parse(textwrap.dedent(source))
+    for node in module.body:
+        if isinstance(node, ast.FunctionDef):
+            return node
+    raise AssertionError("no function in source")
+
+
+class TestCfg:
+    def test_straight_line_reaches_exit(self):
+        cfg = build_cfg(parse_function(
+            """
+            def f(x):
+                y = x + 1
+                return y
+            """
+        ))
+        statements = cfg.statement_nodes()
+        assert statements[-1].exit_kind == "return"
+        assert EXIT in statements[-1].successors
+
+    def test_raise_routes_to_raise_exit(self):
+        cfg = build_cfg(parse_function(
+            """
+            def f(x):
+                if x:
+                    raise ValueError("no")
+                return x
+            """
+        ))
+        raises = [
+            n for n in cfg.statement_nodes() if n.exit_kind == "raise"
+        ]
+        assert len(raises) == 1
+        assert RAISE_EXIT in raises[0].successors
+
+    def test_while_loop_has_back_edge(self):
+        cfg = build_cfg(parse_function(
+            """
+            def f(n):
+                while n:
+                    n -= 1
+                return n
+            """
+        ))
+        head = next(
+            n for n in cfg.statement_nodes()
+            if isinstance(n.statement, ast.While)
+        )
+        body = next(
+            n for n in cfg.statement_nodes()
+            if isinstance(n.statement, ast.AugAssign)
+        )
+        assert head.node_id in body.successors
+
+    def test_try_handler_sees_pre_statement_state(self):
+        # The handler edge leaves the statement *boundary*: if `open`
+        # raises, the binding never happened, so the handler must not
+        # see an acquisition from the raising statement itself.
+        analysis = ValueAnalysis(parse_function(
+            """
+            def f(path):
+                try:
+                    handle = open(path)
+                except OSError:
+                    raise RuntimeError("nope")
+                handle.close()
+            """
+        )).run()
+        raise_node = next(
+            n for n in analysis.cfg.statement_nodes()
+            if n.exit_kind == "raise"
+        )
+        state = analysis.state_before(raise_node.node_id)
+        assert all(
+            resource is not Resource.OPEN
+            for resource in state.resources.values()
+        )
+
+
+class TestReachingDefinitions:
+    def test_params_reach_from_entry_and_branches_merge(self):
+        cfg = build_cfg(parse_function(
+            """
+            def f(x):
+                if x:
+                    y = 1
+                else:
+                    y = 2
+                return y
+            """
+        ))
+        reaching = reaching_definitions(cfg)
+        return_node = next(
+            n for n in cfg.statement_nodes() if n.exit_kind == "return"
+        )
+        names: Dict[str, Set[int]] = {}
+        for name, nid in reaching[return_node.node_id]:
+            names.setdefault(name, set()).add(nid)
+        assert names["x"] == {ENTRY}
+        assert len(names["y"]) == 2  # both branch definitions reach
+
+    def test_reassignment_kills_previous_definition(self):
+        cfg = build_cfg(parse_function(
+            """
+            def f():
+                y = 1
+                y = 2
+                return y
+            """
+        ))
+        reaching = reaching_definitions(cfg)
+        return_node = next(
+            n for n in cfg.statement_nodes() if n.exit_kind == "return"
+        )
+        y_defs = [
+            nid for name, nid in reaching[return_node.node_id]
+            if name == "y"
+        ]
+        assert len(y_defs) == 1
+
+
+class TestValueAnalysis:
+    def run_states(self, source: str) -> ValueAnalysis:
+        return ValueAnalysis(parse_function(source)).run()
+
+    def test_kinds_are_classified(self):
+        analysis = self.run_states(
+            """
+            def f(path):
+                import threading
+                lock = threading.Lock()
+                handle = open(path, "rb")
+                data = handle.read_bytes()
+                return data
+            """
+        )
+        return_node = next(
+            n for n in analysis.cfg.statement_nodes()
+            if n.exit_kind == "return"
+        )
+        state = analysis.state_before(return_node.node_id)
+        assert state.kinds["lock"] is Kind.LOCK
+        assert state.kinds["handle"] is Kind.FILE
+        assert state.kinds["data"] is Kind.DISK_BYTES
+
+    def test_crc32_upgrades_disk_bytes(self):
+        analysis = self.run_states(
+            """
+            def f(path, zlib):
+                payload = path.read_bytes()
+                checksum = zlib.crc32(payload)
+                return payload
+            """
+        )
+        return_node = next(
+            n for n in analysis.cfg.statement_nodes()
+            if n.exit_kind == "return"
+        )
+        state = analysis.state_before(return_node.node_id)
+        assert state.kinds["payload"] is Kind.CRC_CHECKED
+
+    def test_close_on_all_paths_reports_no_leak(self):
+        analysis = self.run_states(
+            """
+            def f(path):
+                handle = open(path, "rb")
+                data = handle.read()
+                handle.close()
+                return data
+            """
+        )
+        assert analysis.exit_leaks() == []
+
+    def test_with_block_reports_no_leak(self):
+        analysis = self.run_states(
+            """
+            def f(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """
+        )
+        assert analysis.exit_leaks() == []
+
+    def test_open_at_raise_exit_is_a_leak(self):
+        analysis = self.run_states(
+            """
+            def f(path):
+                handle = open(path, "rb")
+                if not path:
+                    raise ValueError("empty")
+                handle.close()
+            """
+        )
+        leaks = analysis.exit_leaks()
+        assert len(leaks) == 1
+        node, acquisition = leaks[0]
+        assert node.exit_kind == "raise"
+        assert acquisition.name == "handle"
+
+    def test_escape_via_return_is_not_a_leak(self):
+        analysis = self.run_states(
+            """
+            def f(path):
+                handle = open(path, "rb")
+                return handle
+            """
+        )
+        assert analysis.exit_leaks() == []
+
+    def test_escape_via_attribute_store_is_not_a_leak(self):
+        analysis = self.run_states(
+            """
+            def f(self, path):
+                handle = open(path, "rb")
+                self.handle = handle
+                return None
+            """
+        )
+        assert analysis.exit_leaks() == []
+
+    def test_pipe_tuple_assignment_tracks_both_ends(self):
+        analysis = self.run_states(
+            """
+            def f(Pipe):
+                parent, child = Pipe()
+                parent.close()
+                return None
+            """
+        )
+        leaks = analysis.exit_leaks()
+        assert [acq.name for _, acq in leaks] == ["child"]
+
+    def test_interprocedural_acquisition_hook(self):
+        function = parse_function(
+            """
+            def f(self):
+                conn, proc = self._spawn()
+                raise RuntimeError("boom")
+            """
+        )
+        analysis = ValueAnalysis(function).run()
+        assert analysis.exit_leaks() == []  # opaque call: no tracking
+        from repro.lint.dataflow import Acquisition
+
+        assign_node = next(
+            n for n in analysis.cfg.statement_nodes()
+            if isinstance(n.statement, ast.Assign)
+        )
+        analysis.interprocedural_acquisitions[
+            (assign_node.node_id, "conn")
+        ] = Acquisition("conn", Kind.CONNECTION, 2, 4)
+        analysis.run()
+        leaks = analysis.exit_leaks()
+        assert [acq.name for _, acq in leaks] == ["conn"]

@@ -1,0 +1,184 @@
+"""Whole-program index: symbol table, import maps, call graph."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import List, Tuple
+
+from repro.lint.project import ProjectIndex, build_project
+
+
+def make_project(*sources: Tuple[str, str, str]) -> ProjectIndex:
+    """Build a :class:`ProjectIndex` from (path, module, source) triples."""
+    return build_project(
+        [
+            (path, module, ast.parse(textwrap.dedent(text)))
+            for path, module, text in sources
+        ]
+    )
+
+
+class TestSymbolTable:
+    def test_functions_methods_and_nested_get_qualnames(self):
+        project = make_project((
+            "src/repro/demo.py", "repro.demo",
+            """
+            def helper():
+                pass
+
+            class Widget:
+                def method(self):
+                    def inner():
+                        pass
+                    return inner
+            """,
+        ))
+        assert project.function("repro.demo.helper") is not None
+        method = project.function("repro.demo.Widget.method")
+        assert method is not None
+        assert method.owner == "Widget"
+        inner = project.function("repro.demo.Widget.method.inner")
+        assert inner is not None
+
+    def test_functions_under_conditionals_are_indexed(self):
+        project = make_project((
+            "src/repro/demo.py", "repro.demo",
+            """
+            try:
+                import fastpath
+            except ImportError:
+                fastpath = None
+
+            if fastpath is not None:
+                def accelerated():
+                    pass
+            else:
+                def fallback():
+                    pass
+            """,
+        ))
+        assert project.function("repro.demo.accelerated") is not None
+        assert project.function("repro.demo.fallback") is not None
+
+    def test_import_map_resolves_aliases_and_relative_imports(self):
+        project = make_project((
+            "src/repro/pkg/user.py", "repro.pkg.user",
+            """
+            import numpy as np
+            from .helpers import tool
+            from repro.other import thing as renamed
+            """,
+        ))
+        imports = project.module("repro.pkg.user").imports
+        assert imports["np"] == "numpy"
+        assert imports["tool"] == "repro.pkg.helpers.tool"
+        assert imports["renamed"] == "repro.other.thing"
+
+
+class TestCallResolution:
+    def test_self_method_call_resolves_to_enclosing_class(self):
+        project = make_project((
+            "src/repro/demo.py", "repro.demo",
+            """
+            class Pool:
+                def _spawn(self):
+                    pass
+
+                def respawn(self):
+                    self._spawn()
+            """,
+        ))
+        symbol = project.resolve_call("repro.demo", "Pool", "self._spawn")
+        assert symbol is not None
+        assert symbol.qualname == "repro.demo.Pool._spawn"
+
+    def test_cross_module_call_resolves_through_imports(self):
+        project = make_project(
+            (
+                "src/repro/a.py", "repro.a",
+                """
+                def shared():
+                    pass
+                """,
+            ),
+            (
+                "src/repro/b.py", "repro.b",
+                """
+                from repro.a import shared
+
+                def use():
+                    shared()
+                """,
+            ),
+        )
+        symbol = project.resolve_call("repro.b", "", "shared")
+        assert symbol is not None
+        assert symbol.qualname == "repro.a.shared"
+
+    def test_ambiguous_bare_name_resolves_to_nothing(self):
+        project = make_project(
+            (
+                "src/repro/a.py", "repro.a",
+                """
+                def merge():
+                    pass
+                """,
+            ),
+            (
+                "src/repro/b.py", "repro.b",
+                """
+                def merge():
+                    pass
+
+                class Holder:
+                    pass
+                """,
+            ),
+            (
+                "src/repro/c.py", "repro.c",
+                """
+                def use(thing):
+                    thing.merge()
+                """,
+            ),
+        )
+        assert project.resolve_call("repro.c", "", "thing.merge") is None
+
+
+class TestCallGraph:
+    def test_edges_and_reachability(self):
+        project = make_project((
+            "src/repro/demo.py", "repro.demo",
+            """
+            def leaf():
+                pass
+
+            def middle():
+                leaf()
+
+            def top():
+                middle()
+            """,
+        ))
+        graph = project.call_graph
+        assert graph.callees("repro.demo.top") == {"repro.demo.middle"}
+        assert graph.callers("repro.demo.leaf") == {"repro.demo.middle"}
+        assert graph.reachable_from("repro.demo.top") == {
+            "repro.demo.middle",
+            "repro.demo.leaf",
+        }
+        assert graph.edge_count() == 2
+
+    def test_unresolved_calls_are_counted_not_guessed(self):
+        project = make_project((
+            "src/repro/demo.py", "repro.demo",
+            """
+            import os
+
+            def use():
+                os.replace("a", "b")
+            """,
+        ))
+        assert project.call_graph.edge_count() == 0
+        assert project.unresolved_calls >= 1

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import json
 
-from repro.lint import JsonReporter, TextReporter, Severity, Violation
+from repro.lint import JsonReporter, SarifReporter, Severity, TextReporter, Violation
 from repro.lint.cli import main as lint_main
-from repro.lint.reporters import rule_catalogue
+from repro.lint.reporters import SARIF_SCHEMA, SARIF_VERSION, rule_catalogue
 
 
 def make_violation(**overrides) -> Violation:
@@ -63,6 +63,55 @@ class TestJsonReporter:
         )
 
 
+class TestSarifReporter:
+    def test_log_skeleton(self):
+        log = json.loads(SarifReporter().render([make_violation()]))
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert "RL001" in rule_ids and "RL013" in rule_ids
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error", "warning",
+            )
+
+    def test_result_location_and_rule_index(self):
+        log = json.loads(SarifReporter().render([make_violation()]))
+        run = log["runs"][0]
+        result = run["results"][0]
+        assert result["ruleId"] == "RL001"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "unseeded randomness"
+        rules = run["tool"]["driver"]["rules"]
+        assert rules[result["ruleIndex"]]["id"] == "RL001"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("demo.py")
+        assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        # SARIF columns are 1-based; Violation columns are 0-based.
+        assert location["region"] == {"startLine": 4, "startColumn": 12}
+
+    def test_syntax_error_result_has_no_rule_index(self):
+        # RL000 is synthesized for unparseable files and has no
+        # registered rule class, so no ruleIndex may be emitted.
+        log = json.loads(
+            SarifReporter().render(
+                [make_violation(rule_id="RL000", message="syntax error")]
+            )
+        )
+        result = log["runs"][0]["results"][0]
+        assert result["ruleId"] == "RL000"
+        assert "ruleIndex" not in result
+
+    def test_empty_run_is_valid(self):
+        log = json.loads(SarifReporter().render([]))
+        assert log["runs"][0]["results"] == []
+
+
 class TestLintCliFrontEnd:
     def test_list_rules_flag(self, capsys):
         assert lint_main(["--list-rules"]) == 0
@@ -71,7 +120,7 @@ class TestLintCliFrontEnd:
 
     def test_unknown_rule_id_is_usage_error(self, capsys):
         assert lint_main(["--select", "RL998", "src/repro"]) == 2
-        assert "unknown rule id" in capsys.readouterr().out
+        assert "unknown rule id" in capsys.readouterr().err
 
     def test_missing_path_is_usage_error(self, capsys):
         assert lint_main(["does/not/exist"]) == 2
@@ -84,5 +133,96 @@ class TestLintCliFrontEnd:
         # A bare file outside a repro tree is still linted (module name
         # falls back to the stem, so package-scoped rules simply skip it,
         # while RL004-style generic rules run).
-        assert lint_main(["--format", "json", str(bad)]) in (0, 1)
+        assert lint_main(["--format", "json", "--no-cache", str(bad)]) in (
+            0, 1,
+        )
         json.loads(capsys.readouterr().out)
+
+
+LEAKY = (
+    "def load(path):\n"
+    "    handle = open(path, 'rb')\n"
+    "    data = handle.read()\n"
+    "    if not data:\n"
+    "        raise ValueError('empty')\n"
+    "    handle.close()\n"
+    "    return data\n"
+)
+
+
+class TestCliExitCodesAndFilters:
+    def write_fixture(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "demo.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(LEAKY)
+        return target
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        target = self.write_fixture(tmp_path)
+        assert lint_main(["--no-cache", str(target)]) == 1
+        assert "RL010" in capsys.readouterr().out
+
+    def test_rule_filter_narrows_the_run(self, tmp_path, capsys):
+        target = self.write_fixture(tmp_path)
+        assert lint_main(
+            ["--no-cache", "--rule", "RL013", str(target)]
+        ) == 0
+        assert lint_main(
+            ["--no-cache", "--rule", "RL010", str(target)]
+        ) == 1
+        capsys.readouterr()
+
+    def test_sarif_format_end_to_end(self, tmp_path, capsys):
+        target = self.write_fixture(tmp_path)
+        assert lint_main(
+            ["--no-cache", "--format", "sarif", str(target)]
+        ) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert any(
+            result["ruleId"] == "RL010"
+            for result in log["runs"][0]["results"]
+        )
+
+    def test_baseline_write_then_suppress(self, tmp_path, capsys):
+        target = self.write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            ["--no-cache", "--write-baseline", str(baseline), str(target)]
+        ) == 0
+        assert lint_main(
+            ["--no-cache", "--baseline", str(baseline), str(target)]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "all checks passed" in output
+        assert "suppressed" in output
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        target = self.write_fixture(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("[]")
+        assert lint_main(
+            ["--no-cache", "--baseline", str(baseline), str(target)]
+        ) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_analyzer_crash_exits_three(self, tmp_path, capsys, monkeypatch):
+        from repro.lint import cli as cli_module
+
+        def explode(self, paths, cache=None):
+            raise RuntimeError("rule blew up")
+
+        monkeypatch.setattr(
+            cli_module.LintRunner, "run_paths", explode
+        )
+        target = self.write_fixture(tmp_path)
+        assert lint_main(["--no-cache", str(target)]) == 3
+        assert "internal error" in capsys.readouterr().err
+
+    def test_cache_flag_reuses_store(self, tmp_path, capsys):
+        target = self.write_fixture(tmp_path)
+        store = tmp_path / "lint_cache.json"
+        assert lint_main(["--cache", str(store), str(target)]) == 1
+        assert store.exists()
+        assert lint_main(["--cache", str(store), str(target)]) == 1
+        capsys.readouterr()

@@ -133,3 +133,55 @@ class TestValidationAndObs:
         assert duration.count == 1
         assert size.count == 1
         assert size.sum == info.nbytes
+
+
+class TestDurableWriteProtocol:
+    """Regression: ``_fsync_write`` must fsync the parent directory
+    after the rename — the rename is not durable until the directory
+    entry is synced, so a crash could lose a "committed" checkpoint."""
+
+    def test_fsync_write_syncs_file_then_directory(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+        import stat
+
+        from repro.resilience.checkpoint import _fsync_write
+
+        synced = []
+        real_fsync = os_module.fsync
+
+        def spy_fsync(fd):
+            synced.append(stat.S_ISDIR(os_module.fstat(fd).st_mode))
+            real_fsync(fd)
+
+        monkeypatch.setattr(
+            "repro.resilience.checkpoint.os.fsync", spy_fsync
+        )
+        target = tmp_path / "gen-000001.bin"
+        _fsync_write(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        # One file fsync (before rename), one directory fsync (after).
+        assert synced == [False, True]
+        assert not target.with_name(target.name + ".tmp").exists()
+
+    def test_save_reaches_the_directory_fsync(
+        self, tmp_path, sketch, monkeypatch
+    ):
+        import os as os_module
+        import stat
+
+        dir_syncs = []
+        real_fsync = os_module.fsync
+
+        def spy_fsync(fd):
+            if stat.S_ISDIR(os_module.fstat(fd).st_mode):
+                dir_syncs.append(fd)
+            real_fsync(fd)
+
+        monkeypatch.setattr(
+            "repro.resilience.checkpoint.os.fsync", spy_fsync
+        )
+        CheckpointStore(tmp_path).save(sketch, wal_count=0)
+        # Data file and manifest each publish via rename + dir fsync.
+        assert len(dir_syncs) == 2

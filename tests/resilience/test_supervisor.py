@@ -137,3 +137,36 @@ class TestValidation:
         supervisor.close()  # idempotent
         with pytest.raises(ParameterError):
             supervisor.process(FlowUpdate(1, 2, 1))
+
+
+class TestConstructionFailureCleanup:
+    """Regression: when recovery blows up during ``__init__`` the
+    half-built supervisor must close its WAL — nobody else holds a
+    reference, so a leaked segment handle (and its buffered tail)
+    would outlive the wreck."""
+
+    def test_failed_recovery_closes_the_wal(self, tmp_path, monkeypatch):
+        from repro.resilience.supervisor import ShardSupervisor
+        from repro.resilience.wal import WriteAheadLog
+
+        # Leave WAL records behind so the next construction recovers.
+        with ShardSupervisor(
+            make_bank(), tmp_path, sleep=NO_SLEEP
+        ) as supervisor:
+            supervisor.process_stream(random_stream(50, seed=9))
+
+        closed = []
+        real_close = WriteAheadLog.close
+
+        def spy_close(self):
+            closed.append(self)
+            real_close(self)
+
+        def explode(self):
+            raise RuntimeError("replay failed")
+
+        monkeypatch.setattr(WriteAheadLog, "close", spy_close)
+        monkeypatch.setattr(ShardSupervisor, "_recover_all", explode)
+        with pytest.raises(RuntimeError):
+            ShardSupervisor(make_bank(), tmp_path, sleep=NO_SLEEP)
+        assert len(closed) == 1

@@ -209,3 +209,68 @@ class TestSerializeBackendMismatch:
 
         with pytest.raises(ParameterError):
             serialize.loads(payload, backend="mmap")
+
+
+class _StubConn:
+    """Pipe end whose first send fails — a worker that dies at birth."""
+
+    def __init__(self):
+        self.closed = False
+
+    def send(self, message):
+        raise BrokenPipeError("worker died during handshake")
+
+    def close(self):
+        self.closed = True
+
+
+class _StubProcess:
+    def __init__(self):
+        self.terminated = False
+        self.join_calls = 0
+        self.pid = None
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self, timeout=None):
+        self.join_calls += 1
+
+    def is_alive(self):
+        return False
+
+
+class TestRespawnFailureCleanup:
+    """Regression: a respawn whose state-load send fails must release
+    the fresh pipe end and reap the fresh process before raising, or
+    every failed respawn leaks a pipe pair and a zombie."""
+
+    def test_failed_state_load_closes_conn_and_reaps_process(self):
+        pool = make_pool()
+        conn, process = _StubConn(), _StubProcess()
+        try:
+            pool._spawn = lambda: (conn, process)
+            with pytest.raises(PoolUnavailable):
+                pool.respawn(0, payload=b"snapshot")
+            assert conn.closed
+            assert process.terminated
+            assert process.join_calls >= 1
+            # The dead stub must not have been installed as the shard.
+            assert pool._connections[0] is not conn
+        finally:
+            pool.close()
+
+    def test_failed_respawn_without_payload_installs_worker(self):
+        # Without a payload nothing is sent, so the same stub pair is
+        # accepted — the cleanup path only runs when the handshake runs.
+        pool = make_pool()
+        conn, process = _StubConn(), _StubProcess()
+        try:
+            pool._spawn = lambda: (conn, process)
+            pool.respawn(0)
+            assert not conn.closed
+            assert pool._connections[0] is conn
+        finally:
+            pool._connections[0] = _StubConn()  # detach stub before close
+            pool._processes[0] = _StubProcess()
+            pool.close()
