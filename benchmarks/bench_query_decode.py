@@ -1,0 +1,186 @@
+"""Query-path decode microbenchmark: scalar vs whole-slab decode.
+
+The update path was vectorized in PR 5 (``BENCH_fig9.json``); this
+bench gates its query-side counterpart.  Three decode strategies
+materialize the full ``GetdSample`` hierarchy (every level of a loaded
+sketch) on the same Zipf stream and seed:
+
+- ``reference-scalar``: the seed query path — per-signature
+  ``recover_singleton`` over the reference dict store, one level at a
+  time;
+- ``packed-scalar``: the same scalar predicate evaluated in place over
+  the packed arenas (``decode_occupied``), isolating what packed
+  storage alone buys;
+- ``packed-slab``: the vectorized engine —
+  :meth:`~repro.sketch.dcs.DistinctCountSketch.dsample_sweep` decodes
+  every arena of the sketch with one application of the
+  :func:`~repro.sketch.arena.singleton_mask` kernel.
+
+All three must produce identical per-level samples (the bit-identity
+contract), and ``packed-slab`` must clear the
+``REPRO_BENCH_QUERY_MIN_SPEEDUP`` bar (default and CI floor: 5x) over
+the seed scalar decode.  ``BaseTopk`` end-to-end latency rides along in
+the table: its walk shares the slab decode but also pays ranking costs
+on both sides, so it is asserted faster but not held to the decode
+floor.  Results land in ``BENCH_query.json``
+(override: ``REPRO_BENCH_QUERY_OUT``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Set
+
+import pytest
+
+from repro.sketch import DistinctCountSketch
+from repro.sketch.arena import SignatureArena
+
+from conftest import make_workload, print_table, scaled_pairs
+
+#: Distinct pairs in the bench workload.  Decode speedup is measured on
+#: a loaded sketch, so the floor below keeps the workload large enough
+#: for slab amortization even under CI's REPRO_SCALE=0.2 smoke runs.
+MIN_DECODE_PAIRS = 40_000
+
+#: Ingestion batch size (ingest cost is not what this bench measures).
+INGEST_BATCH = 1024
+
+
+def _best_seconds(run, inner: int, repeats: int = 5) -> float:
+    """Best-of-``repeats`` mean seconds per call over ``inner`` calls."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            run()
+        elapsed = (time.perf_counter() - start) / inner
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _scalar_arena_sweep(sketch: DistinctCountSketch) -> Dict[int, Set[int]]:
+    """Scalar singleton decode over packed arenas, level by level."""
+    sweep: Dict[int, Set[int]] = {}
+    for level in range(sketch.params.num_levels):
+        sample: Set[int] = set()
+        for store in sketch._tables[level]:
+            assert isinstance(store, SignatureArena)
+            for code in store.decode_occupied():
+                if code is not None:
+                    sample.add(code)
+        sweep[level] = sample
+    return sweep
+
+
+@pytest.fixture(scope="module")
+def loaded_sketches(ipv4_domain):
+    updates, _ = make_workload(
+        ipv4_domain, skew=1.5, seed=99,
+        pairs=max(MIN_DECODE_PAIRS, scaled_pairs() // 3),
+    )
+    reference = DistinctCountSketch(ipv4_domain, seed=5)
+    packed = DistinctCountSketch(ipv4_domain, seed=5, backend="packed")
+    reference.process_stream(updates, batch_size=INGEST_BATCH)
+    packed.process_stream(updates, batch_size=INGEST_BATCH)
+    return reference, packed, len(updates)
+
+
+def test_query_decode_variants(ipv4_domain, loaded_sketches):
+    """Slab decode clears the 5x floor and stays bit-identical."""
+    reference, packed, update_count = loaded_sketches
+    levels = range(reference.params.num_levels)
+
+    def reference_scalar() -> Dict[int, Set[int]]:
+        return {level: reference.get_dsample(level) for level in levels}
+
+    def packed_scalar() -> Dict[int, Set[int]]:
+        return _scalar_arena_sweep(packed)
+
+    def packed_slab() -> Dict[int, Set[int]]:
+        return packed.dsample_sweep()
+
+    # Bit-identity first: every strategy recovers the same per-level
+    # distinct samples, and the estimator built on top agrees exactly.
+    baseline_sweep = reference_scalar()
+    assert baseline_sweep == packed_scalar()
+    assert baseline_sweep == packed_slab()
+    reference_topk = reference.base_topk(10)
+    packed_topk = packed.base_topk(10)
+    assert reference_topk.as_dict() == packed_topk.as_dict()
+    assert reference_topk.stop_level == packed_topk.stop_level
+
+    seconds = {
+        "reference-scalar": _best_seconds(reference_scalar, inner=5),
+        "packed-scalar": _best_seconds(packed_scalar, inner=5),
+        "packed-slab": _best_seconds(packed_slab, inner=20),
+    }
+    topk_seconds = {
+        "reference": _best_seconds(lambda: reference.base_topk(10), inner=5),
+        "packed-slab": _best_seconds(lambda: packed.base_topk(10), inner=20),
+    }
+
+    baseline = seconds["reference-scalar"]
+    results = {
+        name: {
+            "seconds_per_sweep": elapsed,
+            "sweeps_per_sec": 1.0 / elapsed,
+            "speedup_vs_reference": baseline / elapsed,
+        }
+        for name, elapsed in seconds.items()
+    }
+    topk_baseline = topk_seconds["reference"]
+    topk_results = {
+        name: {
+            "seconds_per_query": elapsed,
+            "speedup_vs_reference": topk_baseline / elapsed,
+        }
+        for name, elapsed in topk_seconds.items()
+    }
+    print_table(
+        "Query decode: full GetdSample sweep (same Zipf stream, seed 5)",
+        ["variant", "ms/sweep", "speedup"],
+        [
+            [name,
+             f"{data['seconds_per_sweep'] * 1e3:.2f}",
+             f"{data['speedup_vs_reference']:.2f}x"]
+            for name, data in results.items()
+        ],
+    )
+    print_table(
+        "BaseTopk end to end (k=10)",
+        ["variant", "ms/query", "speedup"],
+        [
+            [name,
+             f"{data['seconds_per_query'] * 1e3:.2f}",
+             f"{data['speedup_vs_reference']:.2f}x"]
+            for name, data in topk_results.items()
+        ],
+    )
+
+    out_path = os.environ.get("REPRO_BENCH_QUERY_OUT", "BENCH_query.json")
+    min_speedup = float(
+        os.environ.get("REPRO_BENCH_QUERY_MIN_SPEEDUP", "5.0")
+    )
+    payload = {
+        "benchmark": "query_decode_variants",
+        "updates": update_count,
+        "occupied_buckets": packed.occupied_buckets(),
+        "scale": os.environ.get("REPRO_SCALE", "1.0"),
+        "min_speedup": min_speedup,
+        "sweep_variants": results,
+        "base_topk": topk_results,
+    }
+    with open(out_path, "w", encoding="ascii") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    slab_speedup = results["packed-slab"]["speedup_vs_reference"]
+    assert slab_speedup >= min_speedup, (
+        f"slab decode speedup {slab_speedup:.2f}x is below the "
+        f"{min_speedup:.1f}x bar (see {out_path})"
+    )
+    # The slab walk must also win end to end, ranking included.
+    assert topk_results["packed-slab"]["speedup_vs_reference"] >= 1.0

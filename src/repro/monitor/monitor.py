@@ -89,6 +89,11 @@ class DDoSMonitor:
         obs: optional :class:`~repro.obs.Registry`, shared with the
             inner tracking sketch — one registry then exports the whole
             ingest/detect pipeline (see ``docs/observability.md``).
+        backend: storage backend of the inner sketch — ``"reference"``
+            or ``"packed"``; pick ``"packed"`` when feeding through
+            :meth:`observe_batch` so ingestion and the check-interval
+            queries both ride the vectorized engine
+            (``docs/performance.md``).
 
     Example:
         >>> from repro.types import AddressDomain
@@ -108,11 +113,12 @@ class DDoSMonitor:
         r: int = 3,
         s: int = 128,
         obs: Optional[Registry] = None,
+        backend: str = "reference",
     ) -> None:
         self.config = config or MonitorConfig()
         self.profile = profile or ActivityProfile()
         self.sketch = TrackingDistinctCountSketch(
-            domain, r=r, s=s, seed=seed, obs=obs
+            domain, r=r, s=s, seed=seed, obs=obs, backend=backend
         )
         self.alarms = AlarmSink()
         self._updates_seen = 0
@@ -140,6 +146,35 @@ class DDoSMonitor:
         raised: List[Alarm] = []
         for update in updates:
             raised.extend(self.observe(update))
+        return raised
+
+    def observe_batch(self, updates: Iterable[FlowUpdate]) -> List[Alarm]:
+        """Feed a batch through the vectorized engine; returns alarms.
+
+        Equivalent to calling :meth:`observe` per update — detection
+        passes fire at exactly the same stream positions (every
+        ``check_interval`` updates), and the sketch state is
+        bit-identical because ``update_batch`` is — but ingestion rides
+        :meth:`~repro.sketch.dcs.DistinctCountSketch.update_batch`, so
+        with ``backend="packed"`` both the counter scatter and each
+        check's query run vectorized.  Splits the batch at
+        check-interval boundaries so no detection pass is skipped or
+        displaced.
+        """
+        pending = list(updates)
+        raised: List[Alarm] = []
+        interval = self.config.check_interval
+        start = 0
+        count = len(pending)
+        while start < count:
+            room = interval - self._updates_seen % interval
+            chunk = pending[start:start + room]
+            applied = self.sketch.update_batch(chunk)
+            self._updates_seen += applied
+            self._obs_updates.inc(applied)
+            start += len(chunk)
+            if self._updates_seen % interval == 0:
+                raised.extend(self.check_now())
         return raised
 
     # -- detection ---------------------------------------------------------------

@@ -14,9 +14,9 @@ Three layers live here:
   (Section 5).
 """
 
-from .arena import SignatureArena
+from .arena import SignatureArena, pack_codes, singleton_mask
 from .dcs import DistinctCountSketch
-from .estimate import TopKEntry, TopKResult
+from .estimate import TopKEntry, TopKResult, rank_frequencies
 from .heap import IndexedMaxHeap
 from .params import SketchParams
 from .sharded import ShardedSketch
@@ -35,5 +35,8 @@ __all__ = [
     "TopKResult",
     "TrackingDistinctCountSketch",
     "debug",
+    "pack_codes",
+    "rank_frequencies",
     "serialize",
+    "singleton_mask",
 ]

@@ -43,6 +43,45 @@ from .signature import CountSignature
 MAX_DENSE_RANGE = 65536
 
 
+def singleton_mask(matrix: Any) -> Tuple[Any, Any]:  # hot-path
+    """The slab-decode kernel: ``ReturnSingleton`` over whole matrices.
+
+    ``matrix`` is a ``(rows, stride)`` counter matrix of any integer
+    dtype with the totals in column 0.  Evaluates the paper's singleton
+    predicate for every row at once — a row is a singleton iff its
+    total is positive and each bit counter is either 0 or equal to the
+    total — and returns ``(ok, ne)``: the bool singleton mask and the
+    full ``counter != total`` comparison, whose negated columns ``1:``
+    are the decoded pair bits of each row (callers negate only the rows
+    they decode).  All-zero (freed) rows come out not-ok, so full arena
+    buffers can be decoded without masking out recycled slots first.
+    """
+    ne = matrix != matrix[:, :1]
+    bad = matrix != 0
+    # Column 0 of bad self-cancels (total != total is never true), so
+    # the row-wise any() needs no column slicing.
+    _np.logical_and(bad, ne, out=bad)
+    ok = ~bad.any(axis=1)
+    _np.logical_and(ok, matrix[:, 0] > 0, out=ok)
+    return ok, ne
+
+
+def pack_codes(eq_bits: Any) -> Any:  # hot-path
+    """Reassemble uint64 pair codes from a ``(rows, pair_bits)`` bit mask.
+
+    Bit ``i`` of row ``r``'s code is set iff ``eq_bits[r, i]`` — the
+    vectorized form of the scalar decoder's ``code |= 1 << i``.  Only
+    valid for ``pair_bits <= 64`` (callers gate wider domains to the
+    scalar path).
+    """
+    width = eq_bits.shape[1]
+    if width % 64:
+        pad = _np.zeros((eq_bits.shape[0], 64 - width % 64), dtype=bool)
+        eq_bits = _np.concatenate([eq_bits, pad], axis=1)
+    packed = _np.packbits(eq_bits, axis=1, bitorder="little")
+    return packed.view(_np.dtype("<u8")).reshape(-1)
+
+
 class SignatureArena:
     """Packed :class:`CountSignature` storage for one ``(level, table)``.
 
@@ -56,6 +95,7 @@ class SignatureArena:
     __slots__ = (
         "pair_bits", "stride", "range_size",
         "_buf", "_slots", "_bucket_of", "_free", "_zeros", "_dense",
+        "_view",
     )
 
     def __init__(self, pair_bits: int, range_size: int) -> None:
@@ -81,6 +121,8 @@ class SignatureArena:
         self._dense: Any = None
         if HAVE_NUMPY and range_size <= MAX_DENSE_RANGE:
             self._dense = _np.full(range_size, -1, dtype=_np.int64)
+        # Cached buffer view (see view2d); dropped before any growth.
+        self._view: Any = None
 
     # -- slot management -----------------------------------------------------
 
@@ -92,6 +134,9 @@ class SignatureArena:
             self._bucket_of[slot] = bucket
         else:
             slot = len(self._buf) // self.stride
+            # Release the cached view's buffer export first: ``array``
+            # refuses to resize while a view holds its memory.
+            self._view = None
             self._buf.extend(self._zeros)
             self._bucket_of.append(bucket)
         self._slots[bucket] = slot
@@ -221,14 +266,46 @@ class SignatureArena:
     def view2d(self) -> Any:
         """Writable ``(slots, stride)`` int64 view of the raw buffer.
 
+        The view is cached between calls (decode sweeps request many
+        slab views back to back) and re-created after buffer growth.
         Invalidated by any later allocation (growth may move the
         buffer): create after :meth:`resolve_slots`, use, drop.
         """
+        view = self._view
+        if view is not None:
+            return view
         if not self._buf:
             return _np.empty((0, self.stride), dtype=_np.int64)
-        return _np.frombuffer(self._buf, dtype=_np.int64).reshape(
+        view = _np.frombuffer(self._buf, dtype=_np.int64).reshape(
             -1, self.stride
         )
+        self._view = view
+        return view
+
+    def _decode_rows(self, slots: Any) -> Tuple[Any, Any]:  # hot-path
+        """Singleton test over the given slot rows via the slab kernel.
+
+        Returns ``(ok, codes)`` ndarrays: a bool singleton mask and the
+        decoded uint64 pair code per row (meaningful only where
+        ``ok``).
+        """
+        rows = self.view2d()[slots]
+        ok, ne = singleton_mask(rows)
+        return ok, pack_codes(~ne[:, 1:])
+
+    def decode_slots_raw(self, slots: Any) -> Tuple[Any, Any]:  # hot-path
+        """Vectorized singleton decode returning raw ``(ok, codes)``.
+
+        The allocation-free variant of :meth:`decode_slots` for callers
+        that diff decode states with numpy (the tracking batch engine):
+        ``ok`` is a bool mask, ``codes`` the uint64 pair code per row.
+        Zeroed (freed) rows decode to not-ok, so the same call serves
+        as the before- and after-image of a batch scatter.
+        """
+        if len(slots) == 0:
+            empty = _np.empty(0, dtype=_np.uint64)
+            return empty.astype(bool), empty
+        return self._decode_rows(slots)
 
     def decode_slots(self, slots: Any) -> List[Optional[int]]:  # hot-path
         """Vectorized singleton decode of the given slot rows.
@@ -239,15 +316,7 @@ class SignatureArena:
         count = len(slots)
         if count == 0:
             return []
-        rows = self.view2d()[slots]
-        totals = rows[:, 0]
-        bits = rows[:, 1:]
-        eq_total = bits == totals[:, None]
-        ok = (totals > 0) & ((bits == 0) | eq_total).all(axis=1)
-        shifts = _np.arange(self.pair_bits, dtype=_np.uint64)
-        codes = (eq_total.astype(_np.uint64) << shifts).sum(
-            axis=1, dtype=_np.uint64
-        )
+        ok, codes = self._decode_rows(slots)
         ok_list = ok.tolist()
         code_list = codes.tolist()
         out: List[Optional[int]] = []
@@ -255,6 +324,33 @@ class SignatureArena:
         for index in range(count):
             append(code_list[index] if ok_list[index] else None)
         return out
+
+    def decode_slab(self) -> Tuple[List[int], int]:  # hot-path
+        """Decode every occupied bucket of the arena in one pass.
+
+        The whole-slab form of the paper's ``GetdSample`` inner loop:
+        returns ``(singleton pair codes, collision count)`` over all
+        occupied buckets.  With numpy (and a pair encoding that fits
+        64 bits) the entire slab is evaluated by a single application
+        of the vectorized singleton predicate; otherwise it falls back
+        to the scalar per-bucket decode with identical results.
+        """
+        occupied = len(self._slots)
+        if occupied == 0:
+            return [], 0
+        if not HAVE_NUMPY or self.pair_bits > 64:
+            codes_out: List[int] = []
+            append = codes_out.append
+            for code in self.decode_occupied():
+                if code is not None:
+                    append(code)
+            return codes_out, occupied - len(codes_out)
+        # Decode the full buffer, free rows included: all-zero rows
+        # fail the singleton predicate, so no slot gather is needed.
+        ok, ne = singleton_mask(self.view2d())
+        index = _np.nonzero(ok)[0]
+        recovered: List[int] = pack_codes(~ne[index, 1:]).tolist()
+        return recovered, occupied - len(recovered)
 
     def free_zero_slots(self, touched: Any) -> None:  # hot-path
         """Release every touched slot whose row netted to all zeros.
@@ -430,6 +526,26 @@ class SignatureArena:
 
     # Mutable container: never hashable.
     __hash__ = None  # type: ignore[assignment]
+
+    # -- state interchange ----------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Slot state minus the cached buffer view.
+
+        A pickled ``frombuffer`` view would come back as an independent
+        copy — silently divergent from ``_buf`` — so the cache never
+        crosses a serialization boundary.
+        """
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "_view"
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._view = None
 
     def __repr__(self) -> str:
         return (

@@ -57,8 +57,8 @@ from ..obs.catalog import (
 )
 from ..obs.registry import Registry, registry_or_null
 from ..types import AddressDomain, FlowUpdate
-from .arena import SignatureArena
-from .estimate import TopKResult, build_result
+from .arena import SignatureArena, pack_codes, singleton_mask
+from .estimate import TopKResult, build_result, rank_frequencies
 from .params import SketchParams
 from .signature import CountSignature
 
@@ -74,6 +74,11 @@ LevelTables = List[BucketStore]
 
 #: Valid values for the ``backend`` constructor argument.
 BACKENDS = ("reference", "packed")
+
+#: Whole-walk decode copies counters into 32-bit scratch when every
+#: counter is provably below this bound (each update's delta is +/-1,
+#: so ``|counter| <= updates_processed``); wider states use int64.
+_INT32_SAFE = 2 ** 31
 
 
 class DistinctCountSketch:
@@ -435,39 +440,170 @@ class DistinctCountSketch:
             return None
         return signature.recover_singleton()
 
-    def get_dsample(self, level: int) -> Set[int]:
-        """The paper's ``GetdSample``: all singleton pairs at ``level``.
+    def decoded_slab(self, level: int, j: int) -> Tuple[List[int], int]:
+        """Decode one ``(level, table)`` slab of occupied buckets.
 
-        Scans every occupied second-level bucket of the level across all
-        ``r`` inner tables, decoding singletons; duplicates (a pair
-        singleton in several tables) collapse in the returned set.
+        Returns ``(singleton pair codes, collision count)``.  On the
+        packed backend with numpy this is a single vectorized pass over
+        the slab's contiguous counter rows
+        (:meth:`~repro.sketch.arena.SignatureArena.decode_slab`); on
+        the reference backend — or without numpy, or for pair domains
+        wider than 64 bits — it transparently takes the scalar
+        per-signature path with identical results.  Does not touch
+        observability counters (callers aggregate per scan).
         """
-        sample: Set[int] = set()
-        recovered = 0
+        store = self._tables[level][j]
+        if isinstance(store, SignatureArena):
+            return store.decode_slab()
+        codes: List[int] = []
+        append = codes.append
         collisions = 0
-        for table in self._tables[level]:
-            for pair in self._decoded_store(table):
-                if pair is not None:
-                    sample.add(pair)
-                    recovered += 1
-                else:
-                    collisions += 1
-        # One aggregated inc per scan, into children pre-bound at
-        # construction, keeps instrumented scans cheap.
+        for signature in store.values():
+            pair = signature.recover_singleton()
+            if pair is None:
+                collisions += 1
+            else:
+                append(pair)
+        return codes, collisions
+
+    def _slab_decode_ready(self) -> bool:
+        """True when whole-slab decode can serve queries on this sketch."""
+        return (
+            self._arenas is not None
+            and HAVE_NUMPY
+            and self.params.pair_bits <= 64
+        )
+
+    def _decode_levels(
+        self, levels: List[int]
+    ) -> List[Tuple[Set[int], int, int]]:
+        """Slab-decode whole levels with one application of the kernel.
+
+        The core of the vectorized query path: gathers every requested
+        level's arena buffers into one scratch matrix (downcast to
+        32-bit counters when ``updates_processed`` proves that safe —
+        half the bytes through every predicate pass), runs the
+        :func:`~repro.sketch.arena.singleton_mask` kernel once over all
+        of them, and splits the recovered codes back per level.
+        Returns ``(sample, recovered, collisions)`` tuples aligned with
+        ``levels``; does not touch observability counters (callers
+        record only the levels they actually visit, matching the scalar
+        walk).  Callers must check :meth:`_slab_decode_ready` first.
+        """
+        arenas = self._arenas
+        assert arenas is not None
+        views = []
+        bounds = [0]
+        occupied_by_level = []
+        rows = 0
+        for level in levels:
+            occupied = 0
+            for store in arenas[level]:
+                if len(store):
+                    view = store.view2d()
+                    views.append(view)
+                    rows += view.shape[0]
+                    occupied += len(store)
+            bounds.append(rows)
+            occupied_by_level.append(occupied)
+        if not rows:
+            return [(set(), 0, 0) for _ in levels]
+        dtype = (
+            _np.int32 if self.updates_processed < _INT32_SAFE else _np.int64
+        )
+        scratch = _np.empty(
+            (rows, self.params.pair_bits + 1), dtype=dtype
+        )
+        position = 0
+        for view in views:
+            count = view.shape[0]
+            # Slice assignment casts while copying, so the int32 path
+            # never materializes an intermediate int64 gather.
+            scratch[position:position + count] = view
+            position += count
+        ok, ne = singleton_mask(scratch)
+        index = _np.nonzero(ok)[0]
+        code_list = pack_codes(~ne[index, 1:]).tolist()
+        cuts = _np.searchsorted(index, _np.asarray(bounds)).tolist()
+        out: List[Tuple[Set[int], int, int]] = []
+        for offset, level in enumerate(levels):
+            lo = cuts[offset]
+            hi = cuts[offset + 1]
+            out.append((
+                set(code_list[lo:hi]),
+                hi - lo,
+                occupied_by_level[offset] - (hi - lo),
+            ))
+        return out
+
+    def _record_dsample_obs(
+        self, level: int, recovered: int, collisions: int
+    ) -> None:
+        """One aggregated inc per scan, into children pre-bound at
+        construction, keeps instrumented scans cheap."""
         if recovered:
             self._obs_singletons_by_level[level].inc(recovered)
         if collisions:
             self._obs_collisions_by_level[level].inc(collisions)
+
+    def get_dsample_batch(self, level: int) -> Set[int]:
+        """``GetdSample`` over whole slabs: all singleton pairs at ``level``.
+
+        Semantically identical to :meth:`get_dsample` — the two differ
+        only in how buckets are decoded (slab-at-a-time versus the
+        conceptual bucket-at-a-time scan of the paper's Figure 4).
+        Duplicates (a pair singleton in several tables) collapse in the
+        returned set; the per-level singleton/collision counters receive
+        the same aggregate increments either way.
+        """
+        if self._slab_decode_ready():
+            sample, recovered, collisions = self._decode_levels([level])[0]
+        else:
+            sample = set()
+            recovered = 0
+            collisions = 0
+            for j in range(self.params.r):
+                codes, slab_collisions = self.decoded_slab(level, j)
+                sample.update(codes)
+                recovered += len(codes)
+                collisions += slab_collisions
+        self._record_dsample_obs(level, recovered, collisions)
         return sample
 
-    @staticmethod
-    def _decoded_store(table: BucketStore) -> Iterator[Optional[int]]:
-        """Singleton decode (or ``None``) per occupied bucket of a store."""
-        if isinstance(table, SignatureArena):
-            return table.decode_occupied()
-        return (
-            signature.recover_singleton() for signature in table.values()
-        )
+    def dsample_sweep(self) -> Dict[int, Set[int]]:
+        """``GetdSample`` for every level of the sketch in one pass.
+
+        Returns ``{level: sample}`` for all levels.  On the packed
+        backend with numpy this decodes every arena of the sketch with
+        a single application of the slab kernel — the fastest way to
+        materialize the full distinct-sample hierarchy (diagnostics,
+        benchmarks, exhaustive queries); elsewhere it degrades to the
+        per-level scalar scan with identical results.  Observability
+        counters receive the same per-level increments as ``num_levels``
+        individual :meth:`get_dsample` calls.
+        """
+        levels = list(range(self.params.num_levels))
+        if not self._slab_decode_ready():
+            return {level: self.get_dsample(level) for level in levels}
+        decoded = self._decode_levels(levels)
+        sweep: Dict[int, Set[int]] = {}
+        for level in levels:
+            sample, recovered, collisions = decoded[level]
+            self._record_dsample_obs(level, recovered, collisions)
+            sweep[level] = sample
+        return sweep
+
+    def get_dsample(self, level: int) -> Set[int]:
+        """The paper's ``GetdSample``: all singleton pairs at ``level``.
+
+        Decodes every occupied second-level bucket of the level across
+        all ``r`` inner tables; duplicates (a pair singleton in several
+        tables) collapse in the returned set.  Delegates to
+        :meth:`get_dsample_batch`, which evaluates whole slabs at once
+        on the packed backend and falls back to the scalar decode
+        elsewhere — the answer is identical either way.
+        """
+        return self.get_dsample_batch(level)
 
     def active_levels(self) -> int:
         """Number of first-level buckets currently holding any state."""
@@ -497,11 +633,30 @@ class DistinctCountSketch:
         target = self.params.sample_target(epsilon)
         sample: Set[int] = set()
         stop_level = 0
-        for level in range(self.params.num_levels - 1, -1, -1):
-            sample |= self.get_dsample(level)
-            stop_level = level
-            if len(sample) >= target:
-                break
+        if self._slab_decode_ready():
+            # Decode every slab of the sketch with one kernel pass, then
+            # replay the top-down walk over the per-level results.  The
+            # walk may stop before consuming all levels — identical to
+            # the scalar walk, which never decodes below its stop level;
+            # the speculative decode of the lower levels costs a few
+            # vectorized passes and keeps the whole query one kernel
+            # application.  Observability records visited levels only,
+            # exactly as the scalar walk does.
+            order = list(range(self.params.num_levels - 1, -1, -1))
+            decoded = self._decode_levels(order)
+            for offset, level in enumerate(order):
+                level_sample, recovered, collisions = decoded[offset]
+                sample |= level_sample
+                self._record_dsample_obs(level, recovered, collisions)
+                stop_level = level
+                if len(sample) >= target:
+                    break
+        else:
+            for level in range(self.params.num_levels - 1, -1, -1):
+                sample |= self.get_dsample(level)
+                stop_level = level
+                if len(sample) >= target:
+                    break
         self._obs_sample_size.observe(len(sample))
         return sample, stop_level, target
 
@@ -531,9 +686,7 @@ class DistinctCountSketch:
         self._obs_queries.labels(kind="base_topk").inc()
         sample, stop_level, target = self.collect_distinct_sample(epsilon)
         frequencies = self.sample_destination_frequencies(sample)
-        ranked = sorted(
-            frequencies.items(), key=lambda item: (-item[1], item[0])
-        )[:k]
+        ranked = rank_frequencies(frequencies, k)
         return build_result(
             ranked=ranked,
             stop_level=stop_level,
@@ -556,14 +709,11 @@ class DistinctCountSketch:
         sample, stop_level, target = self.collect_distinct_sample(epsilon)
         frequencies = self.sample_destination_frequencies(sample)
         scale = 1 << stop_level
-        ranked = sorted(
-            (
-                (dest, freq)
-                for dest, freq in frequencies.items()
-                if scale * freq >= tau
-            ),
-            key=lambda item: (-item[1], item[0]),
-        )
+        ranked = rank_frequencies({
+            dest: freq
+            for dest, freq in frequencies.items()
+            if scale * freq >= tau
+        })
         return build_result(
             ranked=ranked,
             stop_level=stop_level,

@@ -80,6 +80,24 @@ class TopKResult:
         return self.entries[index]
 
 
+def rank_frequencies(
+    frequencies: Dict[int, int], k: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Deterministically rank a ``{dest: f^s}`` sample-frequency map.
+
+    Orders by descending sample frequency with ascending destination as
+    the tie-break (the convention every estimator and test in this repo
+    shares), truncating to the top ``k`` entries when ``k`` is given.
+    Both the scalar and the slab-decode query paths feed their samples
+    through this one function, so ranking can never diverge between
+    them.
+    """
+    ranked = sorted(
+        frequencies.items(), key=lambda item: (-item[1], item[0])
+    )
+    return ranked if k is None else ranked[:k]
+
+
 def build_result(
     ranked: List[Tuple[int, int]],
     stop_level: int,

@@ -277,6 +277,18 @@ class ShardedSketch:
         """Global top-k (merges shards, memoized; O(total sketch size))."""
         return self.combined().track_topk(k)
 
+    def base_topk(self, k: int) -> TopKResult:
+        """Global BaseTopk over the merged view (Figure 3 on the union).
+
+        Identical to :meth:`track_topk`'s answer by the tracking
+        consistency invariant, but runs the Figure 3 distinct-sample
+        walk instead of reading tracked heaps — with
+        ``sketch_backend="packed"`` that walk decodes whole slabs at a
+        time (see ``docs/performance.md``).  Uses the same memoized
+        merge as :meth:`track_topk`.
+        """
+        return self.combined().base_topk(k)
+
     def shard(self, index: int) -> TrackingDistinctCountSketch:
         """One shard's sketch: live for sync, a snapshot copy for process."""
         if self._pool is not None:

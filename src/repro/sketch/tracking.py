@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Set, Tuple, Union, cast
 
+from .._accel import np as _np
 from ..exceptions import ParameterError
 from ..obs.catalog import (
     TRACKING_HEAP_OPS,
@@ -212,22 +213,30 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         (:meth:`check_invariants` is exactly that statement), so diffing
         each touched bucket's singleton occupant before and after the
         whole-group scatter yields the same final state as replaying the
-        group update by update.
+        group update by update.  Both images come from the vectorized
+        slab-decode kernel as raw ``(ok, codes)`` arrays, and the diff
+        itself is a numpy comparison — Python only touches the buckets
+        whose occupant actually changed.
         """
-        before = store.decode_slots(touched)
+        before_ok, before_codes = store.decode_slots_raw(touched)
         super()._scatter_into_store(level, store, slots, contrib, touched)
-        after = store.decode_slots(touched)
+        after_ok, after_codes = store.decode_slots_raw(touched)
+        changed = (before_ok != after_ok) | (
+            before_ok & after_ok & (before_codes != after_codes)
+        )
+        if not bool(changed.any()):
+            return
         remove = self._remove_singleton_occurrence
         add = self._add_singleton_occurrence
-        for index in range(len(before)):
-            old = before[index]
-            new = after[index]
-            if old == new:
-                continue
-            if old is not None:
-                remove(level, old)
-            if new is not None:
-                add(level, new)
+        before_ok_list = before_ok.tolist()
+        after_ok_list = after_ok.tolist()
+        before_code_list = before_codes.tolist()
+        after_code_list = after_codes.tolist()
+        for index in _np.nonzero(changed)[0].tolist():
+            if before_ok_list[index]:
+                remove(level, before_code_list[index])
+            if after_ok_list[index]:
+                add(level, after_code_list[index])
 
     def _add_singleton_occurrence(self, level: int, pair: int) -> None:
         """A bucket at ``level`` became a singleton holding ``pair``."""
@@ -393,7 +402,13 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         self._rebuild_tracking_state()
 
     def _rebuild_tracking_state(self) -> None:
-        """Recompute singletons/counters/heaps from the raw signatures."""
+        """Recompute singletons/counters/heaps from the raw signatures.
+
+        Decodes slab-at-a-time (:meth:`decoded_slab`), so a post-merge
+        or post-copy rebuild rides the same vectorized kernel as the
+        query path; the resulting state is a pure function of the
+        counter state, so decode order is immaterial.
+        """
         levels = self.params.num_levels
         self._singletons = [SingletonSet() for _ in range(levels)]
         self._num_singletons = [0] * levels
@@ -401,10 +416,10 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
             IndexedMaxHeap() for _ in range(levels)
         ]
         for level in range(levels):
-            for table in self._tables[level]:
-                for pair in self._decoded_store(table):
-                    if pair is not None:
-                        self._add_singleton_occurrence(level, pair)
+            for j in range(self.params.r):
+                codes, _ = self.decoded_slab(level, j)
+                for pair in codes:
+                    self._add_singleton_occurrence(level, pair)
 
     def copy(self) -> "TrackingDistinctCountSketch":
         """Deep copy, including tracked state (rebuilt from signatures)."""

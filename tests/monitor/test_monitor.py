@@ -110,3 +110,56 @@ class TestLifecycle:
         alarms = monitor.observe_stream(flood(dest=7, sources=3000))
         # Many checks fired, but at most 2 alarms (warning + critical).
         assert 1 <= len([a for a in alarms if a.dest == 7]) <= 2
+
+
+class TestObserveBatch:
+    """observe_batch must be indistinguishable from observe_stream."""
+
+    def _mixed_stream(self, sources=1500):
+        # A flood with interleaved background noise so several
+        # check-interval boundaries fall inside one batch.
+        updates = flood(dest=7, sources=sources)
+        for index in range(0, sources, 3):
+            updates.insert(index, FlowUpdate(index, index % 40, +1))
+        return updates
+
+    @pytest.mark.parametrize("backend", ["reference", "packed"])
+    @pytest.mark.parametrize("batch_size", [33, 100, 640, 10 ** 6])
+    def test_batch_equals_stream(self, domain, backend, batch_size):
+        updates = self._mixed_stream()
+        streamed = DDoSMonitor(
+            domain, MonitorConfig(k=5, check_interval=100,
+                                  warning_ratio=10, critical_ratio=50,
+                                  absolute_floor=50),
+            seed=3, backend=backend,
+        )
+        batched = DDoSMonitor(
+            domain, MonitorConfig(k=5, check_interval=100,
+                                  warning_ratio=10, critical_ratio=50,
+                                  absolute_floor=50),
+            seed=3, backend=backend,
+        )
+        expected = streamed.observe_stream(updates)
+        raised = []
+        for start in range(0, len(updates), batch_size):
+            raised.extend(
+                batched.observe_batch(updates[start:start + batch_size])
+            )
+        assert raised == expected
+        assert batched.updates_seen == streamed.updates_seen
+        assert batched.sketch.structurally_equal(streamed.sketch)
+        assert batched.current_top() == streamed.current_top()
+
+    def test_batch_splits_at_check_boundaries(self, domain):
+        monitor = make_monitor(domain, check_interval=100)
+        # 37 updates first: the next batch must check at update 100,
+        # i.e. 63 updates into the batch, not at the batch edge.
+        monitor.observe_batch(flood(dest=7, sources=37))
+        alarms = monitor.observe_batch(flood(dest=7, sources=263, base=37))
+        assert monitor.updates_seen == 300
+        assert any(alarm.dest == 7 for alarm in alarms)
+
+    def test_empty_batch_is_a_no_op(self, domain):
+        monitor = make_monitor(domain)
+        assert monitor.observe_batch([]) == []
+        assert monitor.updates_seen == 0

@@ -1,13 +1,14 @@
-"""Run the executable examples embedded in docstrings.
+"""Run the executable examples embedded in docstrings and the README.
 
 Docstring examples rot unless executed; this module doctests every
-library module that carries ``>>>`` examples so the documented snippets
-stay correct.
+library module that carries ``>>>`` examples — plus the README's
+quickstart snippets — so the documented snippets stay correct.
 """
 
 from __future__ import annotations
 
 import doctest
+from pathlib import Path
 
 import pytest
 
@@ -62,3 +63,13 @@ def test_module_doctests(module):
     assert results.attempted > 0, (
         f"expected at least one doctest in {module.__name__}"
     )
+
+
+def test_readme_doctests():
+    """The README's ``>>>`` examples must run exactly as printed."""
+    readme = Path(__file__).resolve().parent.parent / "README.md"
+    results = doctest.testfile(str(readme), module_relative=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in README.md"
+    )
+    assert results.attempted > 0, "expected README doctests to run"

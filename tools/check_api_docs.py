@@ -13,9 +13,15 @@ Checks, in order:
 2. Reverse: the leading identifier of every backticked symbol in the
    *first column* of an api.md table is a real export of some public
    package — documentation of renamed-away names is drift too.
+3. Methods: every entry point in ``REQUIRED_METHODS`` both resolves via
+   ``getattr`` on its package *and* is mentioned (backticked) somewhere
+   in api.md.  ``__all__`` only covers module-level names; the query
+   and ingest surface lives on methods, and a new method that ships
+   undocumented — or a documented method that gets renamed away — must
+   fail CI just like a module-level export would.
 
-Summary-column text is deliberately out of scope: it names methods and
-keyword arguments, which are documented by docstrings, not ``__all__``.
+Summary-column text is otherwise out of scope: it names keyword
+arguments and minor accessors, which are documented by docstrings.
 """
 
 from __future__ import annotations
@@ -24,7 +30,7 @@ import importlib
 import re
 import sys
 from pathlib import Path
-from typing import Dict, List, Set
+from typing import Dict, List, Set, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS_PATH = REPO_ROOT / "docs" / "api.md"
@@ -53,6 +59,31 @@ IGNORED_EXPORTS: Set[str] = {
 #: First-column identifiers that are not ``__all__`` exports but are
 #: legitimate documentation anchors.
 DOCUMENTED_EXTRAS: Set[str] = set()
+
+#: Method-level public surface: ``(package, dotted path)`` pairs that
+#: must resolve via ``getattr`` and be backticked in api.md.  Add a row
+#: here whenever a PR grows the query/ingest surface of a documented
+#: class — CI then refuses both silent removal and silent shipping.
+REQUIRED_METHODS: List[Tuple[str, str]] = [
+    # ingest surface
+    ("repro.sketch", "DistinctCountSketch.update_batch"),
+    ("repro.sketch", "DistinctCountSketch.process_stream"),
+    ("repro.sketch", "ShardedSketch.update_batch"),
+    ("repro.monitor", "DDoSMonitor.observe_batch"),
+    # query surface (scalar + slab decode)
+    ("repro.sketch", "DistinctCountSketch.base_topk"),
+    ("repro.sketch", "DistinctCountSketch.threshold_query"),
+    ("repro.sketch", "DistinctCountSketch.get_dsample"),
+    ("repro.sketch", "DistinctCountSketch.get_dsample_batch"),
+    ("repro.sketch", "DistinctCountSketch.dsample_sweep"),
+    ("repro.sketch", "DistinctCountSketch.decoded_slab"),
+    ("repro.sketch", "TrackingDistinctCountSketch.track_topk"),
+    ("repro.sketch", "ShardedSketch.base_topk"),
+    ("repro.sketch", "ShardedSketch.track_topk"),
+    ("repro.sketch", "ShardedSketch.combined"),
+    ("repro.sketch", "SignatureArena.decode_slab"),
+    ("repro.sketch", "SignatureArena.view2d"),
+]
 
 IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 SPAN_RE = re.compile(r"`([^`]+)`")
@@ -126,6 +157,26 @@ def main() -> int:
                     f"is not exported by any public package"
                 )
 
+    # 3. methods: REQUIRED_METHODS -> getattr + docs
+    for modname, dotted in REQUIRED_METHODS:
+        target = importlib.import_module(modname)
+        resolved = True
+        for part in dotted.split("."):
+            try:
+                target = getattr(target, part)
+            except AttributeError:
+                problems.append(
+                    f"{modname}.{dotted}: listed in REQUIRED_METHODS "
+                    f"but does not resolve (renamed or removed?)"
+                )
+                resolved = False
+                break
+        if resolved and dotted.rsplit(".", 1)[-1] not in documented:
+            problems.append(
+                f"{modname}.{dotted}: public method exists but is "
+                f"never mentioned in {docs_rel}"
+            )
+
     if problems:
         for problem in problems:
             print(f"check_api_docs: {problem}")
@@ -136,7 +187,8 @@ def main() -> int:
     print(
         f"check_api_docs: OK — {total} exports across "
         f"{len(exports)} packages documented, {checked} documented "
-        f"symbols resolved"
+        f"symbols resolved, {len(REQUIRED_METHODS)} required methods "
+        f"present"
     )
     return 0
 
