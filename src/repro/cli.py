@@ -21,13 +21,18 @@ Subcommands:
 * ``repro-ddos recover`` — rebuild a sketch from a durability
   directory (checkpoint + WAL tail) and print what it knows; the
   operator side of ``docs/recovery.md``.
+* ``repro-ddos serve`` — ingest a workload and expose live telemetry
+  over HTTP: ``/metrics`` (Prometheus), ``/healthz`` (the sketch
+  accuracy self-check), ``/traces`` (sampled spans), ``/topk``.
+* ``repro-ddos blackbox`` — pretty-print (and diff) the flight
+  recorder's crash post-mortem dumps.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .baselines import BruteForceTracker
 from .metrics import average_relative_error, top_k_recall
@@ -42,6 +47,7 @@ from .netsim import (
     parse_ip,
 )
 from .sketch import SketchParams, TrackingDistinctCountSketch
+from .sketch.estimate import TopKResult
 from .streams import ZipfWorkload
 from .types import AddressDomain
 
@@ -193,6 +199,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     recover.add_argument("--k", type=int, default=10,
                          help="top-k table size to print")
+
+    serve = sub.add_parser(
+        "serve",
+        help="ingest a workload and expose live telemetry over HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9309,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument(
+        "--workload", choices=["quickstart", "zipf"], default="zipf",
+        help="stream ingested before serving (see `stats`)",
+    )
+    serve.add_argument("--updates", type=int, default=20_000,
+                       help="stream length ingested before serving")
+    serve.add_argument("--k", type=int, default=10,
+                       help="top-k table size behind /topk")
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="ingest through a process-backed sharded sketch with N "
+             "workers (0 = single in-process sketch); scrapes then "
+             "pull worker-side counters and spans over the pipes",
+    )
+    serve.add_argument(
+        "--sample-every", type=int, default=100, metavar="N",
+        help="span head-sampling rate: record 1 in N root spans "
+             "(1 = everything, 0 = tracing off)",
+    )
+    serve.add_argument(
+        "--max-requests", type=int, default=0, metavar="N",
+        help="serve exactly N requests then exit (0 = serve forever); "
+             "the counted loop keeps the CLI clock-free, which is how "
+             "CI smokes the endpoint",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+
+    blackbox = sub.add_parser(
+        "blackbox",
+        help="pretty-print (and diff) flight-recorder post-mortem dumps",
+    )
+    blackbox.add_argument("path", help="dump file (blackbox-*.bin)")
+    blackbox.add_argument(
+        "--diff", default=None, metavar="OTHER",
+        help="second dump: report events/spans present in only one",
+    )
+    blackbox.add_argument(
+        "--spans", type=int, default=20, metavar="N",
+        help="most-recent spans to print (0 = all)",
+    )
 
     return parser
 
@@ -584,6 +638,198 @@ def _run_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_updates(args: argparse.Namespace) -> List["FlowUpdate"]:
+    """The pre-serve ingest stream (same shapes as ``stats``)."""
+    domain = AddressDomain(2 ** 32)
+    if args.workload == "zipf":
+        workload = ZipfWorkload(
+            domain,
+            distinct_pairs=args.updates,
+            destinations=max(args.updates // 50, 10),
+            skew=1.2,
+            seed=args.seed,
+        )
+        return list(workload.updates())
+    return _stats_quickstart(domain, args.updates, args.seed)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .obs import (
+        FlightRecorder,
+        Registry,
+        SketchHealth,
+        TelemetryServer,
+        Tracer,
+        install_recorder,
+        install_tracer,
+        uninstall_recorder,
+        uninstall_tracer,
+    )
+    from .sketch.sharded import ShardedSketch
+
+    if args.sample_every < 0:
+        print("--sample-every must be >= 0", file=sys.stderr)
+        return 2
+    domain = AddressDomain(2 ** 32)
+    registry = Registry()
+    if args.sample_every > 0:
+        install_tracer(
+            Tracer(sample_every=args.sample_every, obs=registry)
+        )
+    install_recorder(FlightRecorder())
+    try:
+        updates = _serve_updates(args)
+        refresh: Optional[Callable[[], None]] = None
+        if args.shards > 0:
+            sharded = ShardedSketch(
+                domain,
+                shards=args.shards,
+                seed=args.seed,
+                obs=registry,
+                backend="process",
+            )
+            sharded.process_stream(updates)
+            def sketch_view() -> TrackingDistinctCountSketch:
+                return sharded.combined()
+
+            def topk() -> "TopKResult":
+                return sharded.track_topk(args.k)
+
+            def pull_workers() -> None:
+                sharded.absorb_worker_obs()
+                sharded.drain_worker_traces()
+
+            refresh = pull_workers
+        else:
+            sketch = TrackingDistinctCountSketch(
+                domain, seed=args.seed, obs=registry
+            )
+            sketch.process_stream(updates)
+
+            def sketch_view() -> TrackingDistinctCountSketch:
+                return sketch
+
+            def topk() -> "TopKResult":
+                return sketch.track_topk(args.k)
+        server = TelemetryServer(
+            registry,
+            host=args.host,
+            port=args.port,
+            topk=topk,
+            health=SketchHealth(sketch_view),
+            refresh=refresh,
+        )
+        print(
+            f"# ingested {len(updates)} updates "
+            f"(workload={args.workload}, shards={args.shards})"
+        )
+        print(
+            f"# serving http://{server.host}:{server.port}"
+            "{/metrics,/healthz,/traces,/topk}"
+        )
+        sys.stdout.flush()
+        try:
+            if args.max_requests:
+                server.serve(args.max_requests)
+                print(f"# served {server.requests_served} requests")
+            else:
+                while True:
+                    server.serve(1)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.close()
+            if args.shards > 0:
+                sharded.close()
+        return 0
+    finally:
+        uninstall_tracer()
+        uninstall_recorder()
+
+
+def _format_blackbox_event(event: dict) -> str:
+    fields = " ".join(
+        f"{key}={value}"
+        for key, value in sorted(event.items())
+        if key not in ("seq", "kind")
+    )
+    return (
+        f"  [{event.get('seq', '?'):>4}] "
+        f"{str(event.get('kind', '?')):<20} {fields}".rstrip()
+    )
+
+
+def _run_blackbox(args: argparse.Namespace) -> int:
+    from collections import Counter
+    from pathlib import Path
+
+    from .exceptions import ParameterError
+    from .obs import load_blackbox
+
+    try:
+        dump = load_blackbox(Path(args.path))
+    except (OSError, ParameterError) as error:
+        print(f"cannot read dump: {error}", file=sys.stderr)
+        return 1
+    header = dump.header
+    print(
+        f"blackbox {args.path}: reason={dump.reason!r} "
+        f"pid={header.get('pid')} version={header.get('version')}"
+    )
+    if dump.torn:
+        print("WARNING: dump is torn (truncated mid-record); records "
+              "below are the intact prefix")
+    print(f"\nevents ({len(dump.events)}):")
+    for event in dump.events:
+        print(_format_blackbox_event(event))
+    spans = dump.spans
+    shown = spans if args.spans == 0 else spans[-args.spans:]
+    print(f"\nspans ({len(spans)} buffered, showing {len(shown)}):")
+    for entry in shown:
+        duration_us = int(entry.get("dur_ns", 0)) // 1000
+        print(
+            f"  {str(entry.get('name', '?')):<24} "
+            f"{duration_us:>8} us  pid={entry.get('pid')} "
+            f"id={entry.get('id')} parent={entry.get('parent')}"
+        )
+    if args.diff is None:
+        return 0
+    try:
+        other = load_blackbox(Path(args.diff))
+    except (OSError, ParameterError) as error:
+        print(f"cannot read diff target: {error}", file=sys.stderr)
+        return 1
+
+    def event_key(event: dict) -> tuple:
+        return tuple(
+            sorted(
+                (key, str(value))
+                for key, value in event.items()
+                if key != "seq"
+            )
+        )
+
+    ours = Counter(event_key(event) for event in dump.events)
+    theirs = Counter(event_key(event) for event in other.events)
+    print(f"\ndiff vs {args.diff}:")
+    for label, extra in (
+        ("only in first", ours - theirs),
+        ("only in second", theirs - ours),
+    ):
+        total = sum(extra.values())
+        print(f"  events {label}: {total}")
+        for key, count in sorted(extra.items()):
+            rendered = " ".join(f"{k}={v}" for k, v in key)
+            print(f"    {count}x {rendered}")
+    our_names = Counter(str(entry.get("name")) for entry in dump.spans)
+    their_names = Counter(str(entry.get("name")) for entry in other.spans)
+    for name in sorted(set(our_names) | set(their_names)):
+        ours_n, theirs_n = our_names[name], their_names[name]
+        if ours_n != theirs_n:
+            print(f"  span {name}: {ours_n} vs {theirs_n}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -609,6 +855,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_stats(args)
     if args.command == "recover":
         return _run_recover(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "blackbox":
+        return _run_blackbox(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

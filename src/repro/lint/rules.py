@@ -270,6 +270,7 @@ class WallClockRule(Rule):
     ALLOWED_MODULES: Tuple[str, ...] = (
         "repro.monitor.epochs",
         "repro.metrics.timing",
+        "repro.obs.trace",
         "repro.resilience.checkpoint",
     )
     BANNED_CALLS: FrozenSet[str] = frozenset(

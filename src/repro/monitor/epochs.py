@@ -25,6 +25,7 @@ from collections import deque
 from ..exceptions import ParameterError
 from ..obs.catalog import MONITOR_EPOCH_LIVE_SKETCHES, MONITOR_EPOCH_ROTATIONS
 from ..obs.registry import Registry, registry_or_null
+from ..obs.trace import span as trace_span
 from ..sketch import TrackingDistinctCountSketch
 from ..sketch.estimate import TopKResult
 from ..types import AddressDomain, FlowUpdate
@@ -101,15 +102,16 @@ class EpochRotator:
 
     def _start_new_epoch(self) -> None:
         """Open a fresh sketch; retire the oldest beyond the window."""
-        sketch = TrackingDistinctCountSketch(
-            self.domain, r=self.r, s=self.s,
-            seed=self.seed + self._epoch_index,
-        )
-        self._sketches.append(sketch)
-        self._epoch_index += 1
-        self._obs_rotations.inc()
-        while len(self._sketches) > self.window_epochs:
-            self._sketches.popleft()
+        with trace_span("monitor.epoch_rotate"):
+            sketch = TrackingDistinctCountSketch(
+                self.domain, r=self.r, s=self.s,
+                seed=self.seed + self._epoch_index,
+            )
+            self._sketches.append(sketch)
+            self._epoch_index += 1
+            self._obs_rotations.inc()
+            while len(self._sketches) > self.window_epochs:
+                self._sketches.popleft()
 
     # -- ingestion ----------------------------------------------------------------
 

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..exceptions import ParameterError
 from ..obs.catalog import MONITOR_THRESHOLD_CROSSINGS
+from ..obs.recorder import current_recorder
 from ..obs.registry import Registry, registry_or_null
 from ..sketch import TrackingDistinctCountSketch
 from ..types import AddressDomain, FlowUpdate
@@ -126,11 +127,19 @@ class ThresholdWatch:
                 )
         self._currently_above = set(now_above)
         self._events.extend(events)
+        recorder = current_recorder()
         for event in events:
             if event.above:
                 self._obs_cross_up.inc()
             else:
                 self._obs_cross_down.inc()
+            recorder.record(
+                "threshold_crossing",
+                dest=event.dest,
+                estimate=event.estimate,
+                direction="up" if event.above else "down",
+                updates_seen=event.updates_seen,
+            )
         return events
 
     def above_threshold(self) -> List[Tuple[int, int]]:

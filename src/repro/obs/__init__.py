@@ -51,24 +51,72 @@ from .instruments import (
     NullGauge,
     NullHistogram,
 )
+from .recorder import (
+    NULL_RECORDER,
+    BlackboxDump,
+    FlightRecorder,
+    NullFlightRecorder,
+    current_recorder,
+    install_recorder,
+    load_blackbox,
+    uninstall_recorder,
+)
 from .registry import NULL_REGISTRY, NullRegistry, Registry, registry_or_null
+from .server import (
+    HealthCheck,
+    HealthReport,
+    SketchHealth,
+    TelemetryServer,
+)
+from .trace import (
+    NULL_TRACER,
+    SPAN_NAMES,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    span,
+    uninstall_tracer,
+)
 
 __all__ = [
+    "BlackboxDump",
     "CATALOG",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
+    "HealthCheck",
+    "HealthReport",
     "Histogram",
     "Instrument",
     "MetricSpec",
+    "NULL_RECORDER",
     "NULL_REGISTRY",
+    "NULL_TRACER",
     "NullCounter",
+    "NullFlightRecorder",
     "NullGauge",
     "NullHistogram",
     "NullRegistry",
+    "NullTracer",
     "Registry",
+    "SPAN_NAMES",
+    "SketchHealth",
+    "Span",
+    "TelemetryServer",
+    "Tracer",
+    "current_recorder",
+    "current_tracer",
+    "install_recorder",
+    "install_tracer",
+    "load_blackbox",
     "registry_or_null",
     "render_json",
     "render_prometheus",
+    "span",
     "spec_for",
+    "uninstall_recorder",
+    "uninstall_tracer",
 ]

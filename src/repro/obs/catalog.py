@@ -104,6 +104,35 @@ SKETCH_ACTIVE_LEVELS = MetricSpec(
     paper_ref="§6.1 'approximately 23 non-empty buckets' at U = 8e6",
 )
 
+SKETCH_SWEEP_DURATION = MetricSpec(
+    name="repro_sketch_sweep_duration_us",
+    kind="histogram",
+    help="Wall time of one whole-sketch slab-decode sweep, in "
+         "microseconds (observed via the span tracer: query modules "
+         "stay clock-free).",
+    buckets=(100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000),
+    paper_ref="§4 BaseTopk scan cost: O(r·s) bucket decodes per query",
+)
+
+SKETCH_TOPK_CANDIDATES = MetricSpec(
+    name="repro_sketch_topk_candidates",
+    kind="histogram",
+    help="Distinct candidate destinations in the recovered sample at "
+         "each base_topk query (before truncating to k).",
+    buckets=(8, 16, 32, 64, 128, 256, 512, 1024, 2048),
+    paper_ref="§4 BaseTopk: |{v : f_v^s > 0}| in the distinct sample D",
+)
+
+SKETCH_SCALAR_FALLBACKS = MetricSpec(
+    name="repro_sketch_scalar_fallbacks_total",
+    kind="counter",
+    help="Query-path decodes that took the scalar bucket walk because "
+         "the vectorized slab path was unavailable (reference backend, "
+         "no numpy, or pair_bits > 64).",
+    paper_ref="§4 Fig. 4 ReturnSingleton run per-bucket instead of "
+              "per-slab (same answers, §6.2 speed notes)",
+)
+
 # -- tracking state (repro.sketch.tracking) ----------------------------------
 
 TRACKING_SINGLETON_EVENTS = MetricSpec(
@@ -262,6 +291,18 @@ WORKER_RESTARTS = MetricSpec(
               "worker failure for the monitor to run continuously",
 )
 
+WORKER_UPDATES = MetricSpec(
+    name="repro_worker_updates_total",
+    kind="counter",
+    help="Updates applied inside shard worker processes (worker-side "
+         "view, merged into the parent registry over the shard pipe; "
+         "rebuilt from restored sketch state on respawn, so the "
+         "aggregate never double-counts).",
+    labels=("shard",),
+    paper_ref="Fig. 1 per-worker synopses; §3 linearity makes the "
+              "per-shard counts additive",
+)
+
 # -- transport (repro.streams.transport) --------------------------------------
 
 TRANSPORT_UPDATES = MetricSpec(
@@ -292,6 +333,9 @@ CATALOG: Tuple[MetricSpec, ...] = tuple(
             SKETCH_MERGES,
             SKETCH_OCCUPIED_BUCKETS,
             SKETCH_ACTIVE_LEVELS,
+            SKETCH_SWEEP_DURATION,
+            SKETCH_TOPK_CANDIDATES,
+            SKETCH_SCALAR_FALLBACKS,
             TRACKING_SINGLETON_EVENTS,
             TRACKING_HEAP_OPS,
             TRACKING_SAMPLE_PAIRS,
@@ -311,6 +355,7 @@ CATALOG: Tuple[MetricSpec, ...] = tuple(
             WAL_RECORDS,
             WAL_RECORDS_REPLAYED,
             WORKER_RESTARTS,
+            WORKER_UPDATES,
             TRANSPORT_UPDATES,
             TRANSPORT_REORDERED,
         ),

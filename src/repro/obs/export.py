@@ -5,12 +5,16 @@ Two formats cover the two consumption patterns:
 * :func:`render_json` — a machine-readable snapshot for log shippers,
   dashboards, and tests (deterministic key order, diff-friendly);
 * :func:`render_prometheus` — the Prometheus text exposition format
-  (version 0.0.4), scrapeable as-is: ``# HELP`` / ``# TYPE`` headers,
-  one sample per line, histograms expanded into cumulative
-  ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+  (version 0.0.4), scrapeable as-is: ``# HELP`` / ``# TYPE`` headers
+  emitted exactly once per metric family, one sample per line, label
+  values escaped (backslash, newline, double-quote), histograms
+  expanded into cumulative ``_bucket{le=...}`` series plus ``_sum``
+  and ``_count``.
 
-Both walk the registry at call time, so pull gauges (see
-:meth:`repro.obs.Gauge.watch`) are evaluated exactly once per export.
+Both render from :meth:`repro.obs.Registry.snapshot`, so pull gauges
+(see :meth:`repro.obs.Gauge.watch`) are evaluated exactly once per
+export and absorbed worker-side contributions
+(:meth:`repro.obs.Registry.absorb`) appear merged into their families.
 
 Example:
     >>> from repro.obs import Registry
@@ -26,9 +30,8 @@ Example:
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
-from .instruments import Counter, Gauge, Histogram, Instrument
 from .registry import Registry
 
 
@@ -70,41 +73,44 @@ def _label_block(labels: Dict[str, str]) -> str:
     return "{" + inner + "}"
 
 
-def _scalar_lines(instrument: Instrument) -> List[str]:
-    """Sample lines for a counter or gauge (family-aware)."""
-    lines: List[str] = []
-    if instrument.label_names:
-        for values, child in instrument.child_items():
-            labels = dict(zip(instrument.label_names, values))
-            assert isinstance(child, (Counter, Gauge))
-            lines.append(
-                f"{instrument.name}{_label_block(labels)} {child.value}"
-            )
-    else:
-        assert isinstance(instrument, (Counter, Gauge))
-        lines.append(f"{instrument.name} {instrument.value}")
-    return lines
+def _sample_labels(sample: Dict[str, object]) -> Dict[str, str]:
+    raw = sample.get("labels")
+    if not isinstance(raw, dict):
+        return {}
+    return {str(name): str(value) for name, value in raw.items()}
 
 
 def _histogram_lines(
-    name: str, labels: Dict[str, str], histogram: Histogram
+    name: str, labels: Dict[str, str], sample: Dict[str, object]
 ) -> List[str]:
-    """The ``_bucket``/``_sum``/``_count`` expansion of one histogram."""
+    """The ``_bucket``/``_sum``/``_count`` expansion of one histogram
+    sample (bucket counts in a snapshot are already cumulative)."""
     lines: List[str] = []
-    for bound, cumulative in histogram.cumulative_buckets():
-        le = "+Inf" if bound is None else str(bound)
-        bucket_labels = dict(labels)
-        bucket_labels["le"] = le
-        lines.append(
-            f"{name}_bucket{_label_block(bucket_labels)} {cumulative}"
-        )
-    lines.append(f"{name}_sum{_label_block(labels)} {histogram.sum}")
-    lines.append(f"{name}_count{_label_block(labels)} {histogram.count}")
+    buckets = sample.get("buckets")
+    if isinstance(buckets, list):
+        for bucket in buckets:
+            if not isinstance(bucket, (list, tuple)) or len(bucket) != 2:
+                continue
+            bound, cumulative = bucket
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = str(bound)
+            lines.append(
+                f"{name}_bucket{_label_block(bucket_labels)} {cumulative}"
+            )
+    lines.append(f"{name}_sum{_label_block(labels)} {sample.get('sum', 0)}")
+    lines.append(
+        f"{name}_count{_label_block(labels)} {sample.get('count', 0)}"
+    )
     return lines
 
 
 def render_prometheus(registry: Registry) -> str:
     """Render a registry in the Prometheus text exposition format.
+
+    ``# HELP`` / ``# TYPE`` are emitted exactly once per metric family
+    — the snapshot merges absorbed external contributions into their
+    families first, and a duplicate family name can never produce a
+    second header block.
 
     Example:
         >>> from repro.obs import Registry
@@ -117,24 +123,35 @@ def render_prometheus(registry: Registry) -> str:
         seen_total{kind="a"} 5
         <BLANKLINE>
     """
+    snapshot = registry.snapshot()
+    entries = snapshot.get("instruments")
+    if not isinstance(entries, list):
+        return ""
     lines: List[str] = []
-    for instrument in registry.instruments():
+    emitted: Set[str] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        name = str(entry.get("name", ""))
+        if not name or name in emitted:
+            continue
+        emitted.add(name)
+        kind = str(entry.get("kind", ""))
         lines.append(
-            f"# HELP {instrument.name} {_escape_help(instrument.help)}"
+            f"# HELP {name} {_escape_help(str(entry.get('help', '')))}"
         )
-        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
-        if isinstance(instrument, Histogram):
-            if instrument.label_names:
-                for values, child in instrument.child_items():
-                    labels = dict(zip(instrument.label_names, values))
-                    assert isinstance(child, Histogram)
-                    lines.extend(
-                        _histogram_lines(instrument.name, labels, child)
-                    )
+        lines.append(f"# TYPE {name} {kind}")
+        samples = entry.get("samples")
+        if not isinstance(samples, list):
+            continue
+        for sample in samples:
+            if not isinstance(sample, dict):
+                continue
+            labels = _sample_labels(sample)
+            if kind == "histogram":
+                lines.extend(_histogram_lines(name, labels, sample))
             else:
-                lines.extend(
-                    _histogram_lines(instrument.name, {}, instrument)
+                lines.append(
+                    f"{name}{_label_block(labels)} {sample.get('value', 0)}"
                 )
-        else:
-            lines.extend(_scalar_lines(instrument))
     return "\n".join(lines) + ("\n" if lines else "")

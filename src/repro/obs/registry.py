@@ -48,6 +48,7 @@ class Registry:
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
+        self._external: Dict[str, List[Dict[str, object]]] = {}
 
     # -- factories (get-or-create) ------------------------------------------
 
@@ -186,6 +187,37 @@ class Registry:
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
+    # -- cross-process aggregation ------------------------------------------
+
+    def absorb(self, key: str, snapshot: Dict[str, object]) -> None:
+        """Merge an external registry snapshot under ``key``.
+
+        Stores the snapshot's instruments as an external contribution
+        that :meth:`snapshot` (and therefore both exporters) folds into
+        the local families by summing samples with matching labels.
+        Semantics are *replace-by-key*: absorbing a newer snapshot for
+        the same key overwrites the previous contribution, so repeated
+        merges — and worker respawns, which restart worker-side
+        counters from restored sketch state — can never double-count.
+        A worker that goes away stays at its last absorbed values until
+        its key is re-absorbed or :meth:`forget` is called.
+        """
+        raw = snapshot.get("instruments")
+        entries: List[Dict[str, object]] = []
+        if isinstance(raw, list):
+            for item in raw:
+                if isinstance(item, dict):
+                    entries.append(dict(item))
+        self._external[key] = entries
+
+    def forget(self, key: str) -> None:
+        """Drop the external contribution stored under ``key``."""
+        self._external.pop(key, None)
+
+    def external_keys(self) -> List[str]:
+        """Keys with absorbed external contributions, sorted."""
+        return sorted(self._external)
+
     # -- snapshot export ----------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
@@ -193,19 +225,23 @@ class Registry:
 
         Shape: ``{"instruments": [{"name", "kind", "help", "labels",
         "samples": [...]}, ...]}`` with deterministic ordering (names
-        and label values sorted), so snapshots diff cleanly.
+        and label values sorted), so snapshots diff cleanly.  External
+        contributions (:meth:`absorb`) are folded in: samples with
+        identical labels sum, unseen families append.
         """
-        out: List[Dict[str, object]] = []
+        merged: Dict[str, Dict[str, object]] = {}
         for instrument in self.instruments():
-            out.append(
-                {
-                    "name": instrument.name,
-                    "kind": instrument.kind,
-                    "help": instrument.help,
-                    "labels": list(instrument.label_names),
-                    "samples": _samples(instrument),
-                }
-            )
+            merged[instrument.name] = {
+                "name": instrument.name,
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "labels": list(instrument.label_names),
+                "samples": _samples(instrument),
+            }
+        for key in sorted(self._external):
+            for entry in self._external[key]:
+                _fold_external(merged, entry)
+        out = [merged[name] for name in sorted(merged)]
         return {"instruments": out}
 
     def __repr__(self) -> str:
@@ -245,6 +281,90 @@ def _samples(instrument: Instrument) -> List[SampleDict]:
     return samples
 
 
+def _labels_key(sample: SampleDict) -> Tuple[Tuple[str, str], ...]:
+    labels = sample.get("labels")
+    if not isinstance(labels, dict):
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _copy_sample(sample: SampleDict) -> SampleDict:
+    """Copy a sample deeply enough that folding can mutate it without
+    corrupting the stored external contribution."""
+    copied = dict(sample)
+    buckets = copied.get("buckets")
+    if isinstance(buckets, list):
+        copied["buckets"] = [list(bucket) for bucket in buckets]
+    return copied
+
+
+def _add_sample(base: SampleDict, extra: SampleDict) -> None:
+    """Sum ``extra`` into ``base`` (same labels, same family kind)."""
+    if "value" in base and "value" in extra:
+        base["value"] = int(str(base["value"])) + int(str(extra["value"]))
+        return
+    if "count" in base and "count" in extra:
+        base["count"] = int(str(base["count"])) + int(str(extra["count"]))
+        base["sum"] = int(str(base.get("sum", 0))) + int(
+            str(extra.get("sum", 0))
+        )
+        base_buckets = base.get("buckets")
+        extra_buckets = extra.get("buckets")
+        if isinstance(base_buckets, list) and isinstance(
+            extra_buckets, list
+        ):
+            bounds = [bucket[0] for bucket in base_buckets]
+            if bounds == [bucket[0] for bucket in extra_buckets]:
+                for bucket, other in zip(base_buckets, extra_buckets):
+                    bucket[1] = int(bucket[1]) + int(other[1])
+
+
+def _fold_external(
+    merged: Dict[str, Dict[str, object]], entry: Dict[str, object]
+) -> None:
+    """Fold one external instrument entry into the merged snapshot."""
+    name = str(entry.get("name", ""))
+    if not name:
+        return
+    existing = merged.get(name)
+    if existing is None:
+        copied = dict(entry)
+        raw_samples = copied.get("samples")
+        copied["samples"] = (
+            [_copy_sample(s) for s in raw_samples if isinstance(s, dict)]
+            if isinstance(raw_samples, list)
+            else []
+        )
+        merged[name] = copied
+        return
+    if existing.get("kind") != entry.get("kind"):
+        raise ParameterError(
+            f"{name}: absorbed snapshot has kind {entry.get('kind')!r}, "
+            f"local family is {existing.get('kind')!r}"
+        )
+    samples = existing.get("samples")
+    raw_samples = entry.get("samples")
+    if not isinstance(samples, list) or not isinstance(raw_samples, list):
+        return
+    by_labels: Dict[Tuple[Tuple[str, str], ...], SampleDict] = {
+        _labels_key(sample): sample
+        for sample in samples
+        if isinstance(sample, dict)
+    }
+    for raw in raw_samples:
+        if not isinstance(raw, dict):
+            continue
+        key = _labels_key(raw)
+        match = by_labels.get(key)
+        if match is None:
+            copied_sample = _copy_sample(raw)
+            samples.append(copied_sample)
+            by_labels[key] = copied_sample
+        else:
+            _add_sample(match, raw)
+    samples.sort(key=_labels_key)
+
+
 class NullRegistry(Registry):
     """The no-op registry: every factory returns a shared null instrument.
 
@@ -274,6 +394,9 @@ class NullRegistry(Registry):
     ) -> Histogram:
         """Return the shared no-op histogram."""
         return NULL_HISTOGRAM
+
+    def absorb(self, key: str, snapshot: Dict[str, object]) -> None:
+        """Drop the external snapshot (nothing is ever exported)."""
 
 
 #: The process-wide default for every ``obs=None`` constructor hook.

@@ -1,0 +1,471 @@
+"""Live telemetry endpoint: scrape the pipeline over plain HTTP.
+
+:class:`TelemetryServer` wraps the stdlib :mod:`http.server` (no
+third-party dependencies, matching the rest of the repo) and exposes
+four read-only routes:
+
+* ``/metrics`` — the registry in Prometheus text exposition format
+  (:func:`repro.obs.export.render_prometheus`), scrapeable as-is;
+* ``/healthz`` — ``200 ok`` / ``503 degraded`` plus a JSON report from
+  the configured :class:`SketchHealth` self-check;
+* ``/traces`` — the installed tracer's buffered spans as JSON (see
+  :mod:`repro.obs.trace`);
+* ``/topk`` — the current approximate top-k answer as JSON, when a
+  provider was configured.
+
+An optional ``refresh`` hook runs before every scrape — the CLI wires
+it to pull worker-side registry snapshots and drained span buffers
+across the shard pipes (:meth:`repro.sketch.sharded.ShardedSketch.
+absorb_worker_obs` / ``drain_worker_traces``), so a scrape always sees
+the whole deployment, not just the parent process.
+
+The health self-check is the observability counterpart of Theorem 4.4:
+the sketch carries its own accuracy contract, so the endpoint can
+*measure* whether the deployment still honours it.  :class:`SketchHealth`
+compares the observed per-level distinct-sample estimates against the
+configured epsilon envelope and flips ``/healthz`` to degraded when the
+spread, the sample size, or the level-halving structure leaves the
+regime the paper's analysis (Lemma 4.1, Figure 3) assumes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import ParameterError
+from .export import render_prometheus
+from .registry import Registry
+from .trace import current_tracer
+
+#: Default relative-error envelope used by :class:`SketchHealth`
+#: (mirrors the sketch query default, ``repro.sketch.dcs.DEFAULT_EPSILON``).
+HEALTH_EPSILON = 0.25
+
+#: Levels with fewer recovered singletons than this are skipped by the
+#: spread and halving checks — too noisy to judge the envelope.
+MIN_LEVEL_SAMPLE = 16
+
+
+@dataclass(frozen=True)
+class HealthCheck:
+    """Outcome of one health criterion.
+
+    Attributes:
+        name: check identifier (``level_spread`` etc.).
+        ok: whether the criterion held.
+        detail: human-readable observation backing the verdict.
+    """
+
+    name: str
+    ok: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One ``/healthz`` evaluation: overall verdict plus per-check
+    outcomes.
+
+    Attributes:
+        ok: True when every check passed.
+        checks: individual :class:`HealthCheck` outcomes.
+    """
+
+    ok: bool
+    checks: Tuple[HealthCheck, ...]
+
+    @property
+    def status(self) -> str:
+        """``"ok"`` or ``"degraded"``."""
+        return "ok" if self.ok else "degraded"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready representation (what ``/healthz`` returns)."""
+        return {
+            "status": self.status,
+            "checks": [
+                {"name": c.name, "ok": c.ok, "detail": c.detail}
+                for c in self.checks
+            ],
+        }
+
+
+class SketchHealth:
+    """Self-check: does the sketch still honour its (eps, delta) envelope?
+
+    The distinct-sample hierarchy carries internal redundancy — every
+    level ``b`` at or above the Figure 3 stop level is an independent
+    estimator ``D_hat_b = |D_b| * 2**b`` of the same distinct-pair
+    count — so accuracy degradation (seed trouble, overload beyond the
+    sized stream length, corrupted state) is *observable* without
+    ground truth.  Three criteria:
+
+    * ``level_spread`` — relative spread of the per-level estimates
+      across adequately-populated levels at/above the stop level must
+      stay within ``2 * epsilon`` plus a sampling-noise allowance
+      (each estimate is epsilon-accurate w.h.p. in the Lemma 4.1
+      regime, so any two may differ by at most twice that);
+    * ``sample_size`` — the recovered distinct sample must not
+      overshoot the Figure 3 target by more than the level-halving
+      geometry allows (a blow-up means the walk stopped in an
+      overloaded, collision-dominated level);
+    * ``level_halving`` — recovered singletons must roughly halve from
+      each adequately-populated level to the next (the geometric level
+      hash guarantee that all of Section 4 rests on).
+
+    Args:
+        sketch_provider: zero-argument callable returning the sketch to
+            inspect (called fresh per check, so a merged/combined view
+            works).  The sketch needs ``collect_distinct_sample`` and
+            ``dsample_sweep`` — any :class:`~repro.sketch.dcs.
+            DistinctCountSketch` qualifies.
+        epsilon: the envelope to enforce (default the sketch query
+            default, 0.25).
+        min_level_sample: per-level sample floor below which a level is
+            too noisy to judge.
+    """
+
+    def __init__(
+        self,
+        sketch_provider: Callable[[], Any],
+        *,
+        epsilon: float = HEALTH_EPSILON,
+        min_level_sample: int = MIN_LEVEL_SAMPLE,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ParameterError(
+                f"epsilon must be in (0, 1), got {epsilon}"
+            )
+        if min_level_sample < 1:
+            raise ParameterError(
+                f"min_level_sample must be >= 1, got {min_level_sample}"
+            )
+        self._provider = sketch_provider
+        self.epsilon = epsilon
+        self.min_level_sample = min_level_sample
+
+    def check(self) -> HealthReport:
+        """Evaluate all criteria against the provider's current sketch."""
+        sketch = self._provider()
+        sample, stop_level, target = sketch.collect_distinct_sample(
+            self.epsilon
+        )
+        if not sample:
+            check = HealthCheck(
+                name="level_spread",
+                ok=True,
+                detail="empty sketch: nothing to judge",
+            )
+            return HealthReport(ok=True, checks=(check,))
+        sweep = sketch.dsample_sweep()
+        populated = {
+            level: len(level_sample)
+            for level, level_sample in sorted(sweep.items())
+            if level >= stop_level
+            and len(level_sample) >= self.min_level_sample
+        }
+        checks = (
+            self._check_spread(populated),
+            self._check_sample_size(len(sample), target),
+            self._check_halving(populated),
+        )
+        return HealthReport(ok=all(c.ok for c in checks), checks=checks)
+
+    def _check_spread(self, populated: Dict[int, int]) -> HealthCheck:
+        """Per-level estimates must agree within the epsilon envelope."""
+        estimates = [
+            count << level for level, count in populated.items()
+        ]
+        if len(estimates) < 2:
+            return HealthCheck(
+                name="level_spread",
+                ok=True,
+                detail=(
+                    f"{len(estimates)} adequately-populated level(s): "
+                    "spread not judged"
+                ),
+            )
+        low, high = min(estimates), max(estimates)
+        mid = sorted(estimates)[len(estimates) // 2]
+        spread = (high - low) / mid if mid else 0.0
+        # Two epsilon-accurate estimates differ by <= 2*eps; add a
+        # binomial-noise allowance for the thinnest level judged.
+        allowance = 2.0 * self.epsilon + 4.0 / math.sqrt(
+            min(populated.values())
+        )
+        return HealthCheck(
+            name="level_spread",
+            ok=spread <= allowance,
+            detail=(
+                f"relative spread {spread:.3f} over "
+                f"{len(estimates)} levels (allowance {allowance:.3f})"
+            ),
+        )
+
+    def _check_sample_size(
+        self, sample_size: int, target: float
+    ) -> HealthCheck:
+        """The Figure 3 walk must not blow past its sample target."""
+        # One more level at most doubles the sample, so a healthy stop
+        # lands below 4x target with margin; beyond that the walk
+        # stopped inside a collision-dominated level.
+        limit = 4.0 * target
+        return HealthCheck(
+            name="sample_size",
+            ok=sample_size <= limit,
+            detail=(
+                f"sample {sample_size} vs target {target:.1f} "
+                f"(limit {limit:.1f})"
+            ),
+        )
+
+    def _check_halving(self, populated: Dict[int, int]) -> HealthCheck:
+        """Recovered singletons should halve level-to-level upward."""
+        for level, count in populated.items():
+            above = populated.get(level + 1)
+            if above is None:
+                continue
+            limit = 0.5 * count + 3.0 * math.sqrt(count)
+            if above > limit:
+                return HealthCheck(
+                    name="level_halving",
+                    ok=False,
+                    detail=(
+                        f"level {level + 1} holds {above} singletons vs "
+                        f"{count} at level {level} (limit {limit:.1f})"
+                    ),
+                )
+        return HealthCheck(
+            name="level_halving",
+            ok=True,
+            detail=f"halving holds across {len(populated)} levels",
+        )
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a back-reference to the telemetry
+    facade (handlers reach configuration through ``self.telemetry``).
+
+    ``synchronous`` flips the counted :meth:`TelemetryServer.serve`
+    loop to in-line request handling: the threaded dispatch would let
+    ``serve(n)`` return (and the process exit) before the n-th response
+    hit the wire, because daemon handler threads are not joined by
+    ``server_close``.
+    """
+
+    daemon_threads = True
+    synchronous = False
+    telemetry: "TelemetryServer"
+
+    def process_request(self, request: Any, client_address: Any) -> None:
+        if self.synchronous:
+            self.finish_request(request, client_address)
+            self.shutdown_request(request)
+        else:
+            super().process_request(request, client_address)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one GET; everything else is 404/405."""
+
+    server: _TelemetryHTTPServer
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        telemetry = self.server.telemetry
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            telemetry._refresh()
+            body = render_prometheus(telemetry.registry).encode("utf-8")
+            self._reply(
+                200, body, "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif path == "/healthz":
+            report = telemetry._health_report()
+            body = json.dumps(report.as_dict(), indent=2).encode("utf-8")
+            self._reply(
+                200 if report.ok else 503, body, "application/json"
+            )
+        elif path == "/traces":
+            telemetry._refresh()
+            body = json.dumps(
+                {"spans": current_tracer().spans()}, indent=2
+            ).encode("utf-8")
+            self._reply(200, body, "application/json")
+        elif path == "/topk":
+            payload = telemetry._topk_payload()
+            if payload is None:
+                self._reply(
+                    404,
+                    b'{"error": "no top-k provider configured"}',
+                    "application/json",
+                )
+            else:
+                self._reply(
+                    200,
+                    json.dumps(payload, indent=2).encode("utf-8"),
+                    "application/json",
+                )
+        else:
+            self._reply(404, b'{"error": "not found"}', "application/json")
+
+    def _reply(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr logging."""
+
+
+class TelemetryServer:
+    """The live telemetry endpoint (``repro-ddos serve`` wraps this).
+
+    Args:
+        registry: the registry ``/metrics`` renders.
+        host: bind address (default loopback only).
+        port: TCP port; 0 picks an ephemeral port (read :attr:`port`
+            after construction).
+        topk: optional zero-argument provider of a
+            :class:`~repro.sketch.estimate.TopKResult` for ``/topk``.
+        health: optional :class:`SketchHealth`; without one
+            ``/healthz`` always reports ok.
+        refresh: optional hook run before every ``/metrics`` and
+            ``/traces`` render (pull worker snapshots, drain worker
+            span buffers).
+
+    Example:
+        >>> from repro.obs import Registry
+        >>> registry = Registry()
+        >>> registry.counter("jobs_total", "Jobs.").inc(3)
+        >>> server = TelemetryServer(registry, port=0)
+        >>> server.port > 0
+        True
+        >>> server.close()
+    """
+
+    def __init__(
+        self,
+        registry: Registry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        topk: Optional[Callable[[], Any]] = None,
+        health: Optional[SketchHealth] = None,
+        refresh: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.registry = registry
+        self._topk = topk
+        self._health = health
+        self._refresh_hook = refresh
+        self._httpd = _TelemetryHTTPServer((host, port), _Handler)
+        self._httpd.telemetry = self
+        self._thread: Optional[threading.Thread] = None
+        self._requests_served = 0
+
+    @property
+    def host(self) -> str:
+        """The bound address."""
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolved when constructed with 0)."""
+        return int(self._httpd.server_address[1])
+
+    @property
+    def requests_served(self) -> int:
+        """Requests handled via :meth:`serve` (not the thread loop)."""
+        return self._requests_served
+
+    # -- request plumbing (handlers call back through these) ----------------
+
+    def _refresh(self) -> None:
+        if self._refresh_hook is not None:
+            self._refresh_hook()
+
+    def _health_report(self) -> HealthReport:
+        if self._health is None:
+            check = HealthCheck(
+                name="configured",
+                ok=True,
+                detail="no sketch health check configured",
+            )
+            return HealthReport(ok=True, checks=(check,))
+        return self._health.check()
+
+    def _topk_payload(self) -> Optional[Dict[str, object]]:
+        if self._topk is None:
+            return None
+        result = self._topk()
+        entries: List[Dict[str, int]] = [
+            {
+                "dest": entry.dest,
+                "estimate": entry.estimate,
+                "sample_frequency": entry.sample_frequency,
+            }
+            for entry in result.entries
+        ]
+        return {
+            "entries": entries,
+            "stop_level": result.stop_level,
+            "sample_size": result.sample_size,
+            "target_size": result.target_size,
+        }
+
+    # -- serving -------------------------------------------------------------
+
+    def serve(self, max_requests: int) -> int:
+        """Handle exactly ``max_requests`` requests on this thread,
+        then return the number served.
+
+        The counted loop is how CI smokes the endpoint without any
+        time-based shutdown (this module stays wall-clock-free; only
+        the tracer owns a clock).
+        """
+        if max_requests < 1:
+            raise ParameterError(
+                f"max_requests must be >= 1, got {max_requests}"
+            )
+        self._httpd.synchronous = True
+        try:
+            for _ in range(max_requests):
+                self._httpd.handle_request()
+                self._requests_served += 1
+        finally:
+            self._httpd.synchronous = False
+        return self._requests_served
+
+    def start(self) -> None:
+        """Serve on a daemon thread until :meth:`close`."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def close(self) -> None:
+        """Stop serving and release the socket; idempotent."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"TelemetryServer({self.host}:{self.port})"

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 from ..exceptions import ParameterError
 from ..obs.catalog import CHECKPOINT_BYTES, CHECKPOINT_DURATION
 from ..obs.registry import Registry, registry_or_null
+from ..obs.trace import span as trace_span
 from ..sketch import serialize
 
 #: Manifest format version written into every manifest.
@@ -164,20 +165,21 @@ class CheckpointStore:
             crc32=zlib.crc32(payload) & 0xFFFFFFFF,
             extra=dict(extra or {}),
         )
-        _fsync_write(self._data_path(label, wal_count), payload)
-        manifest = {
-            "manifest_version": MANIFEST_VERSION,
-            "label": info.label,
-            "wal_count": info.wal_count,
-            "bytes": info.nbytes,
-            "crc32": info.crc32,
-            "extra": info.extra,
-        }
-        _fsync_write(
-            self._manifest_path(label, wal_count),
-            json.dumps(manifest, separators=(",", ":")).encode("ascii"),
-        )
-        self._prune(label)
+        with trace_span("checkpoint.write"):
+            _fsync_write(self._data_path(label, wal_count), payload)
+            manifest = {
+                "manifest_version": MANIFEST_VERSION,
+                "label": info.label,
+                "wal_count": info.wal_count,
+                "bytes": info.nbytes,
+                "crc32": info.crc32,
+                "extra": info.extra,
+            }
+            _fsync_write(
+                self._manifest_path(label, wal_count),
+                json.dumps(manifest, separators=(",", ":")).encode("ascii"),
+            )
+            self._prune(label)
         elapsed_us = (time.perf_counter_ns() - started) // 1000
         self._obs_duration.observe(elapsed_us)
         self._obs_bytes.observe(info.nbytes)

@@ -26,14 +26,16 @@ from typing import Iterable, List, Optional, Union
 
 from ..exceptions import ParameterError
 from ..obs.catalog import WAL_RECORDS_REPLAYED
+from ..obs.recorder import current_recorder
 from ..obs.registry import Registry, registry_or_null
+from ..obs.trace import span as trace_span
 from ..sketch import serialize
 from ..sketch.dcs import DistinctCountSketch
 from ..sketch.params import SketchParams
 from ..sketch.tracking import TrackingDistinctCountSketch
 from ..types import AddressDomain, FlowUpdate
 from .checkpoint import CheckpointInfo, CheckpointStore
-from .wal import WriteAheadLog
+from .wal import WalCorruption, WriteAheadLog
 
 #: Subdirectory of a durability directory holding checkpoints.
 CHECKPOINT_SUBDIR = "checkpoints"
@@ -79,15 +81,16 @@ def replay_into(
     counter = registry_or_null(obs).counter_from(WAL_RECORDS_REPLAYED)
     replayed = 0
     batch: List[FlowUpdate] = []
-    for _, update in wal.replay(start_seq):
-        batch.append(update)
-        if len(batch) >= REPLAY_BATCH:
+    with trace_span("recovery.replay"):
+        for _, update in wal.replay(start_seq):
+            batch.append(update)
+            if len(batch) >= REPLAY_BATCH:
+                sketch.update_batch(batch)
+                replayed += len(batch)
+                batch.clear()
+        if batch:
             sketch.update_batch(batch)
             replayed += len(batch)
-            batch.clear()
-    if batch:
-        sketch.update_batch(batch)
-        replayed += len(batch)
     if replayed:
         counter.inc(replayed)
     return replayed
@@ -202,37 +205,50 @@ class DurableSketch:
             keep=keep_checkpoints,
             obs=obs,
         )
-        self.wal = WriteAheadLog(
-            self.directory / WAL_SUBDIR,
-            segment_bytes=wal_segment_bytes,
-            flush_every=wal_flush_every,
-            fsync_policy=fsync_policy,
-            obs=obs,
-        )
         #: Manifest recovery started from (None on a fresh open).
         self.recovered_from: Optional[CheckpointInfo] = None
         #: WAL updates re-applied while opening.
         self.records_replayed = 0
-        loaded = self.checkpoints.load_latest(self.label, backend=backend)
-        if loaded is not None:
-            self.sketch, self.recovered_from = loaded
-            start = self.recovered_from.wal_count
-        else:
-            if params is None:
-                raise ParameterError(
-                    "params are required on first open (no checkpoint "
-                    f"found under {self.directory})"
-                )
-            cls = (
-                TrackingDistinctCountSketch
-                if kind == "tracking"
-                else DistinctCountSketch
+        try:
+            self.wal = WriteAheadLog(
+                self.directory / WAL_SUBDIR,
+                segment_bytes=wal_segment_bytes,
+                flush_every=wal_flush_every,
+                fsync_policy=fsync_policy,
+                obs=obs,
             )
-            self.sketch = cls(params, r=r, s=s, seed=seed, backend=backend)
-            start = 0
-        self.records_replayed = replay_into(
-            self.sketch, self.wal, start, obs=obs
-        )
+            loaded = self.checkpoints.load_latest(
+                self.label, backend=backend
+            )
+            if loaded is not None:
+                self.sketch, self.recovered_from = loaded
+                start = self.recovered_from.wal_count
+            else:
+                if params is None:
+                    raise ParameterError(
+                        "params are required on first open (no checkpoint "
+                        f"found under {self.directory})"
+                    )
+                cls = (
+                    TrackingDistinctCountSketch
+                    if kind == "tracking"
+                    else DistinctCountSketch
+                )
+                self.sketch = cls(
+                    params, r=r, s=s, seed=seed, backend=backend
+                )
+                start = 0
+            self.records_replayed = replay_into(
+                self.sketch, self.wal, start, obs=obs
+            )
+        except WalCorruption as error:
+            # Record and dump the flight recorder, then re-raise: a
+            # non-tail WAL hole is unrecoverable data loss, never
+            # swallowed — but the post-mortem preserves what led up
+            # to it.
+            current_recorder().record("wal_corruption", detail=str(error))
+            self._dump_blackbox("wal-corruption")
+            raise
         self._since_checkpoint = 0
         self._closed = False
         if loaded is None:
@@ -320,6 +336,15 @@ class DurableSketch:
         self._since_checkpoint = 0
         return info
 
+    def _dump_blackbox(self, reason: str) -> Path:
+        """Dump the installed flight recorder next to the WAL (a no-op
+        path when only the null recorder is installed)."""
+        recorder = current_recorder()
+        return recorder.dump(
+            recorder.next_dump_path(self.directory / "blackbox"),
+            reason=reason,
+        )
+
     def close(self) -> None:
         """Flush and close the WAL; idempotent.  Does not checkpoint —
         a clean shutdown recovers via WAL replay alone."""
@@ -332,6 +357,15 @@ class DurableSketch:
         return self
 
     def __exit__(self, *exc_info: object) -> None:
+        exc_type = exc_info[0] if exc_info else None
+        if exc_type is not None and not self._closed:
+            # Unclean exit: preserve the recorder's view before the
+            # exception propagates (the WAL still closes cleanly below).
+            current_recorder().record(
+                "unclean_exit",
+                error=getattr(exc_type, "__name__", str(exc_type)),
+            )
+            self._dump_blackbox("unclean-exit")
         self.close()
 
     def __repr__(self) -> str:

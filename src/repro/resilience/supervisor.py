@@ -33,7 +33,9 @@ from typing import Callable, Iterable, List, Optional, Union
 
 from ..exceptions import ParameterError
 from ..obs.catalog import WAL_RECORDS_REPLAYED, WORKER_RESTARTS
+from ..obs.recorder import current_recorder
 from ..obs.registry import Registry, registry_or_null
+from ..obs.trace import span as trace_span
 from ..sketch import serialize
 from ..sketch.estimate import TopKResult
 from ..sketch.process_pool import PoolUnavailable, WorkerDied
@@ -253,17 +255,18 @@ class ShardSupervisor:
         """
         replayed = 0
         batch: List[FlowUpdate] = []
-        for seq, update in self.wal.replay(start_seq):
-            if self._route(seq, update) != index:
-                continue
-            batch.append(update)
-            if len(batch) >= REPLAY_BATCH:
+        with trace_span("recovery.replay"):
+            for seq, update in self.wal.replay(start_seq):
+                if self._route(seq, update) != index:
+                    continue
+                batch.append(update)
+                if len(batch) >= REPLAY_BATCH:
+                    self.sharded.ingest_shard(index, batch)
+                    replayed += len(batch)
+                    batch.clear()
+            if batch:
                 self.sharded.ingest_shard(index, batch)
                 replayed += len(batch)
-                batch.clear()
-        if batch:
-            self.sharded.ingest_shard(index, batch)
-            replayed += len(batch)
         if replayed:
             self._obs_replayed.inc(replayed)
         return replayed
@@ -275,6 +278,15 @@ class ShardSupervisor:
         whole bank to the sync backend instead of failing ingestion.
         """
         self.wal.flush()
+        # Post-mortem first: the dump captures the event ring and span
+        # buffer as they stood when the death was detected, before the
+        # respawn loop overwrites the picture.
+        recorder = current_recorder()
+        recorder.record("worker_died", shard=index)
+        recorder.dump(
+            recorder.next_dump_path(self.directory / "blackbox"),
+            reason="worker-died",
+        )
         while True:
             self._failures[index] += 1
             if self._failures[index] > self.max_restarts:
@@ -288,6 +300,11 @@ class ShardSupervisor:
                 self._sleep(delay)
             self._restart_count += 1
             self._obs_restarts[index].inc()
+            recorder.record(
+                "worker_respawn",
+                shard=index,
+                attempt=self._failures[index],
+            )
             payload, start, routed = self._load_shard_checkpoint(index)
             try:
                 self.sharded.restore_shard(
@@ -317,6 +334,9 @@ class ShardSupervisor:
 
     def _degrade_to_sync(self) -> None:
         """Rebuild every shard in-process and abandon the worker pool."""
+        current_recorder().record(
+            "degrade_to_sync", shards=self.sharded.num_shards
+        )
         self.wal.flush()
         shards = self.sharded.num_shards
         payloads: List[Optional[bytes]] = []

@@ -41,7 +41,9 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..exceptions import ParameterError
 from ..obs.catalog import WAL_RECORDS
+from ..obs.recorder import current_recorder
 from ..obs.registry import Registry, registry_or_null
+from ..obs.trace import span as trace_span
 from ..types import FlowUpdate
 
 #: Two-byte magic prefix of every WAL record.
@@ -220,6 +222,12 @@ class WriteAheadLog:
                         f"{path.name}: undecodable record at byte "
                         f"{good_bytes} before the log tail"
                     )
+                current_recorder().record(
+                    "wal_repair",
+                    segment=path.name,
+                    truncated_to=good_bytes,
+                    dropped_bytes=len(data) - good_bytes,
+                )
                 with path.open("r+b") as handle:
                     handle.truncate(good_bytes)
             for first_seq, batch in records:
@@ -246,12 +254,13 @@ class WriteAheadLog:
         first_seq = self._next_seq
         if not batch:
             return first_seq
-        self._pending.append(_encode_record(first_seq, batch))
-        self._pending_updates += len(batch)
-        self._next_seq += len(batch)
-        self._obs_records.inc(len(batch))
-        if self._pending_updates >= self.flush_every:
-            self.flush()
+        with trace_span("wal.append"):
+            self._pending.append(_encode_record(first_seq, batch))
+            self._pending_updates += len(batch)
+            self._next_seq += len(batch)
+            self._obs_records.inc(len(batch))
+            if self._pending_updates >= self.flush_every:
+                self.flush()
         return first_seq
 
     def flush(self, sync: Optional[bool] = None) -> None:
@@ -280,8 +289,9 @@ class WriteAheadLog:
                 sync if sync is not None else self.fsync_policy == "always"
             )
             if do_sync:
-                handle.flush()
-                os.fsync(handle.fileno())
+                with trace_span("wal.fsync"):
+                    handle.flush()
+                    os.fsync(handle.fileno())
         self._segment_size += len(data)
         if self._segment_size >= self.segment_bytes:
             self._rotate()
@@ -293,16 +303,18 @@ class WriteAheadLog:
             return
         if self._segment_path is not None and self._segment_path.exists():
             with self._segment_path.open("ab") as handle:
-                handle.flush()
-                os.fsync(handle.fileno())
+                with trace_span("wal.fsync"):
+                    handle.flush()
+                    os.fsync(handle.fileno())
 
     def _rotate(self) -> None:
         """Seal the current segment (fsync unless ``never``) and start
         a new one on the next flush."""
         if self._segment_path is not None and self.fsync_policy != "never":
             with self._segment_path.open("ab") as handle:
-                handle.flush()
-                os.fsync(handle.fileno())
+                with trace_span("wal.fsync"):
+                    handle.flush()
+                    os.fsync(handle.fileno())
         self._segment_path = None
         self._segment_size = 0
 

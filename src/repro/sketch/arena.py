@@ -36,6 +36,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 from .._accel import HAVE_NUMPY
 from .._accel import np as _np
 from ..exceptions import MergeError, ParameterError
+from ..obs.trace import span as trace_span
 from .signature import CountSignature
 
 #: Largest second-level range for which a dense bucket -> slot index is
@@ -338,19 +339,20 @@ class SignatureArena:
         occupied = len(self._slots)
         if occupied == 0:
             return [], 0
-        if not HAVE_NUMPY or self.pair_bits > 64:
-            codes_out: List[int] = []
-            append = codes_out.append
-            for code in self.decode_occupied():
-                if code is not None:
-                    append(code)
-            return codes_out, occupied - len(codes_out)
-        # Decode the full buffer, free rows included: all-zero rows
-        # fail the singleton predicate, so no slot gather is needed.
-        ok, ne = singleton_mask(self.view2d())
-        index = _np.nonzero(ok)[0]
-        recovered: List[int] = pack_codes(~ne[index, 1:]).tolist()
-        return recovered, occupied - len(recovered)
+        with trace_span("arena.decode_slab"):
+            if not HAVE_NUMPY or self.pair_bits > 64:
+                codes_out: List[int] = []
+                append = codes_out.append
+                for code in self.decode_occupied():
+                    if code is not None:
+                        append(code)
+                return codes_out, occupied - len(codes_out)
+            # Decode the full buffer, free rows included: all-zero rows
+            # fail the singleton predicate, so no slot gather is needed.
+            ok, ne = singleton_mask(self.view2d())
+            index = _np.nonzero(ok)[0]
+            recovered: List[int] = pack_codes(~ne[index, 1:]).tolist()
+            return recovered, occupied - len(recovered)
 
     def free_zero_slots(self, touched: Any) -> None:  # hot-path
         """Release every touched slot whose row netted to all zeros.

@@ -51,11 +51,15 @@ from ..obs.catalog import (
     SKETCH_OCCUPIED_BUCKETS,
     SKETCH_QUERIES,
     SKETCH_QUERY_SAMPLE_SIZE,
+    SKETCH_SCALAR_FALLBACKS,
     SKETCH_SIGNATURE_COLLISIONS,
     SKETCH_SINGLETONS_RECOVERED,
+    SKETCH_SWEEP_DURATION,
+    SKETCH_TOPK_CANDIDATES,
     SKETCH_UPDATES,
 )
 from ..obs.registry import Registry, registry_or_null
+from ..obs.trace import span as trace_span
 from ..types import AddressDomain, FlowUpdate
 from .arena import SignatureArena, pack_codes, singleton_mask
 from .estimate import TopKResult, build_result, rank_frequencies
@@ -187,6 +191,16 @@ class DistinctCountSketch:
         self._obs_sample_size = self.obs.histogram_from(
             SKETCH_QUERY_SAMPLE_SIZE
         )
+        self._obs_topk_candidates = self.obs.histogram_from(
+            SKETCH_TOPK_CANDIDATES
+        )
+        self._obs_scalar_fallbacks = self.obs.counter_from(
+            SKETCH_SCALAR_FALLBACKS
+        )
+        # Registered eagerly so the family exports even before the
+        # first *sampled* sweep span observes into it (the tracer
+        # shares this registry under `repro-ddos serve`).
+        self.obs.histogram_from(SKETCH_SWEEP_DURATION)
         self._obs_merges = self.obs.counter_from(SKETCH_MERGES)
         self.obs.gauge_from(SKETCH_OCCUPIED_BUCKETS).watch(
             self.occupied_buckets
@@ -266,30 +280,31 @@ class DistinctCountSketch:
         the insert/delete observability counters receive one aggregated
         ``inc(n)`` each.  Returns the number of updates applied.
         """
-        encode = self.domain.encode_pair
-        pairs: List[int] = []
-        deltas: List[int] = []
-        pairs_append = pairs.append
-        deltas_append = deltas.append
-        inserts = 0
-        for update in updates:
-            delta = update.delta
-            pairs_append(encode(update.source, update.dest))
-            deltas_append(delta)
-            if delta > 0:
-                inserts += 1
-        count = len(pairs)
-        if not count:
-            return 0
-        self._apply_pairs_batch(pairs, deltas)
-        self.updates_processed += count
-        deletes = count - inserts
-        self.net_total += inserts - deletes
-        if inserts:
-            self._obs_inserts.inc(inserts)
-        if deletes:
-            self._obs_deletes.inc(deletes)
-        return count
+        with trace_span("sketch.update_batch"):
+            encode = self.domain.encode_pair
+            pairs: List[int] = []
+            deltas: List[int] = []
+            pairs_append = pairs.append
+            deltas_append = deltas.append
+            inserts = 0
+            for update in updates:
+                delta = update.delta
+                pairs_append(encode(update.source, update.dest))
+                deltas_append(delta)
+                if delta > 0:
+                    inserts += 1
+            count = len(pairs)
+            if not count:
+                return 0
+            self._apply_pairs_batch(pairs, deltas)
+            self.updates_processed += count
+            deletes = count - inserts
+            self.net_total += inserts - deletes
+            if inserts:
+                self._obs_inserts.inc(inserts)
+            if deletes:
+                self._obs_deletes.inc(deletes)
+            return count
 
     def _update_pair(self, pair: int, delta: int) -> None:
         """Apply one update for an encoded pair: the sketch hot path."""
@@ -357,11 +372,16 @@ class DistinctCountSketch:
         """
         arenas = self._arenas
         assert arenas is not None
-        levels = self._level_hash.levels_many(codes)
-        order = _np.argsort(levels, kind="stable")
-        codes_sorted = codes[order]
-        deltas_sorted = _np.asarray(deltas, dtype=_np.int64)[order]
-        levels_sorted = levels[order]
+        with trace_span("sketch.hash_bulk"):
+            levels = self._level_hash.levels_many(codes)
+            order = _np.argsort(levels, kind="stable")
+            codes_sorted = codes[order]
+            deltas_sorted = _np.asarray(deltas, dtype=_np.int64)[order]
+            levels_sorted = levels[order]
+            bucket_arrays = [
+                inner_hash.hash_many(codes_sorted)
+                for inner_hash in self._inner_hashes
+            ]
         pair_bits = self.params.pair_bits
         shifts = _np.arange(pair_bits, dtype=_np.uint64)
         bits = (
@@ -371,27 +391,24 @@ class DistinctCountSketch:
         contrib = _np.empty((count, pair_bits + 1), dtype=_np.int64)
         contrib[:, 0] = deltas_sorted
         contrib[:, 1:] = bits * deltas_sorted[:, None]
-        bucket_arrays = [
-            inner_hash.hash_many(codes_sorted)
-            for inner_hash in self._inner_hashes
-        ]
         unique_levels, starts = _np.unique(levels_sorted, return_index=True)
         boundaries = starts.tolist()
         boundaries.append(count)
         level_list = unique_levels.tolist()
-        for group in range(len(level_list)):
-            level = level_list[group]
-            lo = boundaries[group]
-            hi = boundaries[group + 1]
-            group_contrib = contrib[lo:hi]
-            arena_row = arenas[level]
-            for j in range(len(bucket_arrays)):
-                store = arena_row[j]
-                slots = store.resolve_slots(bucket_arrays[j][lo:hi])
-                touched = _np.unique(slots)
-                self._scatter_into_store(
-                    level, store, slots, group_contrib, touched
-                )
+        with trace_span("sketch.scatter"):
+            for group in range(len(level_list)):
+                level = level_list[group]
+                lo = boundaries[group]
+                hi = boundaries[group + 1]
+                group_contrib = contrib[lo:hi]
+                arena_row = arenas[level]
+                for j in range(len(bucket_arrays)):
+                    store = arena_row[j]
+                    slots = store.resolve_slots(bucket_arrays[j][lo:hi])
+                    touched = _np.unique(slots)
+                    self._scatter_into_store(
+                        level, store, slots, group_contrib, touched
+                    )
 
     def _scatter_into_store(
         self,
@@ -559,6 +576,9 @@ class DistinctCountSketch:
         if self._slab_decode_ready():
             sample, recovered, collisions = self._decode_levels([level])[0]
         else:
+            # Scalar fallback: one per-signature decode per inner table
+            # (reference backend, no numpy, or pair_bits > 64).
+            self._obs_scalar_fallbacks.inc(self.params.r)
             sample = set()
             recovered = 0
             collisions = 0
@@ -582,16 +602,19 @@ class DistinctCountSketch:
         counters receive the same per-level increments as ``num_levels``
         individual :meth:`get_dsample` calls.
         """
-        levels = list(range(self.params.num_levels))
-        if not self._slab_decode_ready():
-            return {level: self.get_dsample(level) for level in levels}
-        decoded = self._decode_levels(levels)
-        sweep: Dict[int, Set[int]] = {}
-        for level in levels:
-            sample, recovered, collisions = decoded[level]
-            self._record_dsample_obs(level, recovered, collisions)
-            sweep[level] = sample
-        return sweep
+        with trace_span("sketch.dsample_sweep", metric=SKETCH_SWEEP_DURATION):
+            levels = list(range(self.params.num_levels))
+            if not self._slab_decode_ready():
+                return {
+                    level: self.get_dsample(level) for level in levels
+                }
+            decoded = self._decode_levels(levels)
+            sweep: Dict[int, Set[int]] = {}
+            for level in levels:
+                sample, recovered, collisions = decoded[level]
+                self._record_dsample_obs(level, recovered, collisions)
+                sweep[level] = sample
+            return sweep
 
     def get_dsample(self, level: int) -> Set[int]:
         """The paper's ``GetdSample``: all singleton pairs at ``level``.
@@ -683,16 +706,20 @@ class DistinctCountSketch:
         """
         if k < 1:
             raise ParameterError(f"k must be >= 1, got {k}")
-        self._obs_queries.labels(kind="base_topk").inc()
-        sample, stop_level, target = self.collect_distinct_sample(epsilon)
-        frequencies = self.sample_destination_frequencies(sample)
-        ranked = rank_frequencies(frequencies, k)
-        return build_result(
-            ranked=ranked,
-            stop_level=stop_level,
-            sample_size=len(sample),
-            target_size=target,
-        )
+        with trace_span("sketch.base_topk"):
+            self._obs_queries.labels(kind="base_topk").inc()
+            sample, stop_level, target = self.collect_distinct_sample(
+                epsilon
+            )
+            frequencies = self.sample_destination_frequencies(sample)
+            self._obs_topk_candidates.observe(len(frequencies))
+            ranked = rank_frequencies(frequencies, k)
+            return build_result(
+                ranked=ranked,
+                stop_level=stop_level,
+                sample_size=len(sample),
+                target_size=target,
+            )
 
     def threshold_query(
         self, tau: int, epsilon: float = DEFAULT_EPSILON

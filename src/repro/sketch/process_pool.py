@@ -17,8 +17,10 @@ carrying JSON sketch payloads.
 from __future__ import annotations
 
 import weakref
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.trace import SpanDict
+from ..obs.trace import span as trace_span
 from .params import SketchParams
 
 #: Update tuple shipped over the pipe: ``(source, dest, delta)``.
@@ -44,14 +46,35 @@ class WorkerDied(RuntimeError):
 
 
 def _worker_main(
-    conn: Any, params: SketchParams, seed: int, sketch_backend: str
+    conn: Any,
+    params: SketchParams,
+    seed: int,
+    sketch_backend: str,
+    shard: int,
+    trace_every: int,
 ) -> None:
     """Worker loop: apply ingest chunks, answer snapshot requests."""
     # Imported here so ``spawn`` workers pay the import in the child.
+    from ..obs.catalog import WORKER_UPDATES
+    from ..obs.registry import Registry
+    from ..obs.trace import Tracer, install_tracer
     from ..types import FlowUpdate
     from . import serialize
     from .tracking import TrackingDistinctCountSketch
 
+    tracer: Optional[Tracer] = None
+    if trace_every > 0:
+        tracer = Tracer(sample_every=trace_every)
+        install_tracer(tracer)
+
+    def fresh_registry() -> Tuple[Registry, Any]:
+        registry = Registry()
+        counter = registry.counter_from(WORKER_UPDATES).labels(
+            shard=str(shard)
+        )
+        return registry, counter
+
+    registry, updates_total = fresh_registry()
     sketch = TrackingDistinctCountSketch(
         params, seed=seed, backend=sketch_backend
     )
@@ -61,9 +84,11 @@ def _worker_main(
         except EOFError:
             break
         if command == "ingest":
-            sketch.update_batch(
-                [FlowUpdate(s, d, delta) for s, d, delta in payload]
-            )
+            with trace_span("worker.ingest"):
+                sketch.update_batch(
+                    [FlowUpdate(s, d, delta) for s, d, delta in payload]
+                )
+            updates_total.inc(len(payload))
         elif command == "snapshot":
             conn.send(serialize.dumps(sketch))
         elif command == "load":
@@ -71,6 +96,17 @@ def _worker_main(
             loaded = serialize.loads(payload, backend=sketch_backend)
             assert isinstance(loaded, TrackingDistinctCountSketch)
             sketch = loaded
+            # Rebuild the observability state from the restored sketch:
+            # ``updates_processed`` travels in the wire format, so the
+            # counter restarts exactly where the snapshot left off and
+            # the parent's replace-by-key merge can never double-count
+            # across a respawn.
+            registry, updates_total = fresh_registry()
+            updates_total.inc(sketch.updates_processed)
+        elif command == "obs":
+            conn.send(registry.snapshot())
+        elif command == "trace":
+            conn.send(tracer.drain() if tracer is not None else [])
         elif command == "close":
             break
     conn.close()
@@ -102,6 +138,10 @@ class ProcessShardPool:
         seed: sketch seed shared by every worker (required for merging).
         shards: number of worker processes.
         sketch_backend: storage backend of each worker's sketch.
+        trace_every: worker-side span sampling rate — each worker
+            installs its own :class:`~repro.obs.trace.Tracer` keeping 1
+            in ``trace_every`` root spans (0 disables worker tracing).
+            A plain int so it survives both ``fork`` and ``spawn``.
 
     Raises:
         PoolUnavailable: when no multiprocessing start method works.
@@ -113,6 +153,7 @@ class ProcessShardPool:
         seed: int,
         shards: int,
         sketch_backend: str = "reference",
+        trace_every: int = 0,
     ) -> None:
         context = None
         try:
@@ -132,11 +173,12 @@ class ProcessShardPool:
         self._params = params
         self._seed = seed
         self._sketch_backend = sketch_backend
+        self._trace_every = trace_every
         self._connections: List[Any] = []
         self._processes: List[Any] = []
         try:
-            for _ in range(shards):
-                parent_conn, process = self._spawn()
+            for shard in range(shards):
+                parent_conn, process = self._spawn(shard)
                 self._connections.append(parent_conn)
                 self._processes.append(process)
         except (OSError, ValueError) as error:
@@ -147,7 +189,7 @@ class ProcessShardPool:
             self, _cleanup, self._connections, self._processes
         )
 
-    def _spawn(self) -> Tuple[Any, Any]:
+    def _spawn(self, shard: int) -> Tuple[Any, Any]:
         """Start one worker; returns its (parent pipe, process)."""
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
@@ -157,6 +199,8 @@ class ProcessShardPool:
                 self._params,
                 self._seed,
                 self._sketch_backend,
+                shard,
+                self._trace_every,
             ),
             daemon=True,
         )
@@ -206,7 +250,7 @@ class ProcessShardPool:
             old_process.terminate()
             old_process.join(timeout=5)
         try:
-            parent_conn, process = self._spawn()
+            parent_conn, process = self._spawn(shard)
         except (OSError, ValueError) as error:
             raise PoolUnavailable(str(error)) from error
         try:
@@ -232,7 +276,8 @@ class ProcessShardPool:
         if self._closed:
             raise PoolUnavailable("pool is closed")
         try:
-            self._connections[shard].send(("ingest", list(updates)))
+            with trace_span("sharded.pipe_send"):
+                self._connections[shard].send(("ingest", list(updates)))
         except (OSError, ValueError, BrokenPipeError) as error:
             raise WorkerDied(shard, str(error)) from error
 
@@ -246,8 +291,10 @@ class ProcessShardPool:
             raise PoolUnavailable("pool is closed")
         conn = self._connections[shard]
         try:
-            conn.send(("snapshot", None))
-            payload: bytes = conn.recv()
+            with trace_span("sharded.pipe_send"):
+                conn.send(("snapshot", None))
+            with trace_span("sharded.pipe_recv"):
+                payload: bytes = conn.recv()
         except (OSError, EOFError, ValueError, BrokenPipeError) as error:
             raise WorkerDied(shard, str(error)) from error
         return payload
@@ -258,20 +305,56 @@ class ProcessShardPool:
         Raises:
             WorkerDied: when any worker died before answering.
         """
+        return self._request_all("snapshot")
+
+    def obs_snapshots(self) -> List[Dict[str, Any]]:
+        """Cumulative registry snapshot from every worker.
+
+        Each element is a :meth:`repro.obs.Registry.snapshot` document
+        carrying the worker's own counters (``repro_worker_updates_total``
+        labelled by shard).  Snapshots are cumulative since the worker's
+        last (re)start, sized for replace-by-key absorption into the
+        parent registry (:meth:`repro.obs.Registry.absorb`).
+
+        Raises:
+            WorkerDied: when any worker died before answering.
+        """
+        return self._request_all("obs")
+
+    def drain_traces(self) -> List[SpanDict]:
+        """Drain every worker's span buffer into one flat list.
+
+        Workers buffer spans locally (see the ``trace_every`` pool
+        argument); draining moves them to the parent exactly once, so
+        repeated calls never duplicate a span.  Spans carry the worker
+        ``pid``, keeping per-process trees separable after the merge.
+
+        Raises:
+            WorkerDied: when any worker died before answering.
+        """
+        merged: List[SpanDict] = []
+        for spans in self._request_all("trace"):
+            merged.extend(spans)
+        return merged
+
+    def _request_all(self, command: str) -> List[Any]:
+        """Broadcast ``command`` then collect one reply per worker."""
         if self._closed:
             raise PoolUnavailable("pool is closed")
         for shard, conn in enumerate(self._connections):
             try:
-                conn.send(("snapshot", None))
+                with trace_span("sharded.pipe_send"):
+                    conn.send((command, None))
             except (OSError, ValueError, BrokenPipeError) as error:
                 raise WorkerDied(shard, str(error)) from error
-        payloads: List[bytes] = []
+        replies: List[Any] = []
         for shard, conn in enumerate(self._connections):
             try:
-                payloads.append(conn.recv())
+                with trace_span("sharded.pipe_recv"):
+                    replies.append(conn.recv())
             except (OSError, EOFError, ValueError, BrokenPipeError) as error:
                 raise WorkerDied(shard, str(error)) from error
-        return payloads
+        return replies
 
     def close(self) -> None:
         """Shut every worker down; idempotent."""

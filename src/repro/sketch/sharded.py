@@ -36,6 +36,7 @@ from ..exceptions import ParameterError
 from ..hashing import TabulationHash, derive_seed
 from ..obs.catalog import SHARDED_MERGES, SHARDED_SHARDS, SHARDED_UPDATES
 from ..obs.registry import Registry, registry_or_null
+from ..obs.trace import current_tracer
 from ..types import AddressDomain, FlowUpdate
 from .estimate import TopKResult
 from .params import SketchParams
@@ -108,9 +109,18 @@ class ShardedSketch:
         self.backend = "sync"
         self._pool: Optional[ProcessShardPool] = None
         if backend == "process":
+            # Workers inherit tracing from whatever tracer is installed
+            # at pool construction: only the sampling rate crosses the
+            # process boundary (an int survives fork *and* spawn).
+            tracer = current_tracer()
+            trace_every = tracer.sample_every if tracer.enabled else 0
             try:
                 self._pool = ProcessShardPool(
-                    self.params, seed, shards, sketch_backend
+                    self.params,
+                    seed,
+                    shards,
+                    sketch_backend,
+                    trace_every=trace_every,
                 )
                 self.backend = "process"
             except PoolUnavailable:
@@ -302,6 +312,50 @@ class ShardedSketch:
     def shard_update_counts(self) -> List[int]:
         """Updates processed per shard (load-balance inspection)."""
         return list(self._shard_counts)
+
+    # -- worker-side observability (process backend) -----------------------------
+
+    def absorb_worker_obs(self) -> int:
+        """Pull every worker's registry snapshot into this registry.
+
+        Each worker keeps its own counters (``repro_worker_updates_total``
+        labelled by shard); this fetches the cumulative snapshots over
+        the pipe and absorbs them under stable keys (``shard-<i>``) via
+        :meth:`repro.obs.Registry.absorb`.  Absorption *replaces* the
+        previous contribution per key, so calling this repeatedly — or
+        after a worker respawn rebuilt its counters from restored state
+        — never double-counts.  Returns the number of snapshots
+        absorbed (0 on the sync backend, where shard sketches already
+        share the parent registry).
+
+        Raises:
+            WorkerDied: when any worker died before answering.
+        """
+        if self._pool is None:
+            return 0
+        snapshots = self._pool.obs_snapshots()
+        for index, snapshot in enumerate(snapshots):
+            self.obs.absorb(f"shard-{index}", snapshot)
+        return len(snapshots)
+
+    def drain_worker_traces(self) -> int:
+        """Merge every worker's drained span buffer into the installed
+        tracer (see :func:`repro.obs.trace.current_tracer`).
+
+        Workers buffer spans locally; each call moves the buffered
+        spans to the parent exactly once and returns how many arrived
+        (0 on the sync backend, or when no tracer is installed to
+        receive them — the null tracer drops merges).
+
+        Raises:
+            WorkerDied: when any worker died before answering.
+        """
+        tracer = current_tracer()
+        if self._pool is None or not tracer.enabled:
+            return 0
+        spans = self._pool.drain_traces()
+        tracer.extend(spans)
+        return len(spans)
 
     # -- worker lifecycle (crash recovery surface) -------------------------------
 

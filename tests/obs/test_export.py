@@ -73,6 +73,47 @@ class TestRenderPrometheus:
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(Registry()) == ""
 
+    def test_headers_exactly_once_per_family(self):
+        text = render_prometheus(build_registry())
+        for family in ("seen_total", "depth", "size"):
+            assert text.count(f"# HELP {family} ") == 1
+            assert text.count(f"# TYPE {family} ") == 1
+
+    def test_headers_stay_unique_with_absorbed_snapshots(self):
+        registry = build_registry()
+        worker = Registry()
+        family = worker.counter("seen_total", "Items seen.", labels=("k",))
+        family.labels(k="a").inc(3)
+        family.labels(k="c").inc(9)
+        registry.absorb("worker-0", worker.snapshot())
+        registry.absorb("worker-1", worker.snapshot())
+        text = render_prometheus(registry)
+        assert text.count("# HELP seen_total") == 1
+        assert text.count("# TYPE seen_total") == 1
+        # Matching labels summed, new label sets appended — once each.
+        assert 'seen_total{k="a"} 11' in text
+        assert 'seen_total{k="c"} 18' in text
+        assert text.count('seen_total{k="a"}') == 1
+
+    def test_absorbed_only_family_gets_one_header_block(self):
+        registry = Registry()
+        worker = Registry()
+        worker.counter("worker_only_total", "Worker-side.").inc(4)
+        registry.absorb("worker-0", worker.snapshot())
+        text = render_prometheus(registry)
+        assert text.count("# HELP worker_only_total Worker-side.") == 1
+        assert text.count("# TYPE worker_only_total counter") == 1
+        assert "worker_only_total 4" in text
+
+    def test_absorbed_label_values_are_escaped(self):
+        registry = Registry()
+        worker = Registry()
+        family = worker.counter("c_total", "C.", labels=("v",))
+        family.labels(v='a"b\\c\nd').inc()
+        registry.absorb("worker-0", worker.snapshot())
+        text = render_prometheus(registry)
+        assert 'c_total{v="a\\"b\\\\c\\nd"} 1' in text
+
     def test_pull_gauges_evaluated_at_render_time(self):
         registry = Registry()
         state = {"n": 1}

@@ -109,6 +109,110 @@ class TestSnapshot:
         assert snapshot == registry.snapshot()
 
 
+class TestAbsorb:
+    def worker_snapshot(self, value=7, shard="0"):
+        worker = Registry()
+        family = worker.counter(
+            "repro_worker_updates_total", "Worker updates.",
+            labels=("shard",),
+        )
+        family.labels(shard=shard).inc(value)
+        return worker.snapshot()
+
+    def sampled_values(self, registry, name):
+        for entry in registry.snapshot()["instruments"]:
+            if entry["name"] == name:
+                return {
+                    tuple(sorted(s["labels"].items())): s["value"]
+                    for s in entry["samples"]
+                }
+        return {}
+
+    def test_absorb_appends_unseen_families(self):
+        registry = Registry()
+        registry.absorb("shard-0", self.worker_snapshot(value=7))
+        values = self.sampled_values(
+            registry, "repro_worker_updates_total"
+        )
+        assert values == {(("shard", "0"),): 7}
+
+    def test_absorb_sums_into_matching_labels(self):
+        registry = Registry()
+        local = registry.counter(
+            "repro_worker_updates_total", "Worker updates.",
+            labels=("shard",),
+        )
+        local.labels(shard="0").inc(5)
+        registry.absorb("shard-0", self.worker_snapshot(value=7))
+        values = self.sampled_values(
+            registry, "repro_worker_updates_total"
+        )
+        assert values == {(("shard", "0"),): 12}
+
+    def test_reabsorbing_the_same_key_replaces_not_sums(self):
+        """Replace-by-key is what makes respawn merges idempotent."""
+        registry = Registry()
+        registry.absorb("shard-0", self.worker_snapshot(value=7))
+        registry.absorb("shard-0", self.worker_snapshot(value=7))
+        registry.absorb("shard-0", self.worker_snapshot(value=9))
+        values = self.sampled_values(
+            registry, "repro_worker_updates_total"
+        )
+        assert values == {(("shard", "0"),): 9}
+
+    def test_distinct_keys_sum(self):
+        registry = Registry()
+        registry.absorb("shard-0", self.worker_snapshot(value=7, shard="0"))
+        registry.absorb("shard-1", self.worker_snapshot(value=4, shard="1"))
+        values = self.sampled_values(
+            registry, "repro_worker_updates_total"
+        )
+        assert values == {(("shard", "0"),): 7, (("shard", "1"),): 4}
+
+    def test_histogram_contributions_fold(self):
+        registry = Registry()
+        registry.histogram("h", "H.", buckets=(1, 10)).observe(5)
+        worker = Registry()
+        worker.histogram("h", "H.", buckets=(1, 10)).observe(7)
+        registry.absorb("w", worker.snapshot())
+        sample = registry.snapshot()["instruments"][0]["samples"][0]
+        assert sample["count"] == 2
+        assert sample["sum"] == 12
+        assert sample["buckets"] == [[1, 0], [10, 2], ["+Inf", 2]]
+
+    def test_kind_mismatch_raises_at_snapshot_time(self):
+        registry = Registry()
+        registry.gauge("x", "X.")
+        worker = Registry()
+        worker.counter("x", "X.")
+        registry.absorb("w", worker.snapshot())
+        with pytest.raises(ParameterError):
+            registry.snapshot()
+
+    def test_forget_drops_the_contribution(self):
+        registry = Registry()
+        registry.absorb("shard-0", self.worker_snapshot(value=7))
+        assert registry.external_keys() == ["shard-0"]
+        registry.forget("shard-0")
+        assert registry.external_keys() == []
+        assert registry.snapshot() == {"instruments": []}
+
+    def test_absorbing_does_not_mutate_the_stored_snapshot(self):
+        """Folding twice must not corrupt the kept contribution."""
+        registry = Registry()
+        registry.histogram("h", "H.", buckets=(1,)).observe(0)
+        worker = Registry()
+        worker.histogram("h", "H.", buckets=(1,)).observe(0)
+        registry.absorb("w", worker.snapshot())
+        first = registry.snapshot()
+        second = registry.snapshot()
+        assert first == second
+
+    def test_null_registry_drops_absorbs(self):
+        NULL_REGISTRY.absorb("w", self.worker_snapshot())
+        assert NULL_REGISTRY.snapshot() == {"instruments": []}
+
+
 class TestNullRegistry:
     def test_factories_return_shared_null_instruments(self):
         assert isinstance(NULL_REGISTRY.counter("x", "X."), NullCounter)

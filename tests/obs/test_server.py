@@ -1,0 +1,224 @@
+"""Tests for the telemetry endpoint and sketch health self-check."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import (
+    Registry,
+    SketchHealth,
+    TelemetryServer,
+    Tracer,
+    install_tracer,
+    uninstall_tracer,
+)
+from repro.sketch import TrackingDistinctCountSketch
+from repro.types import AddressDomain, FlowUpdate
+
+
+def populated_sketch(updates=3000, seed=11):
+    sketch = TrackingDistinctCountSketch(AddressDomain(2 ** 32), seed=seed)
+    sketch.update_batch(
+        [FlowUpdate(s, s % 37, 1) for s in range(updates)]
+    )
+    return sketch
+
+
+class _BrokenHierarchy:
+    """A stub sketch whose levels refuse to halve (structural damage)."""
+
+    def collect_distinct_sample(self, epsilon):
+        return ({(1, 1): 1, (2, 1): 1}, 2, 10.0)
+
+    def dsample_sweep(self):
+        return {2: set(range(40)), 3: set(range(40))}
+
+
+class _Oversampled:
+    """A stub sketch whose Figure 3 walk blew past its target."""
+
+    def collect_distinct_sample(self, epsilon):
+        return ({(s, 1): 1 for s in range(100)}, 1, 10.0)
+
+    def dsample_sweep(self):
+        return {1: set(range(100))}
+
+
+class TestSketchHealth:
+    def test_healthy_sketch_passes_all_checks(self):
+        sketch = populated_sketch()
+        report = SketchHealth(lambda: sketch).check()
+        assert report.ok
+        assert report.status == "ok"
+        names = [check.name for check in report.checks]
+        assert names == ["level_spread", "sample_size", "level_halving"]
+
+    def test_empty_sketch_is_trivially_ok(self):
+        sketch = TrackingDistinctCountSketch(AddressDomain(2 ** 16), seed=1)
+        report = SketchHealth(lambda: sketch).check()
+        assert report.ok
+        assert "empty sketch" in report.checks[0].detail
+
+    def test_broken_halving_degrades(self):
+        report = SketchHealth(lambda: _BrokenHierarchy()).check()
+        assert not report.ok
+        assert report.status == "degraded"
+        failed = {c.name for c in report.checks if not c.ok}
+        assert "level_halving" in failed
+
+    def test_oversampled_walk_degrades(self):
+        report = SketchHealth(lambda: _Oversampled()).check()
+        failed = {c.name for c in report.checks if not c.ok}
+        assert "sample_size" in failed
+
+    def test_as_dict_shape(self):
+        report = SketchHealth(lambda: _BrokenHierarchy()).check()
+        payload = report.as_dict()
+        assert payload["status"] == "degraded"
+        assert all(
+            set(check) == {"name", "ok", "detail"}
+            for check in payload["checks"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            SketchHealth(lambda: None, epsilon=0.0)
+        with pytest.raises(ParameterError):
+            SketchHealth(lambda: None, min_level_sample=0)
+
+
+def _get(server, path):
+    url = f"http://{server.host}:{server.port}{path}"
+    with urllib.request.urlopen(url) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestTelemetryServer:
+    @pytest.fixture(autouse=True)
+    def restore_tracer(self):
+        yield
+        uninstall_tracer()
+
+    def test_metrics_route_renders_prometheus(self):
+        registry = Registry()
+        registry.counter("jobs_total", "Jobs.").inc(3)
+        with TelemetryServer(registry) as server:
+            server.start()
+            status, headers, body = _get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith(
+            "text/plain; version=0.0.4"
+        )
+        assert b"jobs_total 3" in body
+
+    def test_healthz_ok_without_configured_check(self):
+        with TelemetryServer(Registry()) as server:
+            server.start()
+            status, _, body = _get(server, "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["checks"][0]["name"] == "configured"
+
+    def test_healthz_503_when_degraded(self):
+        health = SketchHealth(lambda: _BrokenHierarchy())
+        with TelemetryServer(Registry(), health=health) as server:
+            server.start()
+            url = f"http://{server.host}:{server.port}/healthz"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url)
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["status"] == "degraded"
+
+    def test_traces_route_returns_buffered_spans(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        with tracer.span("sketch.update_batch"):
+            pass
+        with TelemetryServer(Registry()) as server:
+            server.start()
+            _, _, body = _get(server, "/traces")
+        spans = json.loads(body)["spans"]
+        assert [entry["name"] for entry in spans] == ["sketch.update_batch"]
+
+    def test_topk_404_without_provider(self):
+        with TelemetryServer(Registry()) as server:
+            server.start()
+            url = f"http://{server.host}:{server.port}/topk"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url)
+            assert excinfo.value.code == 404
+
+    def test_topk_route_serialises_the_result(self):
+        sketch = populated_sketch()
+        with TelemetryServer(
+            Registry(), topk=lambda: sketch.track_topk(3)
+        ) as server:
+            server.start()
+            status, _, body = _get(server, "/topk")
+        payload = json.loads(body)
+        assert status == 200
+        assert len(payload["entries"]) == 3
+        assert set(payload["entries"][0]) == {
+            "dest", "estimate", "sample_frequency",
+        }
+        assert payload["stop_level"] >= 0
+
+    def test_unknown_route_is_404(self):
+        with TelemetryServer(Registry()) as server:
+            server.start()
+            url = f"http://{server.host}:{server.port}/nope"
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(url)
+            assert excinfo.value.code == 404
+
+    def test_refresh_hook_runs_before_metrics_and_traces(self):
+        calls = []
+        with TelemetryServer(
+            Registry(), refresh=lambda: calls.append(1)
+        ) as server:
+            server.start()
+            _get(server, "/metrics")
+            _get(server, "/traces")
+            _get(server, "/healthz")
+        assert len(calls) == 2
+
+    def test_counted_serve_loop(self):
+        registry = Registry()
+        server = TelemetryServer(registry)
+        thread = threading.Thread(target=server.serve, args=(2,))
+        thread.start()
+        try:
+            _get(server, "/metrics")
+            _get(server, "/healthz")
+        finally:
+            thread.join(timeout=10)
+            server.close()
+        assert not thread.is_alive()
+        assert server.requests_served == 2
+
+    def test_serve_validates_max_requests(self):
+        server = TelemetryServer(Registry())
+        try:
+            with pytest.raises(ParameterError):
+                server.serve(0)
+        finally:
+            server.close()
+
+    def test_close_is_idempotent(self):
+        server = TelemetryServer(Registry())
+        server.start()
+        server.close()
+        server.close()
+
+    def test_ephemeral_port_is_resolved(self):
+        with TelemetryServer(Registry(), port=0) as server:
+            assert server.port > 0
+            assert server.host == "127.0.0.1"

@@ -1,0 +1,225 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.obs import (
+    NULL_TRACER,
+    Registry,
+    SPAN_NAMES,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    span,
+    uninstall_tracer,
+)
+from repro.obs.catalog import SKETCH_SWEEP_DURATION
+
+
+@pytest.fixture(autouse=True)
+def restore_tracer():
+    yield
+    uninstall_tracer()
+
+
+class TestSpanRecording:
+    def test_records_name_and_duration(self):
+        tracer = Tracer()
+        with tracer.span("sketch.update_batch"):
+            pass
+        (entry,) = tracer.spans()
+        assert entry["name"] == "sketch.update_batch"
+        assert entry["parent"] == 0
+        assert entry["dur_ns"] >= 0
+        assert entry["start_ns"] > 0
+
+    def test_parent_child_linkage(self):
+        tracer = Tracer()
+        with tracer.span("sketch.update_batch"):
+            with tracer.span("sketch.hash_bulk"):
+                pass
+            with tracer.span("sketch.scatter"):
+                pass
+        child_a, child_b, root = tracer.spans()
+        assert root["name"] == "sketch.update_batch"
+        assert child_a["parent"] == root["id"]
+        assert child_b["parent"] == root["id"]
+        assert child_a["id"] != child_b["id"]
+
+    def test_children_finish_before_parents(self):
+        tracer = Tracer()
+        with tracer.span("wal.append"):
+            with tracer.span("wal.fsync"):
+                pass
+        names = [entry["name"] for entry in tracer.spans()]
+        assert names == ["wal.fsync", "wal.append"]
+
+    def test_span_ids_are_unique_and_increasing(self):
+        tracer = Tracer()
+        for _ in range(5):
+            with tracer.span("wal.append"):
+                pass
+        ids = [entry["id"] for entry in tracer.spans()]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_capacity_bounds_the_buffer(self):
+        tracer = Tracer(capacity=3)
+        for index in range(10):
+            with tracer.span("wal.append"):
+                pass
+        assert len(tracer) == 3
+        # Oldest fell off: the survivors are the three newest ids.
+        ids = [entry["id"] for entry in tracer.spans()]
+        assert ids == sorted(ids)
+        assert ids[0] > 1
+
+    def test_exception_inside_span_still_records_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("recovery.replay"):
+                raise ValueError("boom")
+        assert [s["name"] for s in tracer.spans()] == ["recovery.replay"]
+
+
+class TestHeadSampling:
+    def test_sample_every_records_one_in_n_roots(self):
+        tracer = Tracer(sample_every=3)
+        for _ in range(9):
+            with tracer.span("sketch.update_batch"):
+                with tracer.span("sketch.scatter"):
+                    pass
+        # Roots 0, 3, 6 sampled; each carries its child.
+        assert len(tracer) == 6
+
+    def test_unsampled_root_suppresses_whole_subtree(self):
+        tracer = Tracer(sample_every=2)
+        with tracer.span("sketch.update_batch"):  # root 0: sampled
+            pass
+        with tracer.span("sketch.update_batch"):  # root 1: skipped
+            with tracer.span("sketch.scatter"):
+                with tracer.span("sketch.hash_bulk"):
+                    pass
+        names = [entry["name"] for entry in tracer.spans()]
+        assert names == ["sketch.update_batch"]
+
+    def test_suppression_does_not_leak_past_the_root(self):
+        tracer = Tracer(sample_every=2)
+        with tracer.span("sketch.update_batch"):  # sampled
+            pass
+        with tracer.span("sketch.update_batch"):  # skipped
+            pass
+        with tracer.span("sketch.update_batch"):  # sampled again
+            pass
+        assert len(tracer) == 2
+
+    def test_traces_are_complete_trees(self):
+        tracer = Tracer(sample_every=2)
+        for _ in range(8):
+            with tracer.span("sketch.update_batch"):
+                with tracer.span("sketch.hash_bulk"):
+                    pass
+        spans = tracer.spans()
+        ids = {entry["id"] for entry in spans}
+        for entry in spans:
+            assert entry["parent"] == 0 or entry["parent"] in ids
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Tracer(sample_every=0)
+        with pytest.raises(ParameterError):
+            Tracer(capacity=0)
+
+
+class TestMetricBridge:
+    def test_span_duration_observed_into_histogram(self):
+        registry = Registry()
+        tracer = Tracer(obs=registry)
+        with tracer.span("sketch.dsample_sweep", metric=SKETCH_SWEEP_DURATION):
+            pass
+        histogram = registry.get(SKETCH_SWEEP_DURATION.name)
+        assert histogram is not None
+        assert histogram.count == 1
+
+    def test_no_metric_records_nothing(self):
+        registry = Registry()
+        tracer = Tracer(obs=registry)
+        with tracer.span("sketch.dsample_sweep"):
+            pass
+        assert SKETCH_SWEEP_DURATION.name not in registry
+
+
+class TestBufferTransfer:
+    def test_drain_returns_and_clears(self):
+        tracer = Tracer()
+        with tracer.span("worker.ingest"):
+            pass
+        drained = tracer.drain()
+        assert [entry["name"] for entry in drained] == ["worker.ingest"]
+        assert len(tracer) == 0
+
+    def test_extend_merges_foreign_spans(self):
+        parent = Tracer()
+        worker = Tracer()
+        with worker.span("worker.ingest"):
+            pass
+        with parent.span("sharded.pipe_send"):
+            pass
+        parent.extend(worker.drain())
+        names = {entry["name"] for entry in parent.spans()}
+        assert names == {"sharded.pipe_send", "worker.ingest"}
+
+    def test_clear_drops_everything(self):
+        tracer = Tracer()
+        with tracer.span("wal.append"):
+            pass
+        tracer.clear()
+        assert tracer.spans() == []
+
+
+class TestProcessWideInstall:
+    def test_default_is_the_null_tracer(self):
+        assert current_tracer() is NULL_TRACER
+        assert not current_tracer().enabled
+
+    def test_module_span_is_noop_without_install(self):
+        with span("sketch.update_batch"):
+            pass
+        assert len(NULL_TRACER) == 0
+
+    def test_install_takes_effect_immediately(self):
+        tracer = Tracer()
+        previous = install_tracer(tracer)
+        assert previous is NULL_TRACER
+        with span("sketch.update_batch"):
+            pass
+        assert len(tracer) == 1
+        assert uninstall_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_null_tracer_drops_extends(self):
+        NULL_TRACER.extend([{"name": "worker.ingest", "id": 1}])
+        assert len(NULL_TRACER) == 0
+
+
+class TestSpanNameContract:
+    def test_span_names_sorted_and_unique(self):
+        assert list(SPAN_NAMES) == sorted(set(SPAN_NAMES))
+
+    def test_pipeline_emits_only_catalogued_names(self):
+        """Ingest + query + WAL round-trip emits names from SPAN_NAMES."""
+        from repro.sketch import TrackingDistinctCountSketch
+        from repro.types import AddressDomain, FlowUpdate
+
+        tracer = Tracer()
+        install_tracer(tracer)
+        sketch = TrackingDistinctCountSketch(AddressDomain(2 ** 16), seed=3)
+        sketch.update_batch(
+            [FlowUpdate(s, s % 7, 1) for s in range(200)]
+        )
+        sketch.track_topk(3)
+        seen = {entry["name"] for entry in tracer.spans()}
+        assert seen
+        assert seen <= set(SPAN_NAMES)

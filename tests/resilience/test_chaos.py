@@ -159,6 +159,116 @@ class TestDegradeToSync:
         supervisor.close()
 
 
+class TestFlightRecorderDump:
+    def test_sigkill_produces_readable_blackbox(self, tmp_path):
+        from repro.obs import (
+            FlightRecorder,
+            Tracer,
+            install_recorder,
+            install_tracer,
+            load_blackbox,
+            uninstall_recorder,
+            uninstall_tracer,
+        )
+
+        install_recorder(FlightRecorder())
+        install_tracer(Tracer(sample_every=1))
+        try:
+            stream = random_stream(300, seed=9)
+            with ShardSupervisor(
+                process_bank(), tmp_path, sleep=NO_SLEEP
+            ) as supervisor:
+                supervisor.process_stream(stream[:150], batch_size=50)
+                kill_shard_worker(supervisor.sharded, 0)
+                supervisor.process_stream(stream[150:], batch_size=50)
+                assert supervisor.restarts >= 1
+            dumps = sorted((tmp_path / "blackbox").glob("blackbox-*.bin"))
+            assert dumps, "worker death must leave a post-mortem dump"
+            dump = load_blackbox(dumps[0])
+            assert not dump.torn
+            assert dump.reason == "worker-died"
+            kinds = [event["kind"] for event in dump.events]
+            assert "worker_died" in kinds
+            assert dump.spans, "dump must carry the tracer's recent spans"
+            names = {span["name"] for span in dump.spans}
+            assert "sharded.pipe_send" in names
+        finally:
+            uninstall_tracer()
+            uninstall_recorder()
+
+    def test_no_dump_without_an_installed_recorder(self, tmp_path):
+        stream = random_stream(200, seed=10)
+        with ShardSupervisor(
+            process_bank(), tmp_path, sleep=NO_SLEEP
+        ) as supervisor:
+            supervisor.process_stream(stream[:100], batch_size=50)
+            kill_shard_worker(supervisor.sharded, 0)
+            supervisor.process_stream(stream[100:], batch_size=50)
+        assert not list(tmp_path.glob("blackbox/*.bin"))
+
+
+class TestWorkerObservability:
+    def obs_bank(self, registry):
+        bank = ShardedSketch(
+            AddressDomain(2 ** 16),
+            shards=3,
+            seed=5,
+            backend="process",
+            sketch_backend="reference",
+            obs=registry,
+        )
+        if bank.backend != "process":
+            pytest.skip("multiprocessing unavailable on this platform")
+        return bank
+
+    def worker_total(self, registry):
+        for entry in registry.snapshot()["instruments"]:
+            if entry["name"] == "repro_worker_updates_total":
+                return sum(
+                    sample["value"] for sample in entry["samples"]
+                )
+        return 0
+
+    def test_worker_counters_aggregate_without_double_count(
+        self, tmp_path
+    ):
+        from repro.obs import Registry
+
+        registry = Registry()
+        stream = random_stream(400, seed=11)
+        with ShardSupervisor(
+            self.obs_bank(registry), tmp_path, sleep=NO_SLEEP
+        ) as supervisor:
+            supervisor.process_stream(stream[:200], batch_size=40)
+            supervisor.checkpoint()
+            kill_shard_worker(supervisor.sharded, 1)
+            supervisor.process_stream(stream[200:], batch_size=40)
+            assert supervisor.restarts >= 1
+            absorbed = supervisor.sharded.absorb_worker_obs()
+            assert absorbed == 3
+            # The respawned worker rebuilt its counter from restored
+            # sketch state, so the aggregate equals the stream exactly.
+            assert self.worker_total(registry) == len(stream)
+            # Re-absorbing replaces by key: still no double-counting.
+            supervisor.sharded.absorb_worker_obs()
+            assert self.worker_total(registry) == len(stream)
+
+    def test_sync_backend_has_nothing_to_absorb(self):
+        from repro.obs import Registry
+
+        registry = Registry()
+        bank = ShardedSketch(
+            AddressDomain(2 ** 16),
+            shards=2,
+            seed=5,
+            backend="sync",
+            obs=registry,
+        )
+        bank.process_stream(random_stream(50, seed=12))
+        assert bank.absorb_worker_obs() == 0
+        bank.close()
+
+
 class TestStorageFaults:
     def test_torn_wal_plus_kill_loses_only_torn_records(self, tmp_path):
         stream = random_stream(400, seed=6)

@@ -249,7 +249,7 @@ class TestRespawnFailureCleanup:
         pool = make_pool()
         conn, process = _StubConn(), _StubProcess()
         try:
-            pool._spawn = lambda: (conn, process)
+            pool._spawn = lambda shard: (conn, process)
             with pytest.raises(PoolUnavailable):
                 pool.respawn(0, payload=b"snapshot")
             assert conn.closed
@@ -266,7 +266,7 @@ class TestRespawnFailureCleanup:
         pool = make_pool()
         conn, process = _StubConn(), _StubProcess()
         try:
-            pool._spawn = lambda: (conn, process)
+            pool._spawn = lambda shard: (conn, process)
             pool.respawn(0)
             assert not conn.closed
             assert pool._connections[0] is conn

@@ -17,6 +17,12 @@ Checks, in order:
 4. Library code outside ``repro/obs`` registers instruments only via
    the spec factories (``counter_from``/``gauge_from``/
    ``histogram_from``/``from_spec``), never with ad-hoc name strings.
+5. Every span name in ``repro.obs.trace.SPAN_NAMES`` is documented in
+   ``docs/observability.md`` (as a backticked name), and every
+   span-shaped name in the docs exists in ``SPAN_NAMES``.
+6. Every span-name string literal at an instrumentation site under
+   ``src/repro`` comes from ``SPAN_NAMES`` — call sites cannot invent
+   names the docs and the blackbox reader have never heard of.
 """
 
 from __future__ import annotations
@@ -37,6 +43,10 @@ SPEC_CONSTANT_RE = re.compile(
 AD_HOC_REGISTRATION_RE = re.compile(
     r"\.\s*(?:counter|gauge|histogram)\s*\(\s*['\"]"
 )
+SPAN_SITE_RE = re.compile(
+    r"(?:\btrace_span|\.span|^span)\s*\(\s*['\"]([a-z_.]+)['\"]",
+    re.MULTILINE,
+)
 
 
 def load_catalog_names() -> List[str]:
@@ -44,6 +54,13 @@ def load_catalog_names() -> List[str]:
     from repro.obs.catalog import CATALOG
 
     return [spec.name for spec in CATALOG]
+
+
+def load_span_names() -> List[str]:
+    sys.path.insert(0, str(SRC_ROOT.parent))
+    from repro.obs.trace import SPAN_NAMES
+
+    return list(SPAN_NAMES)
 
 
 def documented_names(text: str) -> List[str]:
@@ -119,6 +136,44 @@ def main() -> int:
                     f"factories: counter_from/gauge_from/histogram_from)"
                 )
 
+    # 5. span names <-> docs, both directions
+    span_names = load_span_names()
+    span_prefixes = {name.split(".", 1)[0] for name in span_names}
+    for name in span_names:
+        if f"`{name}`" not in docs_text:
+            problems.append(
+                f"{name}: span name in repro.obs.trace.SPAN_NAMES but "
+                f"not documented in {DOCS_PATH.relative_to(REPO_ROOT)}"
+            )
+    doc_span_like = {
+        name
+        for name in re.findall(r"`([a-z_]+\.[a-z_]+)`", docs_text)
+        if name.split(".", 1)[0] in span_prefixes
+    }
+    for name in sorted(doc_span_like):
+        if name not in span_names:
+            problems.append(
+                f"{name}: documented as a span name in "
+                f"{DOCS_PATH.relative_to(REPO_ROOT)} but missing from "
+                f"repro.obs.trace.SPAN_NAMES"
+            )
+
+    # 6. instrumentation-site literals come from SPAN_NAMES
+    span_sites = 0
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path.name == "trace.py":
+            continue
+        for name in SPAN_SITE_RE.findall(
+            path.read_text(encoding="utf-8")
+        ):
+            span_sites += 1
+            if name not in span_names:
+                problems.append(
+                    f"{path.relative_to(REPO_ROOT)}: span site uses "
+                    f"{name!r}, which is not in "
+                    f"repro.obs.trace.SPAN_NAMES"
+                )
+
     if problems:
         for problem in problems:
             print(f"check_obs_docs: {problem}")
@@ -128,7 +183,8 @@ def main() -> int:
     print(
         f"check_obs_docs: OK — {len(catalog_names)} catalogued metrics "
         f"documented, {len(constants)} specs wired, no ad-hoc "
-        f"registrations"
+        f"registrations, {len(span_names)} span names documented "
+        f"({span_sites} sites checked)"
     )
     return 0
 

@@ -1,0 +1,306 @@
+#!/usr/bin/env python3
+"""Strict Prometheus text-exposition (0.0.4) checker for CI smoke jobs.
+
+Reads an exposition document from a file (or stdin with ``-``) and
+validates it the way a scraper would:
+
+* every line is a ``# HELP``, a ``# TYPE``, a sample, or blank;
+* metric and label names match the Prometheus grammar;
+* ``# HELP`` / ``# TYPE`` appear at most once per family, and ``TYPE``
+  precedes that family's samples;
+* label values use only the three legal escapes (``\\\\``, ``\\n``,
+  ``\\"``) and sample values parse as numbers;
+* histogram families expose ``_bucket`` (cumulative, non-decreasing,
+  ending at ``le="+Inf"``), ``_sum`` and ``_count``, with the ``+Inf``
+  bucket equal to ``_count`` per label set;
+* no duplicate sample (same series, same labels) appears twice.
+
+``--require NAME`` (repeatable) additionally demands that the family
+``NAME`` is present with at least one sample — the telemetry-smoke job
+uses it to pin the query-path metrics introduced with the tracer.
+
+Usage:
+
+    python tools/check_prometheus_text.py metrics.txt \\
+        --require repro_sketch_updates_total
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+)
+VALUE_RE = re.compile(
+    r"^[+-]?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|\.\d+|Inf|NaN)$"
+)
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(raw: str, line_no: int, problems: List[str]) -> Optional[
+    Tuple[Tuple[str, str], ...]
+]:
+    """Parse the inside of a ``{...}`` block; None on malformed input."""
+    labels: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(raw):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', raw[index:])
+        if match is None:
+            problems.append(
+                f"line {line_no}: malformed label block at {raw[index:]!r}"
+            )
+            return None
+        name = match.group(1)
+        index += match.end()
+        value_chars: List[str] = []
+        while index < len(raw):
+            char = raw[index]
+            if char == "\\":
+                if index + 1 >= len(raw) or raw[index + 1] not in '\\n"':
+                    problems.append(
+                        f"line {line_no}: illegal escape in label "
+                        f"value of {name!r}"
+                    )
+                    return None
+                value_chars.append(raw[index : index + 2])
+                index += 2
+            elif char == '"':
+                index += 1
+                break
+            elif char == "\n":
+                problems.append(
+                    f"line {line_no}: raw newline in label value of "
+                    f"{name!r}"
+                )
+                return None
+            else:
+                value_chars.append(char)
+                index += 1
+        else:
+            problems.append(
+                f"line {line_no}: unterminated label value for {name!r}"
+            )
+            return None
+        labels.append((name, "".join(value_chars)))
+        if index < len(raw):
+            if raw[index] != ",":
+                problems.append(
+                    f"line {line_no}: expected ',' between labels, got "
+                    f"{raw[index]!r}"
+                )
+                return None
+            index += 1
+    seen = [name for name, _ in labels]
+    if len(seen) != len(set(seen)):
+        problems.append(f"line {line_no}: duplicate label name")
+        return None
+    return tuple(labels)
+
+
+def family_of(sample_name: str, typed: Dict[str, str]) -> str:
+    """Map a sample name to its family (histogram suffixes fold in)."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if typed.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def check_text(text: str, required: List[str]) -> List[str]:
+    problems: List[str] = []
+    helped: Dict[str, int] = {}
+    typed: Dict[str, str] = {}
+    samples_seen: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+    families_with_samples: Dict[str, int] = {}
+    buckets: Dict[
+        Tuple[str, Tuple[Tuple[str, str], ...]], List[Tuple[str, float]]
+    ] = {}
+    counts: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    sums_seen: Dict[str, int] = {}
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                problems.append(
+                    f"line {line_no}: comment is neither HELP nor TYPE"
+                )
+                continue
+            _, keyword, name = parts[0], parts[1], parts[2]
+            if not METRIC_NAME_RE.match(name):
+                problems.append(
+                    f"line {line_no}: invalid metric name {name!r}"
+                )
+                continue
+            if keyword == "HELP":
+                if name in helped:
+                    problems.append(
+                        f"line {line_no}: duplicate HELP for {name} "
+                        f"(first at line {helped[name]})"
+                    )
+                helped[name] = line_no
+            else:
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram",
+                                "summary", "untyped"):
+                    problems.append(
+                        f"line {line_no}: invalid TYPE {kind!r} for "
+                        f"{name}"
+                    )
+                if name in typed:
+                    problems.append(
+                        f"line {line_no}: duplicate TYPE for {name}"
+                    )
+                if name in families_with_samples:
+                    problems.append(
+                        f"line {line_no}: TYPE for {name} appears after "
+                        f"its samples"
+                    )
+                typed[name] = kind
+            continue
+
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {line_no}: unparseable sample line")
+            continue
+        name = match.group("name")
+        raw_labels = match.group("labels")
+        labels = (
+            parse_labels(raw_labels, line_no, problems)
+            if raw_labels is not None
+            else ()
+        )
+        if labels is None:
+            continue
+        value_text = match.group("value")
+        if not VALUE_RE.match(value_text):
+            problems.append(
+                f"line {line_no}: invalid sample value {value_text!r}"
+            )
+            continue
+        value = float(value_text)
+        family = family_of(name, typed)
+        families_with_samples.setdefault(family, line_no)
+        series = (name, labels)
+        if series in samples_seen:
+            problems.append(
+                f"line {line_no}: duplicate sample for {name} "
+                f"(first at line {samples_seen[series]})"
+            )
+        samples_seen[series] = line_no
+
+        if typed.get(family) == "histogram":
+            bare = tuple(
+                (k, v) for k, v in labels if k != "le"
+            )
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(
+                        f"line {line_no}: histogram bucket without a "
+                        f"le label"
+                    )
+                else:
+                    buckets.setdefault((family, bare), []).append(
+                        (le, value)
+                    )
+            elif name.endswith("_count"):
+                counts[(family, bare)] = value
+            elif name.endswith("_sum"):
+                sums_seen[family] = line_no
+
+    for name in helped:
+        if name not in typed:
+            problems.append(f"{name}: HELP present but TYPE missing")
+    for (family, bare), bucket_list in buckets.items():
+        values = [value for _, value in bucket_list]
+        if values != sorted(values):
+            problems.append(
+                f"{family}: bucket counts not cumulative for labels "
+                f"{dict(bare)}"
+            )
+        if bucket_list[-1][0] != "+Inf":
+            problems.append(
+                f"{family}: last bucket is not le=\"+Inf\" for labels "
+                f"{dict(bare)}"
+            )
+        count = counts.get((family, bare))
+        if count is None:
+            problems.append(
+                f"{family}: _bucket series without a _count for labels "
+                f"{dict(bare)}"
+            )
+        elif bucket_list[-1][0] == "+Inf" and bucket_list[-1][1] != count:
+            problems.append(
+                f"{family}: +Inf bucket ({bucket_list[-1][1]:g}) != "
+                f"_count ({count:g}) for labels {dict(bare)}"
+            )
+        if family not in sums_seen:
+            problems.append(f"{family}: histogram without a _sum series")
+
+    for name in required:
+        if name not in families_with_samples:
+            problems.append(
+                f"{name}: required metric family missing from the "
+                f"exposition"
+            )
+
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a Prometheus 0.0.4 text exposition."
+    )
+    parser.add_argument(
+        "path", help="exposition file to check ('-' reads stdin)"
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this metric family has at least one sample "
+             "(repeatable)",
+    )
+    args = parser.parse_args()
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    problems = check_text(text, args.require)
+    if problems:
+        for problem in problems:
+            print(f"check_prometheus_text: {problem}")
+        print(
+            f"check_prometheus_text: FAILED ({len(problems)} problem(s))"
+        )
+        return 1
+    families = len(
+        {
+            line.split(" ", 3)[2]
+            for line in text.splitlines()
+            if line.startswith("# TYPE ")
+        }
+    )
+    print(
+        f"check_prometheus_text: OK — {families} families, "
+        f"{len(args.require)} required present"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Produce a sample flight-recorder dump for the CI artifact.
+
+Runs a real sharded ingest under :class:`repro.resilience.
+ShardSupervisor` with the tracer and flight recorder installed, SIGKILLs
+one shard worker mid-stream, lets supervision recover, and copies the
+post-mortem dump the recovery wrote to the requested output path.  CI
+uploads it so a reviewer can download a genuine ``repro-ddos blackbox``
+artifact without reproducing the crash locally.
+
+Usage:
+
+    PYTHONPATH=src python tools/make_blackbox_sample.py out/blackbox.bin
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import shutil
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Generate a sample flight-recorder dump."
+    )
+    parser.add_argument("output", help="where to write the dump")
+    parser.add_argument(
+        "--updates", type=int, default=600, help="stream length"
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    from repro.obs import (
+        FlightRecorder,
+        Tracer,
+        install_recorder,
+        install_tracer,
+        load_blackbox,
+        uninstall_recorder,
+        uninstall_tracer,
+    )
+    from repro.hashing import derive_seed
+    from repro.resilience import ShardSupervisor, kill_shard_worker
+    from repro.sketch import ShardedSketch
+    from repro.types import AddressDomain, FlowUpdate
+
+    rng = random.Random(derive_seed(args.seed, "blackbox-sample-stream"))
+    stream = [
+        FlowUpdate(rng.randrange(2 ** 16), rng.randrange(13), 1)
+        for _ in range(args.updates)
+    ]
+    half = len(stream) // 2
+
+    install_tracer(Tracer(sample_every=1))
+    install_recorder(FlightRecorder())
+    try:
+        with tempfile.TemporaryDirectory() as workdir:
+            bank = ShardedSketch(
+                AddressDomain(2 ** 16),
+                shards=3,
+                seed=args.seed,
+                backend="process",
+            )
+            if bank.backend != "process":
+                print(
+                    "make_blackbox_sample: multiprocessing unavailable; "
+                    "no dump produced",
+                    file=sys.stderr,
+                )
+                return 1
+            with ShardSupervisor(
+                bank, Path(workdir), sleep=lambda _s: None
+            ) as supervisor:
+                supervisor.process_stream(stream[:half], batch_size=50)
+                supervisor.checkpoint()
+                kill_shard_worker(supervisor.sharded, 1)
+                supervisor.process_stream(stream[half:], batch_size=50)
+                if supervisor.restarts < 1:
+                    print(
+                        "make_blackbox_sample: kill did not trigger a "
+                        "restart",
+                        file=sys.stderr,
+                    )
+                    return 1
+            dumps = sorted(
+                (Path(workdir) / "blackbox").glob("blackbox-*.bin")
+            )
+            if not dumps:
+                print(
+                    "make_blackbox_sample: recovery left no dump",
+                    file=sys.stderr,
+                )
+                return 1
+            output = Path(args.output)
+            output.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copyfile(dumps[0], output)
+    finally:
+        uninstall_tracer()
+        uninstall_recorder()
+
+    dump = load_blackbox(output)
+    kinds = sorted({str(event.get("kind")) for event in dump.events})
+    print(
+        f"make_blackbox_sample: wrote {output} — reason={dump.reason!r}, "
+        f"{len(dump.events)} events ({', '.join(kinds)}), "
+        f"{len(dump.spans)} spans, torn={dump.torn}"
+    )
+    if "worker_died" not in kinds:
+        print(
+            "make_blackbox_sample: dump is missing the worker_died event",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
