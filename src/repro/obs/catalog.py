@@ -183,6 +183,35 @@ SHARDED_SHARDS = MetricSpec(
     paper_ref="Fig. 1 deployment: per-router/worker synopses",
 )
 
+SHARDED_DELTA_BYTES = MetricSpec(
+    name="repro_sharded_delta_bytes",
+    kind="histogram",
+    help="Raw bytes shipped per combined() sync on the delta/shm "
+         "transports (bucket indices + counter rows, all shards; a "
+         "full resync counts its absolute rows here too).",
+    buckets=(1_024, 16_384, 262_144, 4_194_304, 67_108_864),
+    paper_ref="§3 linearity: only touched buckets need to travel",
+)
+
+SHARDED_SYNC_DURATION = MetricSpec(
+    name="repro_sharded_sync_duration_us",
+    kind="histogram",
+    help="Wall time of one combined() shard sync (delta collect or "
+         "shm gather plus the fold), in microseconds (observed via "
+         "the span tracer: the sync path stays clock-free).",
+    buckets=(100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000),
+    paper_ref="§6.2 query latency; merged answer == single sketch (§3)",
+)
+
+SHARDED_FULL_RESYNCS = MetricSpec(
+    name="repro_sharded_full_resyncs_total",
+    kind="counter",
+    help="Delta-transport syncs that had to re-read absolute shard "
+         "state (first sync, epoch mismatch, or a worker death "
+         "discarding the running sum).",
+    paper_ref="§3 delete-resistance: absolute rows re-fold exactly",
+)
+
 # -- monitor (repro.monitor) --------------------------------------------------
 
 MONITOR_UPDATES = MetricSpec(
@@ -342,6 +371,9 @@ CATALOG: Tuple[MetricSpec, ...] = tuple(
             SHARDED_UPDATES,
             SHARDED_MERGES,
             SHARDED_SHARDS,
+            SHARDED_DELTA_BYTES,
+            SHARDED_SYNC_DURATION,
+            SHARDED_FULL_RESYNCS,
             MONITOR_UPDATES,
             MONITOR_CHECKS,
             MONITOR_ALARMS,

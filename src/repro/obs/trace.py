@@ -64,8 +64,10 @@ SPAN_NAMES = (
     "checkpoint.write",
     "monitor.epoch_rotate",
     "recovery.replay",
+    "sharded.delta_sync",
     "sharded.pipe_recv",
     "sharded.pipe_send",
+    "sharded.shm_sync",
     "sketch.base_topk",
     "sketch.dsample_sweep",
     "sketch.hash_bulk",

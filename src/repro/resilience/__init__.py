@@ -19,8 +19,9 @@ tail on top of the newest checkpoint.  This package is that machinery:
   degrade-to-sync after repeated failures
   (:mod:`repro.resilience.supervisor`);
 * :func:`kill_shard_worker` / :func:`truncate_wal_tail` /
-  :func:`corrupt_latest_checkpoint` — the fault-injection drills the
-  chaos suite (and operators) run (:mod:`repro.resilience.faults`).
+  :func:`corrupt_latest_checkpoint` / :func:`drop_delta_sync` — the
+  fault-injection drills the chaos suite (and operators) run
+  (:mod:`repro.resilience.faults`).
 
 Operator guidance — checkpoint cadence vs WAL growth, fsync policy,
 failure drills — lives in ``docs/recovery.md``.
@@ -37,6 +38,7 @@ from .durable import (
 )
 from .faults import (
     corrupt_latest_checkpoint,
+    drop_delta_sync,
     kill_shard_worker,
     truncate_wal_tail,
 )
@@ -55,6 +57,7 @@ __all__ = [
     "WalCorruption",
     "WriteAheadLog",
     "corrupt_latest_checkpoint",
+    "drop_delta_sync",
     "kill_shard_worker",
     "recover_sketch",
     "replay_into",

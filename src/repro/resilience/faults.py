@@ -11,7 +11,11 @@ must survive, so the chaos suite can assert the recovered sketch is
   torn record and keep everything framed before it);
 * :func:`corrupt_latest_checkpoint` — flip a byte inside the newest
   checkpoint payload (recovery must notice the CRC mismatch and fall
-  back to the previous generation plus a longer WAL tail).
+  back to the previous generation plus a longer WAL tail);
+* :func:`drop_delta_sync` — drain one worker's dirty-bucket delta run
+  and throw it away, simulating a torn/lost sync on
+  ``transport="delta"`` (the epoch gap must force the parent into an
+  exact full resync instead of silently diverging).
 
 They are shipped in the package — not buried in ``tests/`` — so
 operators can run the same drills against a staging deployment; see
@@ -59,6 +63,32 @@ def kill_shard_worker(
         time.sleep(0.01)
     raise ParameterError(
         f"shard {index} worker (pid {pid}) survived signal {sig}"
+    )
+
+
+def drop_delta_sync(sharded: ShardedSketch, index: int) -> int:
+    """Drain one shard's delta run and discard it (torn sync).
+
+    The worker's dirty index is emptied and its sync epoch advances,
+    but the parent's running combined sum never sees the window — the
+    exact state a crash between drain and fold would leave.  The next
+    ``combined()`` must detect the epoch gap and fall back to a full
+    resync.  Returns the number of bytes discarded.
+
+    Raises:
+        ParameterError: unless the sketch runs ``transport="delta"``.
+    """
+    pool = sharded._pool
+    if pool is None or sharded.transport != "delta":
+        raise ParameterError(
+            "drop_delta_sync requires backend='process' with "
+            f"transport='delta' (got backend={sharded.backend!r}, "
+            f"transport={sharded.transport!r})"
+        )
+    reply = pool.collect_delta(index)
+    return sum(
+        len(bucket_bytes) + len(row_bytes)
+        for _, _, bucket_bytes, row_bytes in reply["arenas"]
     )
 
 

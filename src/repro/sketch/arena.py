@@ -96,7 +96,7 @@ class SignatureArena:
     __slots__ = (
         "pair_bits", "stride", "range_size",
         "_buf", "_slots", "_bucket_of", "_free", "_zeros", "_dense",
-        "_view",
+        "_view", "_dirty",
     )
 
     def __init__(self, pair_bits: int, range_size: int) -> None:
@@ -124,6 +124,10 @@ class SignatureArena:
             self._dense = _np.full(range_size, -1, dtype=_np.int64)
         # Cached buffer view (see view2d); dropped before any growth.
         self._view: Any = None
+        # Dirty-bucket index for delta propagation (None = tracking
+        # off): bucket -> the row's counter values at the moment the
+        # bucket was first touched after the last drain (its baseline).
+        self._dirty: Optional[Dict[int, List[int]]] = None
 
     # -- slot management -----------------------------------------------------
 
@@ -153,6 +157,114 @@ class SignatureArena:
             self._dense[bucket] = -1
         self._free.append(slot)
 
+    # -- delta propagation (dirty-bucket tracking) ----------------------------
+
+    def track_deltas(self, enabled: bool = True) -> None:
+        """Switch dirty-bucket tracking on or off.
+
+        While enabled, every mutation records the touched bucket's
+        *baseline* (its counter row before the first touch since the
+        last drain), so :meth:`drain_deltas` can ship exact signed
+        counter deltas instead of full state.  Off by default: only
+        delta-transport shard workers pay the bookkeeping.
+        """
+        if enabled:
+            if self._dirty is None:
+                self._dirty = {}
+        else:
+            self._dirty = None
+
+    def reset_deltas(self) -> None:
+        """Forget all recorded baselines (a full sync just shipped)."""
+        if self._dirty is not None:
+            self._dirty.clear()
+
+    def _note_bucket(self, dirty: Dict[int, List[int]], bucket: int) -> None:
+        """Record ``bucket``'s baseline row on first touch since drain."""
+        if bucket in dirty:
+            return
+        slot = self._slots.get(bucket)
+        if slot is None:
+            dirty[bucket] = self._zeros.tolist()
+        else:
+            base = slot * self.stride
+            dirty[bucket] = self._buf[base:base + self.stride].tolist()
+
+    def note_touched(self, touched: Any) -> None:
+        """Record baselines for a batch scatter's touched slots.
+
+        Called by the batch engine *after* slot resolution and *before*
+        the ``np.add.at`` scatter, so every baseline is the
+        pre-mutation image.  ``touched`` holds distinct occupied slot
+        indices (``np.unique`` output).  No-op unless tracking is on.
+        """
+        dirty = self._dirty
+        if dirty is None:
+            return
+        bucket_of = self._bucket_of
+        buf = self._buf
+        stride = self.stride
+        for slot in touched.tolist():
+            bucket = bucket_of[slot]
+            if bucket not in dirty:
+                base = slot * stride
+                dirty[bucket] = buf[base:base + stride].tolist()
+
+    # linear: delta extraction is exact counter subtraction (RL013)
+    def drain_deltas(self) -> Tuple[Any, Any]:
+        """Extract and clear the signed counter deltas since last drain.
+
+        Returns ``(buckets, rows)`` as flat ``array('q')`` runs:
+        ``rows`` holds one ``stride``-wide delta row per bucket, where
+        each delta is the bucket's current counter minus its recorded
+        baseline (zeros for buckets that were empty, or that have been
+        freed, at either end).  Buckets whose deltas net to zero are
+        skipped entirely — a touched-then-reverted bucket costs no
+        wire bytes.  Linearity makes folding these rows into another
+        sketch by addition exact (Section 3).
+        """
+        buckets_out = array("q")
+        rows_out = array("q")
+        dirty = self._dirty
+        if not dirty:
+            return buckets_out, rows_out
+        buf = self._buf
+        stride = self.stride
+        slots = self._slots
+        zeros = self._zeros
+        for bucket, baseline in dirty.items():
+            slot = slots.get(bucket)
+            if slot is None:
+                current = zeros
+            else:
+                base = slot * stride
+                current = buf[base:base + stride]
+            row = [now - then for now, then in zip(current, baseline)]
+            if any(row):
+                buckets_out.append(bucket)
+                rows_out.extend(row)
+        dirty.clear()
+        return buckets_out, rows_out
+
+    def export_rows(self) -> Tuple[Any, Any]:
+        """Every occupied bucket's full counter row, as flat arrays.
+
+        The full-resync form of :meth:`drain_deltas`: relative to an
+        empty sketch the absolute rows *are* the deltas, so a parent
+        can rebuild its running sum from scratch by folding these in.
+        Does not touch the dirty index (callers pair this with
+        :meth:`reset_deltas` when it marks a sync point).
+        """
+        buckets_out = array("q")
+        rows_out = array("q")
+        buf = self._buf
+        stride = self.stride
+        for bucket, slot in self._slots.items():
+            base = slot * stride
+            buckets_out.append(bucket)
+            rows_out.extend(buf[base:base + stride])
+        return buckets_out, rows_out
+
     # -- per-update fast path ------------------------------------------------
 
     def update(self, bucket: int, pair_code: int, delta: int) -> None:  # hot-path
@@ -167,6 +279,9 @@ class SignatureArena:
                 f"pair code {pair_code} needs more than "
                 f"{self.pair_bits} bits"
             )
+        dirty = self._dirty
+        if dirty is not None:
+            self._note_bucket(dirty, bucket)
         slot = self._slots.get(bucket)
         if slot is None:
             slot = self._allocate(bucket)
@@ -380,6 +495,9 @@ class SignatureArena:
                 f"cannot merge signatures of widths {self.pair_bits} "
                 f"and {signature.pair_bits}"
             )
+        dirty = self._dirty
+        if dirty is not None:
+            self._note_bucket(dirty, bucket)
         slot = self._slots.get(bucket)
         if slot is None:
             slot = self._allocate(bucket)
@@ -442,6 +560,9 @@ class SignatureArena:
                 f"signature width {signature.pair_bits} does not match "
                 f"arena width {self.pair_bits}"
             )
+        dirty = self._dirty
+        if dirty is not None:
+            self._note_bucket(dirty, bucket)
         if signature.is_zero:
             # Keep the store invariant: absent always means empty.
             if bucket in self._slots:
@@ -461,6 +582,9 @@ class SignatureArena:
         slot = self._slots.get(bucket)
         if slot is None:
             raise KeyError(bucket)
+        dirty = self._dirty
+        if dirty is not None:
+            self._note_bucket(dirty, bucket)
         buf = self._buf
         base = slot * self.stride
         for offset in range(base, base + self.stride):
@@ -536,15 +660,18 @@ class SignatureArena:
 
         A pickled ``frombuffer`` view would come back as an independent
         copy — silently divergent from ``_buf`` — so the cache never
-        crosses a serialization boundary.
+        crosses a serialization boundary.  The dirty-bucket index stays
+        behind too: it describes a live transport session (baselines
+        since one parent's last drain), meaningless to a restored copy.
         """
         return {
             name: getattr(self, name)
             for name in self.__slots__
-            if name != "_view"
+            if name not in ("_view", "_dirty")
         }
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._dirty = None
         for name, value in state.items():
             setattr(self, name, value)
         self._view = None

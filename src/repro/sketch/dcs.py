@@ -425,6 +425,7 @@ class DistinctCountSketch:
         (allocation may have moved the buffer) and dropped before any
         further allocation.
         """
+        store.note_touched(touched)
         _np.add.at(store.view2d(), slots, contrib)
         store.free_zero_slots(touched)
 
@@ -798,6 +799,40 @@ class DistinctCountSketch:
         self.updates_processed += other.updates_processed
         self.net_total += other.net_total
         self._obs_merges.inc()
+
+    # linear: delta folding must stay an exact integer addition (RL013)
+    def apply_bucket_deltas(
+        self, level: int, j: int, buckets: Any, rows: Any
+    ) -> None:
+        """Fold signed counter-delta rows into one inner table.
+
+        ``buckets`` is an int64 ndarray of second-level bucket indices
+        and ``rows`` the matching ``(len(buckets), pair_bits + 1)``
+        int64 delta matrix (``SignatureArena.drain_deltas`` output
+        reshaped).  Because the sketch is linear, adding another
+        sketch's per-bucket counter deltas is exactly equivalent to
+        having processed its updates here — the incremental-merge
+        primitive behind ``ShardedSketch(transport="delta"|"shm")``.
+        Buckets whose rows net to zero are pruned, and the tracking
+        subclass maintains its sample state through the same scatter
+        override the batch engine uses.  Does **not** adjust
+        ``updates_processed``/``net_total`` (callers account for those
+        from the transport's cumulative totals).
+
+        Requires the packed backend and numpy (the transports that
+        call this resolve only under the same conditions).
+        """
+        arenas = self._arenas
+        if arenas is None or not HAVE_NUMPY:
+            raise ParameterError(
+                "apply_bucket_deltas requires backend='packed' and numpy"
+            )
+        if len(buckets) == 0:
+            return
+        store = arenas[level][j]
+        slots = store.resolve_slots(buckets)
+        touched = _np.unique(slots)
+        self._scatter_into_store(level, store, slots, rows, touched)
 
     def copy(self) -> "DistinctCountSketch":
         """Return a deep, independent copy of this sketch.

@@ -22,21 +22,52 @@ and two execution backends:
   (Python threads would serialize on the GIL anyway; this backend is
   about partition/merge correctness);
 * ``process`` — each shard is a worker process holding a private
-  sketch (:mod:`repro.sketch.process_pool`), fed in chunks over pipes
-  and merged via serialized snapshots.  If a pool cannot be started on
-  the platform the sketch silently degrades to ``sync`` (check the
-  resolved :attr:`backend` attribute).
+  sketch (:mod:`repro.sketch.process_pool`), fed in chunks over pipes.
+  If a pool cannot be started on the platform the sketch silently
+  degrades to ``sync`` (check the resolved :attr:`backend` attribute).
+
+The process backend syncs shard state through one of three
+*transports* (the ``transport=`` argument, resolved into the
+:attr:`transport` attribute):
+
+* ``"pipe"`` — the original snapshot path: every :meth:`combined`
+  serializes each worker's whole sketch through its pipe and merges
+  from scratch (O(sketch) per query, any ``sketch_backend``);
+* ``"delta"`` — workers track the buckets touched since the last sync
+  and ship only those signed counter deltas; the parent folds them
+  into a *running* combined sketch by addition (linearity), making
+  :meth:`combined` O(changed buckets) between queries.  Epoch-tagged
+  replies detect missed syncs and trigger an exact full resync;
+* ``"shm"`` — workers publish their packed arena slabs into
+  ``multiprocessing.shared_memory`` and the parent gathers bucket
+  state through numpy views of the mapped segments — no pickling.
+
+``"auto"`` (the default) picks ``"delta"`` when the packed transports
+are eligible (``sketch_backend="packed"``, numpy available, pair
+domain ≤ 64 bits) and ``"pipe"`` otherwise.  All three transports are
+bit-identical to a single-process sketch — the fuzz suite in
+``tests/sketch/test_shard_transport.py`` proves it.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from .._accel import HAVE_NUMPY
+from .._accel import np as _np
 from ..exceptions import ParameterError
 from ..hashing import TabulationHash, derive_seed
-from ..obs.catalog import SHARDED_MERGES, SHARDED_SHARDS, SHARDED_UPDATES
+from ..obs.catalog import (
+    SHARDED_DELTA_BYTES,
+    SHARDED_FULL_RESYNCS,
+    SHARDED_MERGES,
+    SHARDED_SHARDS,
+    SHARDED_SYNC_DURATION,
+    SHARDED_UPDATES,
+)
 from ..obs.registry import Registry, registry_or_null
 from ..obs.trace import current_tracer
+from ..obs.trace import span as trace_span
 from ..types import AddressDomain, FlowUpdate
 from .estimate import TopKResult
 from .params import SketchParams
@@ -46,6 +77,9 @@ from .tracking import TrackingDistinctCountSketch
 
 #: Valid values for the ``backend`` constructor argument.
 SHARD_BACKENDS = ("sync", "process")
+
+#: Valid values for the ``transport`` constructor argument.
+SHARD_TRANSPORTS = ("auto", "pipe", "shm", "delta")
 
 #: Chunk size used when a process-backed stream is fed without an
 #: explicit ``batch_size`` (per-update pipe messages would dominate).
@@ -73,6 +107,14 @@ class ShardedSketch:
         sketch_backend: storage backend of every shard sketch —
             ``"reference"`` or ``"packed"``
             (see :class:`~repro.sketch.dcs.DistinctCountSketch`).
+        transport: shard-sync protocol for the process backend —
+            ``"auto"`` (default), ``"pipe"``, ``"shm"`` or ``"delta"``;
+            see the module docstring.  Explicitly requesting a packed
+            transport with an ineligible configuration (reference
+            backend, no numpy, pair domain > 64 bits) or with
+            ``backend="sync"`` raises :class:`ParameterError`; the
+            resolved value is the :attr:`transport` attribute (``None``
+            on the sync backend).
     """
 
     def __init__(
@@ -86,6 +128,7 @@ class ShardedSketch:
         obs: Optional[Registry] = None,
         backend: str = "sync",
         sketch_backend: str = "reference",
+        transport: str = "auto",
     ) -> None:
         if shards < 1:
             raise ParameterError(f"shards must be >= 1, got {shards}")
@@ -98,17 +141,44 @@ class ShardedSketch:
             raise ParameterError(
                 f"backend must be one of {SHARD_BACKENDS}, got {backend!r}"
             )
+        if transport not in SHARD_TRANSPORTS:
+            raise ParameterError(
+                f"transport must be one of {SHARD_TRANSPORTS}, "
+                f"got {transport!r}"
+            )
         self.domain = domain
         self.policy = policy
         self.seed = seed
         self.params = SketchParams(domain, r=r, s=s)
         self.sketch_backend = sketch_backend
+        packed_eligible = (
+            sketch_backend == "packed"
+            and HAVE_NUMPY
+            and self.params.pair_bits <= 64
+        )
+        if transport in ("shm", "delta") and not packed_eligible:
+            raise ParameterError(
+                f"transport={transport!r} requires "
+                "sketch_backend='packed', numpy, and a pair domain of "
+                "at most 64 bits"
+            )
+        if backend == "sync" and transport != "auto":
+            raise ParameterError(
+                f"transport={transport!r} requires backend='process' "
+                "(the sync backend has no sync protocol)"
+            )
         #: Observability registry (the null registry when ``obs=None``).
         self.obs: Registry = registry_or_null(obs)
         #: Resolved execution backend ("process" may degrade to "sync").
         self.backend = "sync"
+        #: Resolved sync transport (None on the sync backend).
+        self.transport: Optional[str] = None
         self._pool: Optional[ProcessShardPool] = None
         if backend == "process":
+            if transport == "auto":
+                resolved = "delta" if packed_eligible else "pipe"
+            else:
+                resolved = transport
             # Workers inherit tracing from whatever tracer is installed
             # at pool construction: only the sampling rate crosses the
             # process boundary (an int survives fork *and* spawn).
@@ -121,8 +191,10 @@ class ShardedSketch:
                     shards,
                     sketch_backend,
                     trace_every=trace_every,
+                    transport=resolved,
                 )
                 self.backend = "process"
+                self.transport = resolved
             except PoolUnavailable:
                 self._pool = None
         self._shards: List[TrackingDistinctCountSketch] = []
@@ -143,12 +215,19 @@ class ShardedSketch:
         self._cursor = 0
         # combined() memoization: valid until the next update.
         self._combined_cache: Optional[TrackingDistinctCountSketch] = None
+        # Delta transport: the running combined sum (survives updates —
+        # only deltas since the last sync are folded in) and the last
+        # sync epoch seen per shard (proves no drain was missed).
+        self._running: Optional[TrackingDistinctCountSketch] = None
+        self._sync_epochs = [0] * shards
         shard_updates = self.obs.counter_from(SHARDED_UPDATES)
         self._obs_shard_updates = [
             shard_updates.labels(shard=str(index))
             for index in range(shards)
         ]
         self._obs_merges = self.obs.counter_from(SHARDED_MERGES)
+        self._obs_delta_bytes = self.obs.histogram_from(SHARDED_DELTA_BYTES)
+        self._obs_full_resyncs = self.obs.counter_from(SHARDED_FULL_RESYNCS)
         self.obs.gauge_from(SHARDED_SHARDS).set(shards)
 
     @property
@@ -266,21 +345,124 @@ class ShardedSketch:
         The merge is memoized: repeated calls between updates return
         the *same* sketch object, so treat it as read-only (queries are
         fine — they never mutate sketch state).  Any routed update
-        invalidates the cache.
+        invalidates the cache.  On ``transport="delta"`` the returned
+        object is additionally the *running* sum that later calls fold
+        deltas into — successive calls may return the same (evolved)
+        object; the read-only contract is the same.
+
+        Raises:
+            WorkerDied: process backend, when a worker died before
+                answering the sync (callers may :meth:`restore_shard`
+                and retry; no folded state is lost — the next delta
+                sync re-reads absolute shard state).
         """
         if self._combined_cache is not None:
             return self._combined_cache
-        merged = TrackingDistinctCountSketch(
-            self.params, seed=self.seed, backend=self.sketch_backend
-        )
-        if self._pool is not None:
-            for payload in self._pool.snapshots():
-                merged.merge(_loads(payload, backend=self.sketch_backend))
+        if self._pool is not None and self.transport == "delta":
+            merged = self._combined_delta()
+        elif self._pool is not None and self.transport == "shm":
+            merged = self._combined_shm()
         else:
-            for shard in self._shards:
-                merged.merge(shard)
+            merged = TrackingDistinctCountSketch(
+                self.params, seed=self.seed, backend=self.sketch_backend
+            )
+            if self._pool is not None:
+                for payload in self._pool.snapshots():
+                    merged.merge(
+                        _loads(payload, backend=self.sketch_backend)
+                    )
+            else:
+                for shard in self._shards:
+                    merged.merge(shard)
         self._obs_merges.inc(self._num_shards)
         self._combined_cache = merged
+        return merged
+
+    def _combined_delta(self) -> TrackingDistinctCountSketch:
+        """Sync the running combined sum via delta propagation.
+
+        First sync (or after invalidation) collects absolute rows — a
+        *full resync*; later syncs collect only the buckets each worker
+        touched since its last drain.  Worker replies carry a per-shard
+        epoch; any gap (a drain this parent never folded, e.g. an
+        injected torn sync) discards the running sum and re-reads
+        absolute state, so the fold can never silently diverge.
+        """
+        pool = self._pool
+        assert pool is not None
+        with trace_span("sharded.delta_sync", metric=SHARDED_SYNC_DURATION):
+            running = self._running
+            full = running is None
+            try:
+                replies = pool.collect_deltas(full=full)
+                if not full and any(
+                    reply["epoch"] != self._sync_epochs[shard] + 1
+                    for shard, reply in enumerate(replies)
+                ):
+                    # Stale epoch: the incremental window is unusable
+                    # (and already drained) — fall back to absolute.
+                    full = True
+                    replies = pool.collect_deltas(full=True)
+            except WorkerDied:
+                # Any reply already drained is lost with the pipe; the
+                # running sum no longer matches the workers' dirty
+                # indexes, so the next sync must re-read everything.
+                self._running = None
+                raise
+            if full:
+                running = TrackingDistinctCountSketch(
+                    self.params, seed=self.seed, backend=self.sketch_backend
+                )
+                self._obs_full_resyncs.inc()
+            assert running is not None
+            stride = self.params.pair_bits + 1
+            synced_bytes = 0
+            for shard, reply in enumerate(replies):
+                self._sync_epochs[shard] = reply["epoch"]
+                for level, j, bucket_bytes, row_bytes in reply["arenas"]:
+                    buckets = _np.frombuffer(bucket_bytes, dtype=_np.int64)
+                    rows = _np.frombuffer(
+                        row_bytes, dtype=_np.int64
+                    ).reshape(len(buckets), stride)
+                    running.apply_bucket_deltas(level, j, buckets, rows)
+                    synced_bytes += len(bucket_bytes) + len(row_bytes)
+            running.updates_processed = sum(
+                reply["updates"] for reply in replies
+            )
+            running.net_total = sum(reply["net"] for reply in replies)
+            self._obs_delta_bytes.observe(synced_bytes)
+            self._running = running
+        return running
+
+    def _combined_shm(self) -> TrackingDistinctCountSketch:
+        """Merge shard state gathered from shared-memory segments.
+
+        Every sync asks each worker to publish its packed arena slabs
+        into its segment, then folds the occupied bucket rows into a
+        fresh combined sketch through numpy views of the mapped
+        memory — no pickling, no per-bucket Python objects.  Memoized
+        like every transport: repeated queries between updates reuse
+        the merged sketch.
+        """
+        pool = self._pool
+        assert pool is not None
+        with trace_span("sharded.shm_sync", metric=SHARDED_SYNC_DURATION):
+            merged = TrackingDistinctCountSketch(
+                self.params, seed=self.seed, backend=self.sketch_backend
+            )
+            headers = pool.shm_sync()
+            synced_bytes = 0
+            for shard, header in enumerate(headers):
+                for level, j, buckets, rows in pool.shm_arrays(
+                    shard, header
+                ):
+                    merged.apply_bucket_deltas(level, j, buckets, rows)
+                    synced_bytes += buckets.nbytes + rows.nbytes
+            merged.updates_processed = sum(
+                header["updates"] for header in headers
+            )
+            merged.net_total = sum(header["net"] for header in headers)
+            self._obs_delta_bytes.observe(synced_bytes)
         return merged
 
     def track_topk(self, k: int) -> TopKResult:
@@ -388,9 +570,11 @@ class ShardedSketch:
         supervisor follows up with replayed updates, which re-count
         through :meth:`ingest_shard`).
 
-        Restoring *always* invalidates the :meth:`combined` memo: a
-        respawned or restored worker holds different state than the
-        cached merge, even though no update was routed.
+        Restoring *always* invalidates the :meth:`combined` memo *and*
+        the delta transport's running sum: a respawned or restored
+        worker holds different state than the cached merge, even
+        though no update was routed — the next sync re-reads absolute
+        shard state (a full resync).
 
         Raises:
             PoolUnavailable: process backend, when the replacement
@@ -412,6 +596,7 @@ class ShardedSketch:
         if processed_count is not None:
             self._shard_counts[index] = processed_count
         self._combined_cache = None
+        self._running = None
 
     def degrade_to_sync(
         self,
@@ -460,10 +645,20 @@ class ShardedSketch:
         if processed_counts is not None:
             self._shard_counts = list(processed_counts)
         self.backend = "sync"
+        self.transport = None
         self._combined_cache = None
+        self._running = None
 
     def close(self) -> None:
-        """Shut down worker processes (no-op on the sync backend)."""
+        """Shut down worker processes (no-op on the sync backend).
+
+        On ``transport="shm"`` this also guarantees every shared-memory
+        segment is unlinked — even when workers are already dead: the
+        pool sweeps its unique segment-name prefix after the workers
+        exit, and an ``atexit`` guard re-runs the sweep for pools that
+        were never closed.  Idempotent, exception-safe (also invoked by
+        ``__exit__`` and a GC finalizer).
+        """
         if self._pool is not None:
             self._pool.close()
 

@@ -15,9 +15,11 @@ import random
 
 import pytest
 
+from repro._accel import HAVE_NUMPY
 from repro.resilience import (
     ShardSupervisor,
     corrupt_latest_checkpoint,
+    drop_delta_sync,
     kill_shard_worker,
     truncate_wal_tail,
 )
@@ -45,7 +47,9 @@ def reference_for(stream, seed=5, backend="reference"):
     return sketch
 
 
-def process_bank(sketch_backend="reference", policy="round-robin"):
+def process_bank(
+    sketch_backend="reference", policy="round-robin", transport="auto"
+):
     bank = ShardedSketch(
         AddressDomain(2 ** 16),
         shards=3,
@@ -53,6 +57,7 @@ def process_bank(sketch_backend="reference", policy="round-robin"):
         seed=5,
         backend="process",
         sketch_backend=sketch_backend,
+        transport=transport,
     )
     if bank.backend != "process":
         pytest.skip("multiprocessing unavailable on this platform")
@@ -313,3 +318,100 @@ class TestStorageFaults:
             assert recovered.combined().structurally_equal(
                 reference_for(stream)
             )
+
+
+@pytest.mark.skipif(
+    not HAVE_NUMPY, reason="packed transports require numpy"
+)
+class TestTransportChaos:
+    """The shm/delta sync paths survive the same drills as pipe."""
+
+    @pytest.mark.parametrize("transport", ["shm", "delta"])
+    def test_sigkill_mid_sync_recovers_exact_topk(
+        self, tmp_path, transport
+    ):
+        stream = random_stream(600, seed=7)
+        with ShardSupervisor(
+            process_bank("packed", transport=transport),
+            tmp_path,
+            sleep=NO_SLEEP,
+        ) as supervisor:
+            supervisor.process_stream(stream[:300], batch_size=50)
+            supervisor.combined()  # prime running sum / shm segments
+            supervisor.checkpoint()
+            supervisor.process_stream(stream[300:450], batch_size=50)
+            kill_shard_worker(supervisor.sharded, 1)
+            # The next sync hits the dead worker's pipe mid-collect:
+            # the supervisor must respawn + replay, and the transport
+            # must full-resync instead of trusting stale folded state.
+            recovered = supervisor.combined()
+            reference = reference_for(stream[:450], backend="packed")
+            assert recovered.structurally_equal(reference)
+            supervisor.process_stream(stream[450:], batch_size=50)
+            reference = reference_for(stream, backend="packed")
+            final = supervisor.combined()
+            assert final.structurally_equal(reference)
+            assert (
+                final.track_topk(5).destinations
+                == reference.track_topk(5).destinations
+            )
+            assert supervisor.restarts >= 1
+
+    def test_torn_delta_batch_recovers_exact_topk(self, tmp_path):
+        stream = random_stream(500, seed=8)
+        with ShardSupervisor(
+            process_bank("packed", transport="delta"),
+            tmp_path,
+            sleep=NO_SLEEP,
+        ) as supervisor:
+            supervisor.process_stream(stream[:250], batch_size=50)
+            supervisor.combined()
+            supervisor.process_stream(stream[250:], batch_size=50)
+            # Torn sync: one worker's delta window is drained and lost
+            # before the parent folds it.
+            drop_delta_sync(supervisor.sharded, 2)
+            reference = reference_for(stream, backend="packed")
+            recovered = supervisor.combined()
+            assert recovered.structurally_equal(reference)
+            assert (
+                recovered.track_topk(5).destinations
+                == reference.track_topk(5).destinations
+            )
+
+    def test_stale_epoch_after_kill_and_torn_sync(self, tmp_path):
+        stream = random_stream(500, seed=9)
+        with ShardSupervisor(
+            process_bank("packed", transport="delta"),
+            tmp_path,
+            sleep=NO_SLEEP,
+        ) as supervisor:
+            supervisor.process_stream(stream[:250], batch_size=50)
+            supervisor.combined()
+            supervisor.checkpoint()
+            drop_delta_sync(supervisor.sharded, 0)  # epoch gap on 0
+            kill_shard_worker(supervisor.sharded, 1)  # and a dead peer
+            supervisor.process_stream(stream[250:], batch_size=50)
+            assert supervisor.combined().structurally_equal(
+                reference_for(stream, backend="packed")
+            )
+
+    def test_no_shm_segments_leak_after_chaos(self, tmp_path):
+        from pathlib import Path
+
+        stream = random_stream(400, seed=10)
+        with ShardSupervisor(
+            process_bank("packed", transport="shm"),
+            tmp_path,
+            sleep=NO_SLEEP,
+        ) as supervisor:
+            supervisor.process_stream(stream[:200], batch_size=50)
+            supervisor.combined()
+            kill_shard_worker(supervisor.sharded, 0)
+            supervisor.process_stream(stream[200:], batch_size=50)
+            supervisor.combined()
+        shm_dir = Path("/dev/shm")
+        if shm_dir.is_dir():
+            assert [
+                path.name for path in shm_dir.iterdir()
+                if path.name.startswith("repro")
+            ] == []
