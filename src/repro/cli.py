@@ -36,7 +36,7 @@ from typing import Callable, List, Optional
 
 from .baselines import BruteForceTracker
 from .metrics import average_relative_error, top_k_recall
-from .monitor import DDoSMonitor, MonitorConfig
+from .monitor import DDoSMonitor, MonitorConfig, SlidingWindowSketch
 from .netsim import (
     BackgroundTraffic,
     FlashCrowd,
@@ -170,6 +170,17 @@ def _build_parser() -> argparse.ArgumentParser:
              "(update-count driven: the library never reads the clock)",
     )
     stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument(
+        "--window", type=int, default=0, metavar="N",
+        help="score alarms over an exact sliding window of N sub-epochs "
+             "instead of all-time state (docs/windowing.md); windowed "
+             "top-k joins the export",
+    )
+    stats.add_argument(
+        "--subepoch-length", type=int, default=500, metavar="G",
+        help="updates per window sub-epoch (window covers up to "
+             "N*G updates; requires --window)",
+    )
     stats.add_argument(
         "--checkpoint-dir", default=None, metavar="DIR",
         help="make the run crash-safe: write-ahead log every delivered "
@@ -521,13 +532,27 @@ def _run_stats(args: argparse.Namespace) -> int:
         print("--checkpoint-every requires --checkpoint-dir",
               file=sys.stderr)
         return 2
+    if args.window < 0 or args.subepoch_length < 1:
+        print("--window must be >= 0 and --subepoch-length >= 1",
+              file=sys.stderr)
+        return 2
     domain = AddressDomain(2 ** 32)
     registry = Registry()
+    window: Optional[SlidingWindowSketch] = None
+    if args.window:
+        window = SlidingWindowSketch(
+            domain,
+            subepoch_length=args.subepoch_length,
+            window_subepochs=args.window,
+            seed=args.seed,
+            obs=registry,
+        )
     monitor = DDoSMonitor(
         domain,
         MonitorConfig(check_interval=500),
         seed=args.seed,
         obs=registry,
+        window=window,
     )
     durable: Optional[DurableSketch] = None
     if args.checkpoint_dir:
@@ -594,6 +619,16 @@ def _run_stats(args: argparse.Namespace) -> int:
         f"# ingested {len(delivered)} of {len(updates)} updates "
         f"(workload={args.workload}, seed={args.seed})"
     )
+    if window is not None:
+        top = window.top_k(5)
+        listing = ", ".join(
+            f"{entry.dest}:{entry.estimate}" for entry in top
+        )
+        print(
+            f"# window top-5 over last <= "
+            f"{args.window * args.subepoch_length} updates "
+            f"(subepoch={window.subepoch_index}): {listing}"
+        )
     if args.format in ("prometheus", "both"):
         print(render_prometheus(registry), end="")
     if args.format in ("json", "both"):

@@ -12,6 +12,9 @@ for destinations whose half-open distinct-source frequency is anomalous.
 * :class:`Alarm` / :class:`AlarmSink` — alarm records and collection.
 * :class:`ThresholdWatch` — the footnote-3 variant: watch for any
   destination crossing a fixed frequency threshold tau.
+* :class:`SlidingWindowSketch` / :class:`WindowedThresholdWatch` — the
+  exact subtract-merge sliding window and burst-aware crossing
+  detection over it (``docs/windowing.md``).
 """
 
 from .alarms import Alarm, AlarmSeverity, AlarmSink
@@ -22,6 +25,7 @@ from .profile import ActivityProfile
 from .report import Incident, IncidentReporter
 from .threshold import CrossingEvent, ThresholdWatch
 from .timeline import MonitorTimeline, Snapshot
+from .window import SlidingWindowSketch, WindowedThresholdWatch
 
 __all__ = [
     "ActivityProfile",
@@ -36,6 +40,8 @@ __all__ = [
     "MonitorConfig",
     "MonitorTimeline",
     "PortScanDetector",
+    "SlidingWindowSketch",
     "Snapshot",
     "ThresholdWatch",
+    "WindowedThresholdWatch",
 ]

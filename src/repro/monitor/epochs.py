@@ -8,9 +8,22 @@ tracking sketches, one per epoch:
 * every update is applied to all live sketches;
 * every ``epoch_length`` updates, the oldest sketch is retired and a
   fresh one starts;
-* queries go to the *oldest live* sketch, which has seen the last
-  ``window_epochs`` epochs of traffic — a sliding window with
+* queries go to the *oldest live* sketch — a sliding window with
   granularity ``epoch_length``.
+
+Mind the exact coverage: right after a rotation the oldest live sketch
+has seen only the last ``window_epochs - 1`` *completed* epochs, and it
+grows from there until the next rotation.  The query window therefore
+covers between ``(window_epochs - 1) * epoch_length`` and
+``window_epochs * epoch_length`` updates, dropping discontinuously by
+one epoch at every boundary — estimates dip at rotations, and a
+crossing detector polling the rotator can flap (a spurious down/up
+pair) around them.  An attack straddling a boundary is split across two
+query sketches and may stay under threshold in both.  When those
+boundary artifacts matter, use
+:class:`~repro.monitor.SlidingWindowSketch`, whose subtract-merge
+window moves at sub-epoch granularity instead of being rebuilt
+(``docs/windowing.md``).
 
 This uses only insert/delete machinery the paper already provides (the
 sketches are independent), and inherits all its guarantees.  It is the
@@ -138,7 +151,13 @@ class EpochRotator:
 
     @property
     def query_sketch(self) -> TrackingDistinctCountSketch:
-        """The oldest live sketch: covers the full query window."""
+        """The oldest live sketch.
+
+        Covers the last ``window_epochs - 1`` completed epochs plus the
+        open one — i.e. at least ``(window_epochs - 1) * epoch_length``
+        updates, one full epoch short of the nominal window right after
+        a rotation (see the module docstring).
+        """
         return self._sketches[0]
 
     def top_k(self, k: int) -> TopKResult:

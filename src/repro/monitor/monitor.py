@@ -35,6 +35,7 @@ from ..sketch.estimate import TopKResult
 from ..types import AddressDomain, FlowUpdate
 from .alarms import Alarm, AlarmSeverity, AlarmSink
 from .profile import ActivityProfile
+from .window import SlidingWindowSketch
 
 
 @dataclass(frozen=True)
@@ -94,6 +95,13 @@ class DDoSMonitor:
             :meth:`observe_batch` so ingestion and the check-interval
             queries both ride the vectorized engine
             (``docs/performance.md``).
+        window: optional :class:`SlidingWindowSketch`.  When set, every
+            update also feeds the window and detection passes score the
+            *windowed* top-k instead of the all-time one, so alarms
+            follow the last ``window_subepochs`` sub-epochs of traffic
+            and clear when an attack ages out (``docs/windowing.md``).
+            The all-time tracking sketch keeps running for baselines
+            and forensics.
 
     Example:
         >>> from repro.types import AddressDomain
@@ -114,12 +122,14 @@ class DDoSMonitor:
         s: int = 128,
         obs: Optional[Registry] = None,
         backend: str = "reference",
+        window: Optional[SlidingWindowSketch] = None,
     ) -> None:
         self.config = config or MonitorConfig()
         self.profile = profile or ActivityProfile()
         self.sketch = TrackingDistinctCountSketch(
             domain, r=r, s=s, seed=seed, obs=obs, backend=backend
         )
+        self.window = window
         self.alarms = AlarmSink()
         self._updates_seen = 0
         self.obs: Registry = registry_or_null(obs)
@@ -135,6 +145,8 @@ class DDoSMonitor:
     def observe(self, update: FlowUpdate) -> List[Alarm]:
         """Feed one flow update; returns any alarms this update triggered."""
         self.sketch.process(update)
+        if self.window is not None:
+            self.window.observe(update)
         self._updates_seen += 1
         self._obs_updates.inc()
         if self._updates_seen % self.config.check_interval == 0:
@@ -170,6 +182,8 @@ class DDoSMonitor:
             room = interval - self._updates_seen % interval
             chunk = pending[start:start + room]
             applied = self.sketch.update_batch(chunk)
+            if self.window is not None:
+                self.window.observe_batch(chunk)
             self._updates_seen += applied
             self._obs_updates.inc(applied)
             start += len(chunk)
@@ -180,7 +194,13 @@ class DDoSMonitor:
     # -- detection ---------------------------------------------------------------
 
     def current_top(self) -> TopKResult:
-        """The current approximate top-k (does not run alarm checks)."""
+        """The current approximate top-k (does not run alarm checks).
+
+        With a :class:`SlidingWindowSketch` attached this is the
+        *windowed* top-k; otherwise the all-time tracked top-k.
+        """
+        if self.window is not None:
+            return self.window.top_k(self.config.k)
         return self.sketch.track_topk(self.config.k)
 
     def check_now(self) -> List[Alarm]:
@@ -222,10 +242,13 @@ class DDoSMonitor:
 
         Call this during known-clean periods ("longer periods of time",
         Section 2) so that habitual heavy hitters — busy mail servers,
-        popular sites — stop looking anomalous.
+        popular sites — stop looking anomalous.  Always reads the
+        all-time tracking sketch: baselines describe long-run behaviour,
+        which a sliding window by design forgets.
         """
         snapshot = {
-            entry.dest: entry.estimate for entry in self.current_top()
+            entry.dest: entry.estimate
+            for entry in self.sketch.track_topk(self.config.k)
         }
         self.profile.learn(snapshot)
 

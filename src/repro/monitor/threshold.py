@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..exceptions import ParameterError
 from ..obs.catalog import MONITOR_THRESHOLD_CROSSINGS
+from ..obs.instruments import Counter
 from ..obs.recorder import current_recorder
 from ..obs.registry import Registry, registry_or_null
 from ..sketch import TrackingDistinctCountSketch
@@ -39,6 +40,66 @@ class CrossingEvent:
     estimate: int
     above: bool
     updates_seen: int
+
+
+def diff_crossings(
+    now_above: Dict[int, int],
+    previously_above: Set[int],
+    updates_seen: int,
+) -> List[CrossingEvent]:
+    """Crossing events implied by two consecutive threshold polls.
+
+    Compares the destinations over the threshold *now* against the set
+    that was over it at the previous poll: destinations present only in
+    ``now_above`` raise an upward crossing (with their fresh estimate),
+    destinations that vanished raise a downward one (estimate 0 — the
+    query no longer reports them).  Shared by :class:`ThresholdWatch`
+    and :class:`~repro.monitor.window.WindowedThresholdWatch` so both
+    engines emit identically-shaped events.
+    """
+    events: List[CrossingEvent] = []
+    for dest, estimate in now_above.items():
+        if dest not in previously_above:
+            events.append(
+                CrossingEvent(
+                    dest=dest,
+                    estimate=estimate,
+                    above=True,
+                    updates_seen=updates_seen,
+                )
+            )
+    for dest in list(previously_above):
+        if dest not in now_above:
+            events.append(
+                CrossingEvent(
+                    dest=dest,
+                    estimate=0,
+                    above=False,
+                    updates_seen=updates_seen,
+                )
+            )
+    return events
+
+
+def publish_crossings(
+    events: List[CrossingEvent],
+    obs_cross_up: Counter,
+    obs_cross_down: Counter,
+) -> None:
+    """Export crossing events to metrics and the flight recorder."""
+    recorder = current_recorder()
+    for event in events:
+        if event.above:
+            obs_cross_up.inc()
+        else:
+            obs_cross_down.inc()
+        recorder.record(
+            "threshold_crossing",
+            dest=event.dest,
+            estimate=event.estimate,
+            direction="up" if event.above else "down",
+            updates_seen=event.updates_seen,
+        )
 
 
 class ThresholdWatch:
@@ -104,42 +165,12 @@ class ThresholdWatch:
         """Query the sketch now and emit crossing events."""
         result = self.sketch.track_threshold(self.tau)
         now_above: Dict[int, int] = result.as_dict()
-        events: List[CrossingEvent] = []
-        for dest, estimate in now_above.items():
-            if dest not in self._currently_above:
-                events.append(
-                    CrossingEvent(
-                        dest=dest,
-                        estimate=estimate,
-                        above=True,
-                        updates_seen=self._updates_seen,
-                    )
-                )
-        for dest in list(self._currently_above):
-            if dest not in now_above:
-                events.append(
-                    CrossingEvent(
-                        dest=dest,
-                        estimate=0,
-                        above=False,
-                        updates_seen=self._updates_seen,
-                    )
-                )
+        events = diff_crossings(
+            now_above, self._currently_above, self._updates_seen
+        )
         self._currently_above = set(now_above)
         self._events.extend(events)
-        recorder = current_recorder()
-        for event in events:
-            if event.above:
-                self._obs_cross_up.inc()
-            else:
-                self._obs_cross_down.inc()
-            recorder.record(
-                "threshold_crossing",
-                dest=event.dest,
-                estimate=event.estimate,
-                direction="up" if event.above else "down",
-                updates_seen=event.updates_seen,
-            )
+        publish_crossings(events, self._obs_cross_up, self._obs_cross_down)
         return events
 
     def above_threshold(self) -> List[Tuple[int, int]]:

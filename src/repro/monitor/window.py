@@ -1,0 +1,510 @@
+"""Sliding-window detection: exact windows by subtract-merge.
+
+:class:`~repro.monitor.EpochRotator` bounds the age of tracked state,
+but its query window only moves at epoch granularity: an attack shorter
+than an epoch — or one straddling an epoch boundary — can be diluted or
+seen late.  Approximate sliding-window schemes (Memento's heavy-hitter
+windows, ALBUS's burst monitoring) exist precisely because most sketches
+cannot *remove* expired updates.  Ours can: the Distinct-Count Sketch is
+a linear transform of the update stream (Section 3), so the sketch of
+the expired sub-stream can be merged out with −1 multiplicity and the
+remaining state is bit-for-bit the sketch of the surviving updates.
+
+:class:`SlidingWindowSketch` exploits that.  It slices the stream into
+*sub-epochs* of ``subepoch_length`` updates and keeps
+
+* a ring of the most recent closed sub-epoch sketches, and
+* one running **window sum** fed every update directly;
+
+crossing a sub-epoch boundary closes the open sketch into the ring and,
+once a sketch ages past ``window_subepochs``, subtracts it from the sum
+(:meth:`~repro.sketch.DistinctCountSketch.subtract`).  The sum is at
+every instant exactly the sketch of the last ``window_subepochs``
+sub-epochs (the open one included) — not an approximation of it — so
+every paper guarantee applies verbatim to the windowed estimates.  See
+``docs/windowing.md`` for the model end to end.
+
+All ring sketches and the sum share one seed: subtraction, like merging,
+is only exact between sketches drawn from the same hash functions.
+"""
+
+from __future__ import annotations
+
+import shutil
+from collections import deque
+from pathlib import Path
+from typing import (
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..exceptions import ParameterError
+from ..obs.catalog import (
+    MONITOR_THRESHOLD_CROSSINGS,
+    MONITOR_WINDOW_ADVANCE_DURATION,
+    MONITOR_WINDOW_ADVANCES,
+    MONITOR_WINDOW_EXPIRATIONS,
+    MONITOR_WINDOW_LIVE_SUBEPOCHS,
+)
+from ..obs.registry import Registry, registry_or_null
+from ..obs.trace import span as trace_span
+from ..resilience.durable import DurableSketch
+from ..sketch import DistinctCountSketch
+from ..sketch.estimate import TopKResult
+from ..types import AddressDomain, FlowUpdate
+from .threshold import CrossingEvent, diff_crossings, publish_crossings
+
+_SLOT_PREFIX = "slot-"
+
+
+class WindowEngine(Protocol):
+    """Anything a :class:`WindowedThresholdWatch` can poll.
+
+    Both :class:`SlidingWindowSketch` and
+    :class:`~repro.monitor.EpochRotator` satisfy this: feed updates in,
+    answer threshold queries over their current window.
+    """
+
+    def observe(self, update: FlowUpdate) -> object:
+        """Feed one flow update."""
+
+    def threshold(self, tau: int) -> TopKResult:
+        """All destinations with windowed estimate ``>= tau``."""
+
+
+class SlidingWindowSketch:
+    """An exact sliding window over the last ``W`` updates.
+
+    The window covers ``window_subepochs`` sub-epochs of
+    ``subepoch_length`` updates each: the open sub-epoch plus the
+    ``window_subepochs - 1`` most recent closed ones, i.e. between
+    ``(window_subepochs - 1) * subepoch_length`` and
+    ``window_subepochs * subepoch_length`` trailing updates depending
+    on the position within the open sub-epoch.  Queries decode the
+    running sum (slab-decoded on the packed backend), so estimates
+    react to new traffic immediately and shed expired traffic within
+    one sub-epoch — the detection-latency contract ``docs/windowing.md``
+    derives.
+
+    Args:
+        domain: address domain.
+        subepoch_length: updates per sub-epoch (the window granularity).
+        window_subepochs: sub-epochs the window spans, open one included.
+        seed: hash seed shared by *all* ring sketches and the running
+            sum — subtraction is only exact between same-seed sketches.
+        r, s: sketch shape.
+        backend: sketch storage backend (``packed`` buys the slab-decode
+            query path and the vectorized subtract kernel).
+        obs: optional :class:`~repro.obs.Registry` for the window
+            instruments (advances, expirations, live sub-epochs,
+            advance-duration histogram).
+        durable_dir: optional directory; when set, the open sub-epoch
+            ingests through a :class:`~repro.resilience.DurableSketch`
+            (WAL + checkpoint) slot under ``slot-<subepoch index>``, and
+            a fresh open of the same directory rebuilds the ring and the
+            running sum from the surviving slots.
+
+    Example:
+        >>> from repro.types import AddressDomain, FlowUpdate
+        >>> window = SlidingWindowSketch(AddressDomain(2 ** 16),
+        ...                              subepoch_length=100,
+        ...                              window_subepochs=4)
+        >>> for source in range(250):
+        ...     window.observe(FlowUpdate(source, 7, 1))
+        >>> window.top_k(1).destinations
+        [7]
+        >>> for position in range(450):  # spammer goes quiet...
+        ...     window.observe(FlowUpdate(position % 3, 8, 1))
+        >>> 7 in window.top_k(3).destinations  # ...and ages out
+        False
+    """
+
+    def __init__(
+        self,
+        domain: AddressDomain,
+        subepoch_length: int,
+        window_subepochs: int = 8,
+        seed: int = 0,
+        r: int = 3,
+        s: int = 128,
+        backend: str = "packed",
+        obs: Optional[Registry] = None,
+        durable_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if subepoch_length < 1:
+            raise ParameterError(
+                f"subepoch_length must be >= 1, got {subepoch_length}"
+            )
+        if window_subepochs < 1:
+            raise ParameterError(
+                f"window_subepochs must be >= 1, got {window_subepochs}"
+            )
+        self.domain = domain
+        self.subepoch_length = subepoch_length
+        self.window_subepochs = window_subepochs
+        self.seed = seed
+        self.r = r
+        self.s = s
+        self.backend = backend
+        self.durable_dir = Path(durable_dir) if durable_dir else None
+        #: True when construction restored ring state from durable slots.
+        self.recovered = False
+        self._subepoch_index = 0
+        self._updates_in_subepoch = 0
+        self._updates_seen = 0
+        self._ring: Deque[DistinctCountSketch] = deque()
+        self._durable: Optional[DurableSketch] = None
+        self.obs: Registry = registry_or_null(obs)
+        self._obs_advances = self.obs.counter_from(MONITOR_WINDOW_ADVANCES)
+        self._obs_expirations = self.obs.counter_from(
+            MONITOR_WINDOW_EXPIRATIONS
+        )
+        self.obs.gauge_from(MONITOR_WINDOW_LIVE_SUBEPOCHS).watch(
+            lambda: len(self._ring) + 1
+        )
+        # Registered eagerly so the family exports before the first
+        # sampled advance span observes into it.
+        self.obs.histogram_from(MONITOR_WINDOW_ADVANCE_DURATION)
+        # The running window sum; per-sub-epoch sketches use the same
+        # params/seed so expiry subtraction stays compatible.
+        self._sum = self._new_sketch()
+        if self.durable_dir is not None and self._recover():
+            return
+        self._current = self._open_subepoch(self._subepoch_index)
+
+    def _new_sketch(self) -> DistinctCountSketch:
+        """A blank sketch with the window's shared params and seed."""
+        return DistinctCountSketch(
+            self.domain,
+            r=self.r,
+            s=self.s,
+            seed=self.seed,
+            backend=self.backend,
+        )
+
+    # -- durable slots -------------------------------------------------------
+
+    def _slot_dir(self, index: int) -> Path:
+        assert self.durable_dir is not None
+        return self.durable_dir / f"{_SLOT_PREFIX}{index:08d}"
+
+    def _open_slot(self, index: int) -> DurableSketch:
+        """Open (or create) the durable slot for sub-epoch ``index``."""
+        return DurableSketch(
+            self._slot_dir(index),
+            self.domain,
+            kind="basic",
+            seed=self.seed,
+            r=self.r,
+            s=self.s,
+            backend=self.backend,
+        )
+
+    def _open_subepoch(self, index: int) -> DistinctCountSketch:
+        """Start sub-epoch ``index``; returns its (fresh) sketch."""
+        if self.durable_dir is None:
+            return self._new_sketch()
+        self._durable = self._open_slot(index)
+        return self._durable.sketch
+
+    def _slot_indices(self) -> List[int]:
+        """Sub-epoch indices with a slot directory on disk, sorted."""
+        assert self.durable_dir is not None
+        if not self.durable_dir.is_dir():
+            return []
+        indices: List[int] = []
+        for entry in self.durable_dir.iterdir():
+            name = entry.name
+            if entry.is_dir() and name.startswith(_SLOT_PREFIX):
+                suffix = name[len(_SLOT_PREFIX):]
+                if suffix.isdigit():
+                    indices.append(int(suffix))
+        indices.sort()
+        return indices
+
+    def _recover(self) -> bool:
+        """Rebuild ring + running sum from durable slots, if any exist.
+
+        The newest slot on disk becomes the open sub-epoch (its
+        :class:`~repro.resilience.DurableSketch` replays the WAL tail,
+        so no acknowledged update is lost); older surviving slots within
+        the window rejoin the ring, and the running sum is recomputed by
+        merging them — linearity makes the rebuilt sum identical to the
+        one that was lost.  Returns False on a fresh directory.
+        """
+        indices = self._slot_indices()
+        if not indices:
+            return False
+        current_index = indices[-1]
+        horizon = current_index - self.window_subepochs + 1
+        for index in indices:
+            if index < horizon:
+                # Aged out while we were down; drop the stale slot.
+                shutil.rmtree(self._slot_dir(index))
+                continue
+            if index == current_index:
+                continue
+            closed = self._open_slot(index)
+            closed.close()
+            self._ring.append(closed.sketch)
+            self._sum.merge(closed.sketch)
+        self._subepoch_index = current_index
+        self._durable = self._open_slot(current_index)
+        self._current = self._durable.sketch
+        self._sum.merge(self._current)
+        self._updates_in_subepoch = self._current.updates_processed
+        self._updates_seen = self._sum.updates_processed
+        self.recovered = True
+        if self._updates_in_subepoch >= self.subepoch_length:
+            # Crashed on the boundary itself: finish the advance now.
+            self._updates_in_subepoch = 0
+            self._advance()
+        return True
+
+    # -- ingestion -----------------------------------------------------------
+
+    def observe(self, update: FlowUpdate) -> None:
+        """Feed one update to the open sub-epoch and the running sum."""
+        if self._durable is not None:
+            self._durable.process(update)
+        else:
+            self._current.process(update)
+        self._sum.process(update)
+        self._updates_seen += 1
+        self._updates_in_subepoch += 1
+        if self._updates_in_subepoch >= self.subepoch_length:
+            self._updates_in_subepoch = 0
+            self._advance()
+
+    def observe_batch(self, updates: Iterable[FlowUpdate]) -> int:
+        """Feed a batch, splitting it at sub-epoch boundaries.
+
+        Whole-sub-epoch chunks ride the batched ingestion path of both
+        the open sketch and the running sum.  Returns the update count.
+        """
+        pending = list(updates)
+        total = len(pending)
+        start = 0
+        while start < total:
+            room = self.subepoch_length - self._updates_in_subepoch
+            chunk = pending[start:start + room]
+            start += len(chunk)
+            if self._durable is not None:
+                self._durable.update_batch(chunk)
+            else:
+                self._current.update_batch(chunk)
+            self._sum.update_batch(chunk)
+            self._updates_seen += len(chunk)
+            self._updates_in_subepoch += len(chunk)
+            if self._updates_in_subepoch >= self.subepoch_length:
+                self._updates_in_subepoch = 0
+                self._advance()
+        return total
+
+    def observe_stream(self, updates: Iterable[FlowUpdate]) -> int:
+        """Feed a whole stream; returns the update count."""
+        count = 0
+        for update in updates:
+            self.observe(update)
+            count += 1
+        return count
+
+    def _advance(self) -> None:
+        """Close the open sub-epoch; expire anything past the horizon."""
+        with trace_span(
+            "monitor.window_advance", metric=MONITOR_WINDOW_ADVANCE_DURATION
+        ):
+            if self._durable is not None:
+                self._durable.checkpoint()
+                self._durable.close()
+                self._durable = None
+            self._ring.append(self._current)
+            while len(self._ring) > self.window_subepochs - 1:
+                expired = self._ring.popleft()
+                # The −1-multiplicity merge: the sum becomes the exact
+                # sketch of the surviving in-window updates.
+                self._sum.subtract(expired)
+                self._obs_expirations.inc()
+                if self.durable_dir is not None:
+                    expired_index = (
+                        self._subepoch_index - self.window_subepochs + 1
+                    )
+                    expired_dir = self._slot_dir(expired_index)
+                    if expired_dir.is_dir():
+                        shutil.rmtree(expired_dir)
+            self._subepoch_index += 1
+            self._current = self._open_subepoch(self._subepoch_index)
+            self._obs_advances.inc()
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def window_sum(self) -> DistinctCountSketch:
+        """The running sum: exactly the sketch of the in-window updates."""
+        return self._sum
+
+    def top_k(self, k: int) -> TopKResult:
+        """Top-k destinations over the current window (BaseTopk)."""
+        return self._sum.base_topk(k)
+
+    def threshold(self, tau: int) -> TopKResult:
+        """All destinations with windowed estimate ``>= tau``."""
+        return self._sum.threshold_query(tau)
+
+    @property
+    def updates_seen(self) -> int:
+        """Total updates fed since construction (or recovery point)."""
+        return self._updates_seen
+
+    @property
+    def in_window_updates(self) -> int:
+        """Updates currently inside the window (sum's net bookkeeping)."""
+        return self._sum.updates_processed
+
+    @property
+    def subepoch_index(self) -> int:
+        """Index of the open sub-epoch (0-based)."""
+        return self._subepoch_index
+
+    @property
+    def live_subepochs(self) -> int:
+        """Ring occupancy including the open sub-epoch."""
+        return len(self._ring) + 1
+
+    def space_bytes(self) -> int:
+        """Combined model space: ring + open sub-epoch + running sum."""
+        total = self._sum.space_bytes() + self._current.space_bytes()
+        for sketch in self._ring:
+            total += sketch.space_bytes()
+        return total
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Checkpoint and release the open durable slot, if any."""
+        if self._durable is not None:
+            self._durable.checkpoint()
+            self._durable.close()
+            self._durable = None
+
+    def __enter__(self) -> "SlidingWindowSketch":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SlidingWindowSketch(subepoch={self._subepoch_index}, "
+            f"live={self.live_subepochs}, "
+            f"subepoch_length={self.subepoch_length}, "
+            f"window_subepochs={self.window_subepochs})"
+        )
+
+
+class WindowedThresholdWatch:
+    """Crossing detection over any windowed engine.
+
+    The windowed counterpart of :class:`ThresholdWatch`: instead of one
+    ever-growing tracking sketch it polls a window *engine* — a
+    :class:`SlidingWindowSketch` (exact window at sub-epoch granularity)
+    or an :class:`~repro.monitor.EpochRotator` (epoch granularity) —
+    so a burst is flagged while it is inside the window and the alarm
+    clears once it ages out, regardless of where the burst falls
+    relative to sub-epoch boundaries.  Both engines share the crossing
+    semantics, metrics, and flight-recorder records of
+    :class:`ThresholdWatch`, which is what lets
+    ``benchmarks/bench_window_latency.py`` compare their detection
+    latency like for like.
+
+    Args:
+        engine: the windowed engine to feed and poll.
+        tau: the frequency threshold.
+        check_interval: poll the engine every this many updates.
+        obs: optional :class:`~repro.obs.Registry`; crossings export as
+            ``repro_monitor_threshold_crossings_total{direction=...}``.
+    """
+
+    def __init__(
+        self,
+        engine: WindowEngine,
+        tau: int,
+        check_interval: int = 1000,
+        obs: Optional[Registry] = None,
+    ) -> None:
+        if tau < 1:
+            raise ParameterError(f"tau must be >= 1, got {tau}")
+        if check_interval < 1:
+            raise ParameterError(
+                f"check_interval must be >= 1, got {check_interval}"
+            )
+        self.engine = engine
+        self.tau = tau
+        self.check_interval = check_interval
+        self._updates_seen = 0
+        self._currently_above: Set[int] = set()
+        self._events: List[CrossingEvent] = []
+        self.obs: Registry = registry_or_null(obs)
+        crossings = self.obs.counter_from(MONITOR_THRESHOLD_CROSSINGS)
+        self._obs_cross_up = crossings.labels(direction="up")
+        self._obs_cross_down = crossings.labels(direction="down")
+
+    def observe(self, update: FlowUpdate) -> List[CrossingEvent]:
+        """Feed one update; returns crossing events from a due poll."""
+        self.engine.observe(update)
+        self._updates_seen += 1
+        if self._updates_seen % self.check_interval == 0:
+            return self.poll()
+        return []
+
+    def observe_stream(
+        self, updates: Iterable[FlowUpdate]
+    ) -> List[CrossingEvent]:
+        """Feed a whole stream; returns all crossing events raised."""
+        raised: List[CrossingEvent] = []
+        for update in updates:
+            raised.extend(self.observe(update))
+        return raised
+
+    def poll(self) -> List[CrossingEvent]:
+        """Query the engine now and emit crossing events."""
+        result = self.engine.threshold(self.tau)
+        now_above: Dict[int, int] = result.as_dict()
+        events = diff_crossings(
+            now_above, self._currently_above, self._updates_seen
+        )
+        self._currently_above = set(now_above)
+        self._events.extend(events)
+        publish_crossings(events, self._obs_cross_up, self._obs_cross_down)
+        return events
+
+    def above_threshold(self) -> List[Tuple[int, int]]:
+        """Current ``(dest, estimate)`` list over the threshold."""
+        return [
+            (entry.dest, entry.estimate)
+            for entry in self.engine.threshold(self.tau)
+        ]
+
+    @property
+    def events(self) -> List[CrossingEvent]:
+        """All crossing events observed so far."""
+        return list(self._events)
+
+    @property
+    def updates_seen(self) -> int:
+        """Number of flow updates processed so far."""
+        return self._updates_seen
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedThresholdWatch(tau={self.tau}, "
+            f"updates={self._updates_seen}, "
+            f"above={len(self._currently_above)})"
+        )

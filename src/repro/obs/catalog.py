@@ -274,6 +274,42 @@ MONITOR_SNAPSHOTS = MetricSpec(
     paper_ref="continuous tracking (§5) recorded for forensics",
 )
 
+MONITOR_WINDOW_ADVANCES = MetricSpec(
+    name="repro_monitor_window_advances_total",
+    kind="counter",
+    help="Sub-epoch boundaries crossed by the sliding-window engine "
+         "(each closes the current sub-epoch sketch into the ring).",
+    paper_ref="§3 linearity: the window sum is a merge of sub-epoch "
+              "synopses",
+)
+
+MONITOR_WINDOW_ADVANCE_DURATION = MetricSpec(
+    name="repro_monitor_window_advance_duration_us",
+    kind="histogram",
+    help="Wall time spent advancing the window one sub-epoch, in "
+         "microseconds (expiry subtract + ring bookkeeping).",
+    buckets=(100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000),
+    paper_ref="§3 linearity: expiry is one O(sketch size) subtract, "
+              "not a rebuild",
+)
+
+MONITOR_WINDOW_EXPIRATIONS = MetricSpec(
+    name="repro_monitor_window_expirations_total",
+    kind="counter",
+    help="Sub-epoch sketches subtracted out of the running window sum "
+         "after aging past the window horizon.",
+    paper_ref="§3 linearity: subtracting a sub-stream's sketch is exact",
+)
+
+MONITOR_WINDOW_LIVE_SUBEPOCHS = MetricSpec(
+    name="repro_monitor_window_live_subepochs",
+    kind="gauge",
+    help="Sub-epoch sketches currently held in the window ring, "
+         "including the open one (pull gauge).",
+    paper_ref="window of W updates at sub-epoch granularity g: "
+              "ceil(W/g) concurrent synopses",
+)
+
 # -- crash safety (repro.resilience) ------------------------------------------
 
 CHECKPOINT_DURATION = MetricSpec(
@@ -382,6 +418,10 @@ CATALOG: Tuple[MetricSpec, ...] = tuple(
             MONITOR_EPOCH_LIVE_SKETCHES,
             MONITOR_THRESHOLD_CROSSINGS,
             MONITOR_SNAPSHOTS,
+            MONITOR_WINDOW_ADVANCES,
+            MONITOR_WINDOW_ADVANCE_DURATION,
+            MONITOR_WINDOW_EXPIRATIONS,
+            MONITOR_WINDOW_LIVE_SUBEPOCHS,
             CHECKPOINT_DURATION,
             CHECKPOINT_BYTES,
             WAL_RECORDS,

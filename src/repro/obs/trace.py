@@ -63,6 +63,7 @@ SPAN_NAMES = (
     "arena.decode_slab",
     "checkpoint.write",
     "monitor.epoch_rotate",
+    "monitor.window_advance",
     "recovery.replay",
     "sharded.delta_sync",
     "sharded.pipe_recv",

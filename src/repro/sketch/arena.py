@@ -513,6 +513,32 @@ class SignatureArena:
                     return
             self._release(bucket, slot)
 
+    # linear: subtract must stay an exact integer subtraction (RL013)
+    def subtract_signature(self, bucket: int, signature: CountSignature) -> None:
+        """Subtract a signature's counters from ``bucket`` (pruning on zero)."""
+        if signature.pair_bits != self.pair_bits:
+            raise MergeError(
+                f"cannot subtract signatures of widths {self.pair_bits} "
+                f"and {signature.pair_bits}"
+            )
+        dirty = self._dirty
+        if dirty is not None:
+            self._note_bucket(dirty, bucket)
+        slot = self._slots.get(bucket)
+        if slot is None:
+            slot = self._allocate(bucket)
+        buf = self._buf
+        base = slot * self.stride
+        buf[base] -= signature.total
+        counts = signature.bit_counts
+        for index in range(self.pair_bits):
+            buf[base + 1 + index] -= counts[index]
+        if buf[base] == 0:
+            for offset in range(base + 1, base + self.stride):
+                if buf[offset]:
+                    return
+            self._release(bucket, slot)
+
     def _row(self, slot: int) -> List[int]:
         """The raw counter row of ``slot`` as a list of ints."""
         base = slot * self.stride

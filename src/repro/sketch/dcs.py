@@ -834,6 +834,72 @@ class DistinctCountSketch:
         touched = _np.unique(slots)
         self._scatter_into_store(level, store, slots, rows, touched)
 
+    # linear: subtract must stay an exact integer subtraction (RL013)
+    def subtract(self, other: "DistinctCountSketch") -> None:
+        """Remove ``other``'s contribution from this sketch in place.
+
+        The −1-multiplicity merge: because the sketch is a linear
+        transform of the update stream, subtracting the sketch of a
+        sub-stream leaves exactly the sketch of the remaining updates,
+        bit-for-bit — as if the subtracted updates had never been seen.
+        This is the expiry kernel behind
+        :class:`repro.monitor.SlidingWindowSketch`: a closed sub-epoch
+        sketch is merged out of the running window sum when it ages
+        past the window horizon.
+
+        When both sketches are packed (and numpy is present) each inner
+        table is subtracted by negating ``other``'s exported counter
+        rows and folding them through :meth:`apply_bucket_deltas`;
+        otherwise the per-bucket signature path is used.  Both paths
+        prune buckets that net to zero, so the result is structurally
+        equal to a from-scratch sketch of the remaining stream.
+        """
+        if not self.compatible_with(other):
+            raise MergeError(
+                "sketches must share params and seed to subtract"
+            )
+        vectorized = (
+            self._arenas is not None
+            and other._arenas is not None
+            and HAVE_NUMPY
+        )
+        for level in range(self.params.num_levels):
+            for j in range(self.params.r):
+                theirs = other._tables[level][j]
+                if vectorized:
+                    store = cast(SignatureArena, theirs)
+                    buckets, rows = store.export_rows()
+                    if len(buckets) == 0:
+                        continue
+                    bucket_ids = _np.frombuffer(buckets, dtype=_np.int64)
+                    deltas = -_np.frombuffer(rows, dtype=_np.int64)
+                    self.apply_bucket_deltas(
+                        level,
+                        j,
+                        bucket_ids,
+                        deltas.reshape(len(bucket_ids), store.stride),
+                    )
+                    continue
+                mine = self._tables[level][j]
+                if isinstance(mine, SignatureArena):
+                    for bucket, signature in theirs.items():
+                        mine.subtract_signature(bucket, signature)
+                    continue
+                for bucket, signature in theirs.items():
+                    existing = mine.get(bucket)
+                    if existing is None:
+                        negated = CountSignature(self.params.pair_bits)
+                        negated.subtract(signature)
+                        if not negated.is_zero:
+                            mine[bucket] = negated
+                        continue
+                    existing.subtract(signature)
+                    if existing.is_zero:
+                        del mine[bucket]
+        self.updates_processed -= other.updates_processed
+        self.net_total -= other.net_total
+        self._obs_merges.inc()
+
     def copy(self) -> "DistinctCountSketch":
         """Return a deep, independent copy of this sketch.
 

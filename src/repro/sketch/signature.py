@@ -109,6 +109,24 @@ class CountSignature:
         for index, count in enumerate(other.bit_counts):
             mine[index] += count
 
+    # linear: subtract must stay an exact integer subtraction (RL013)
+    def subtract(self, other: "CountSignature") -> None:
+        """Subtract ``other``'s counters from this signature in place.
+
+        Valid because the sketch is linear: subtracting the signature of
+        a sub-stream yields exactly the signature of the remaining
+        stream, as if the subtracted updates had never been seen.
+        """
+        if other.pair_bits != self.pair_bits:
+            raise MergeError(
+                f"cannot subtract signatures of widths {self.pair_bits} "
+                f"and {other.pair_bits}"
+            )
+        self.total -= other.total
+        mine = self.bit_counts
+        for index, count in enumerate(other.bit_counts):
+            mine[index] -= count
+
     def copy(self) -> "CountSignature":
         """Return an independent copy of this signature."""
         clone = CountSignature(self.pair_bits)

@@ -401,6 +401,18 @@ class TrackingDistinctCountSketch(DistinctCountSketch):
         super().merge(other)
         self._rebuild_tracking_state()
 
+    # linear: subtract must stay an exact integer subtraction (RL013)
+    def subtract(self, other: DistinctCountSketch) -> None:
+        """Remove another sketch's stream from this one.
+
+        Implemented by replaying the structural subtraction and then
+        rebuilding the tracked sample state, since singleton-ness is
+        not subtractive (removing one stream from a collision can leave
+        a singleton behind).
+        """
+        super().subtract(other)
+        self._rebuild_tracking_state()
+
     def _rebuild_tracking_state(self) -> None:
         """Recompute singletons/counters/heaps from the raw signatures.
 

@@ -23,6 +23,7 @@ from .adversarial import (
     SingleVictimStorm,
     UniformSpray,
 )
+from .burst import BurstFlood, CarpetBombing
 from .mutation import (
     interleave,
     shuffled,
@@ -42,6 +43,8 @@ from .transport import (
 from .zipf import ZipfWorkload
 
 __all__ = [
+    "BurstFlood",
+    "CarpetBombing",
     "ChainSource",
     "Channel",
     "ChurnStorm",

@@ -1,0 +1,207 @@
+"""Burst workloads: short high-rate attacks inside background traffic.
+
+The paper's epoch model implicitly assumes attacks persist long enough
+to dominate an epoch.  Real flood campaigns often do not: pulse-wave
+DDoS alternates short high-rate bursts with quiet gaps, and
+carpet-bombing sweeps rotate the victim so no single destination stays
+hot for long — exactly the regimes the sliding-window literature
+(Memento, ALBUS in ``PAPERS.md``) is built for.  These generators
+produce both shapes with exact ground truth, so the windowed detection
+path (:class:`~repro.monitor.SlidingWindowSketch`) can be measured
+against epoch rotation on the traffic that separates them:
+
+* :class:`BurstFlood` — periodic pulses of distinct-source traffic at
+  one victim, embedded in a uniform background spray.
+* :class:`CarpetBombing` — back-to-back bursts that rotate through a
+  victim list, each burst shorter than a detection epoch.
+
+Both expose their exact burst positions (:meth:`BurstFlood.pulse_spans`
+/ :meth:`CarpetBombing.burst_spans`) so detection latency can be scored
+in update counts, deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Tuple
+
+from ..exceptions import ParameterError
+from ..hashing import derive_seed
+from ..types import FlowUpdate
+from .source import UpdateSource
+
+
+class BurstFlood(UpdateSource):
+    """Periodic short pulses at one victim inside background spray.
+
+    The stream is ``length`` updates long.  Starting at ``offset``,
+    every ``period`` updates a pulse of ``burst_sources`` consecutive
+    updates targets ``victim``, each from a distinct source; every
+    other position is background traffic — a distinct source-destination
+    pair per update, so the background contributes frequency 1 noise
+    and the victim's distinct-source frequency rises by exactly
+    ``burst_sources`` per pulse.
+
+    Args:
+        victim: the pulsed destination address.
+        burst_sources: distinct attack sources per pulse (pulse width
+            in updates).
+        period: distance in updates between pulse starts.
+        length: total stream length in updates.
+        offset: stream position of the first pulse start.
+        seed: generator seed (background pairs and source addresses).
+    """
+
+    def __init__(
+        self,
+        victim: int,
+        burst_sources: int,
+        period: int,
+        length: int,
+        offset: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if burst_sources < 1:
+            raise ParameterError(
+                f"burst_sources must be >= 1, got {burst_sources}"
+            )
+        if period < burst_sources:
+            raise ParameterError(
+                f"period must be >= burst_sources, got {period}"
+            )
+        if length < 1:
+            raise ParameterError(f"length must be >= 1, got {length}")
+        if offset < 0:
+            raise ParameterError(f"offset must be >= 0, got {offset}")
+        self.victim = victim
+        self.burst_sources = burst_sources
+        self.period = period
+        self.length = length
+        self.offset = offset
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return self.length
+
+    def pulse_spans(self) -> List[Tuple[int, int]]:
+        """Exact ``(start, end)`` stream positions of each pulse.
+
+        ``end`` is exclusive; pulses truncated by the stream end are
+        reported with their truncated extent.
+        """
+        spans: List[Tuple[int, int]] = []
+        start = self.offset
+        while start < self.length:
+            spans.append((start, min(start + self.burst_sources, self.length)))
+            start += self.period
+        return spans
+
+    def _in_pulse(self, position: int) -> bool:
+        if position < self.offset:
+            return False
+        return (position - self.offset) % self.period < self.burst_sources
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        rng = random.Random(derive_seed(self.seed, "burst-flood"))
+        attack_source = 0
+        for position in range(self.length):
+            if self._in_pulse(position):
+                # Sequential attack sources: distinct within and across
+                # pulses, so ground truth stays exact.
+                attack_source += 1
+                yield FlowUpdate(attack_source, self.victim, +1)
+            else:
+                yield FlowUpdate(
+                    rng.randrange(2 ** 31, 2 ** 32),
+                    rng.randrange(2 ** 16, 2 ** 17),
+                    +1,
+                )
+
+    def frequencies(self) -> Dict[int, int]:
+        """Ground truth over the whole stream (background is freq 1)."""
+        counts: Dict[int, int] = {}
+        for update in self:
+            counts[update.dest] = counts.get(update.dest, 0) + 1
+        return counts
+
+
+class CarpetBombing(UpdateSource):
+    """Rotating-victim sweeps: each burst hits the next destination.
+
+    Models carpet-bombing campaigns that spread the attack across a
+    target range so no single destination accumulates volume for long:
+    bursts of ``sources_per_burst`` distinct-source updates are aimed at
+    ``victims[0], victims[1], ...`` in rotation, separated by ``gap``
+    background updates.  Any fixed-epoch detector keyed to one victim
+    sees each target for only a burst's worth of updates — the window
+    engine must both flag the current victim and clear the previous one.
+
+    Args:
+        victims: destinations swept in rotation (at least one).
+        sources_per_burst: distinct attack sources per burst.
+        gap: background updates between consecutive bursts.
+        rounds: full sweeps through the victim list.
+        seed: generator seed.
+    """
+
+    def __init__(
+        self,
+        victims: List[int],
+        sources_per_burst: int,
+        gap: int,
+        rounds: int = 1,
+        seed: int = 0,
+    ) -> None:
+        if not victims:
+            raise ParameterError("victims must be non-empty")
+        if sources_per_burst < 1:
+            raise ParameterError(
+                f"sources_per_burst must be >= 1, got {sources_per_burst}"
+            )
+        if gap < 0:
+            raise ParameterError(f"gap must be >= 0, got {gap}")
+        if rounds < 1:
+            raise ParameterError(f"rounds must be >= 1, got {rounds}")
+        self.victims = list(victims)
+        self.sources_per_burst = sources_per_burst
+        self.gap = gap
+        self.rounds = rounds
+        self.seed = seed
+
+    def __len__(self) -> int:
+        bursts = len(self.victims) * self.rounds
+        return bursts * (self.sources_per_burst + self.gap)
+
+    def burst_spans(self) -> List[Tuple[int, int, int]]:
+        """Exact ``(victim, start, end)`` per burst, ``end`` exclusive."""
+        spans: List[Tuple[int, int, int]] = []
+        position = 0
+        for _ in range(self.rounds):
+            for victim in self.victims:
+                spans.append(
+                    (victim, position, position + self.sources_per_burst)
+                )
+                position += self.sources_per_burst + self.gap
+        return spans
+
+    def __iter__(self) -> Iterator[FlowUpdate]:
+        rng = random.Random(derive_seed(self.seed, "carpet-bombing"))
+        attack_source = 0
+        for _ in range(self.rounds):
+            for victim in self.victims:
+                for _ in range(self.sources_per_burst):
+                    attack_source += 1
+                    yield FlowUpdate(attack_source, victim, +1)
+                for _ in range(self.gap):
+                    yield FlowUpdate(
+                        rng.randrange(2 ** 31, 2 ** 32),
+                        rng.randrange(2 ** 16, 2 ** 17),
+                        +1,
+                    )
+
+    def frequencies(self) -> Dict[int, int]:
+        """Ground truth over the whole stream (background is freq 1)."""
+        counts: Dict[int, int] = {}
+        for update in self:
+            counts[update.dest] = counts.get(update.dest, 0) + 1
+        return counts

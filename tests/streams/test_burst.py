@@ -1,0 +1,111 @@
+"""Burst workload generators: exact spans, ground truth, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParameterError
+from repro.streams import BurstFlood, CarpetBombing
+
+
+class TestBurstFlood:
+    def test_length_and_determinism(self) -> None:
+        flood = BurstFlood(
+            victim=7, burst_sources=50, period=200, length=1000, seed=3
+        )
+        first = list(flood)
+        assert len(first) == len(flood) == 1000
+        assert first == list(flood)
+
+    def test_pulse_spans_match_stream(self) -> None:
+        flood = BurstFlood(
+            victim=7,
+            burst_sources=50,
+            period=200,
+            length=1000,
+            offset=30,
+            seed=3,
+        )
+        updates = list(flood)
+        spans = flood.pulse_spans()
+        assert spans == [(30, 80), (230, 280), (430, 480), (630, 680),
+                         (830, 880)]
+        for start, end in spans:
+            assert all(u.dest == 7 for u in updates[start:end])
+        outside = (
+            updates[: spans[0][0]]
+            + updates[spans[0][1]:spans[1][0]]
+        )
+        assert all(u.dest != 7 for u in outside)
+
+    def test_victim_frequency_is_exact(self) -> None:
+        flood = BurstFlood(
+            victim=7, burst_sources=40, period=100, length=500, seed=1
+        )
+        truth = flood.frequencies()
+        assert truth[7] == 200  # 5 pulses x 40 distinct sources
+        del truth[7]
+        assert all(freq == 1 for freq in truth.values())
+
+    def test_truncated_final_pulse(self) -> None:
+        flood = BurstFlood(
+            victim=7, burst_sources=50, period=100, length=430, seed=1
+        )
+        assert flood.pulse_spans()[-1] == (400, 430)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ParameterError):
+            BurstFlood(victim=7, burst_sources=0, period=10, length=10)
+        with pytest.raises(ParameterError):
+            BurstFlood(victim=7, burst_sources=20, period=10, length=10)
+        with pytest.raises(ParameterError):
+            BurstFlood(victim=7, burst_sources=5, period=10, length=0)
+        with pytest.raises(ParameterError):
+            BurstFlood(
+                victim=7, burst_sources=5, period=10, length=10, offset=-1
+            )
+
+
+class TestCarpetBombing:
+    def test_length_and_determinism(self) -> None:
+        sweep = CarpetBombing(
+            victims=[1, 2, 3], sources_per_burst=40, gap=60, rounds=2
+        )
+        first = list(sweep)
+        assert len(first) == len(sweep) == 3 * 2 * 100
+        assert first == list(sweep)
+
+    def test_burst_spans_match_stream(self) -> None:
+        sweep = CarpetBombing(
+            victims=[5, 6], sources_per_burst=30, gap=20, rounds=2, seed=4
+        )
+        updates = list(sweep)
+        spans = sweep.burst_spans()
+        assert [victim for victim, _, _ in spans] == [5, 6, 5, 6]
+        for victim, start, end in spans:
+            assert all(u.dest == victim for u in updates[start:end])
+
+    def test_victim_frequencies_are_exact(self) -> None:
+        sweep = CarpetBombing(
+            victims=[5, 6], sources_per_burst=30, gap=50, rounds=3, seed=4
+        )
+        truth = sweep.frequencies()
+        assert truth[5] == 90
+        assert truth[6] == 90
+
+    def test_attack_sources_all_distinct(self) -> None:
+        sweep = CarpetBombing(
+            victims=[5, 6], sources_per_burst=30, gap=0, rounds=2
+        )
+        sources = [u.source for u in sweep]
+        assert len(set(sources)) == len(sources)
+
+    def test_validation(self) -> None:
+        with pytest.raises(ParameterError):
+            CarpetBombing(victims=[], sources_per_burst=5, gap=5)
+        with pytest.raises(ParameterError):
+            CarpetBombing(victims=[1], sources_per_burst=0, gap=5)
+        with pytest.raises(ParameterError):
+            CarpetBombing(victims=[1], sources_per_burst=5, gap=-1)
+        with pytest.raises(ParameterError):
+            CarpetBombing(victims=[1], sources_per_burst=5, gap=5, rounds=0)

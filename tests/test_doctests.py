@@ -17,6 +17,7 @@ import repro.hashing.seeds
 import repro.monitor.epochs
 import repro.monitor.monitor
 import repro.monitor.portscan
+import repro.monitor.window
 import repro.netsim.addresses
 import repro.obs
 import repro.obs.export
@@ -31,6 +32,7 @@ MODULES = [
     repro.monitor.epochs,
     repro.monitor.monitor,
     repro.monitor.portscan,
+    repro.monitor.window,
     repro.netsim.addresses,
     repro.obs,
     repro.obs.export,
@@ -73,3 +75,15 @@ def test_readme_doctests():
         f"{results.failed} doctest failure(s) in README.md"
     )
     assert results.attempted > 0, "expected README doctests to run"
+
+
+def test_windowing_doctests():
+    """docs/windowing.md's worked session must run exactly as printed."""
+    chapter = (
+        Path(__file__).resolve().parent.parent / "docs" / "windowing.md"
+    )
+    results = doctest.testfile(str(chapter), module_relative=False)
+    assert results.failed == 0, (
+        f"{results.failed} doctest failure(s) in docs/windowing.md"
+    )
+    assert results.attempted > 0, "expected windowing doctests to run"

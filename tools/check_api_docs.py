@@ -83,6 +83,13 @@ REQUIRED_METHODS: List[Tuple[str, str]] = [
     ("repro.sketch", "ShardedSketch.combined"),
     ("repro.sketch", "SignatureArena.decode_slab"),
     ("repro.sketch", "SignatureArena.view2d"),
+    # sliding-window surface (subtract-merge kernel + engine + watch)
+    ("repro.sketch", "DistinctCountSketch.subtract"),
+    ("repro.monitor", "SlidingWindowSketch.observe"),
+    ("repro.monitor", "SlidingWindowSketch.observe_batch"),
+    ("repro.monitor", "SlidingWindowSketch.top_k"),
+    ("repro.monitor", "SlidingWindowSketch.threshold"),
+    ("repro.monitor", "WindowedThresholdWatch.poll"),
 ]
 
 IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
